@@ -1,0 +1,49 @@
+// Ablation (reproduction finding): the stability-margin / correctness
+// trade-off of the negative-resistor widgets.
+//
+// The paper's design sets every |-R| exactly equal to the resistance of the
+// network it faces — the marginal point of NIC stability. Biasing the
+// magnitudes by (1 + margin) stabilises the dynamics but softens the
+// conservation constraints, which the objective drive then exploits: the
+// flow error grows catastrophically, not O(margin). This bench measures
+// that cliff — the central design tension this reproduction exposes.
+#include "analog/solver.hpp"
+#include "bench_util.hpp"
+#include "flow/maxflow.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace aflow;
+  bench::banner("Ablation — negative-resistor stability margin vs correctness");
+
+  const auto g = graph::rmat(40, 170, {}, 5);
+  const double exact = flow::push_relabel(g).flow_value;
+  std::printf("instance: %d vertices / %d edges, exact max flow %.0f\n\n",
+              g.num_vertices(), g.num_edges(), exact);
+  std::printf("%10s %12s %12s\n", "margin", "flow", "error");
+  bench::rule();
+  for (double margin : {0.0, 0.001, 0.005, 0.02, 0.05, 0.1}) {
+    analog::AnalogSolveOptions opt;
+    opt.config.fidelity = analog::NegResFidelity::kIdeal;
+    opt.config.parasitic_capacitance = 0.0;
+    opt.config.vflow = 20.0;
+    opt.config.stability_margin = margin;
+    opt.quantization = analog::QuantizationMode::kNone;
+    try {
+      const auto r = analog::AnalogMaxFlowSolver(opt).solve(g);
+      std::printf("%10.3f %12.2f %+11.2f%%\n", margin, r.flow_value,
+                  100.0 * (r.flow_value - exact) / exact);
+    } catch (const std::exception&) {
+      std::printf("%10.3f %12s\n", margin, "(no op point)");
+    }
+  }
+  bench::rule();
+  std::printf("margin = 0 reproduces the paper's exact constraints "
+              "(dynamically marginal). Any positive\nmargin destroys the "
+              "clean operating point: the DC complementarity search loses "
+              "its\nsolution, and dynamic settling (when bounded) drifts "
+              "toward the capacity clamps (+50%%\nflow on small examples at "
+              "margin 0.02). Correctness and strict stability are in\n"
+              "fundamental tension in this substrate (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Fig. 15 / Sec. 6.5: quasi-static circuit dynamics. Ramp Vflow slowly and
+// track the trajectory of (Vx1, Vx2, Vx3) through the feasible region.
+//
+// Two circuits are swept:
+//  1. the paper's simplified Fig. 15b circuit (x2, x3 dangling), which
+//     reproduces the closed-form walk-through: Vx1 = 2/9 Vflow initially,
+//     breakpoint D at Vflow = 9 V (x2 clamps at 1 V), optimum B(4,1,3) at
+//     Vflow = 19 V;
+//  2. the full substrate mapping of the same instance, whose negation
+//     widgets load the nodes and shift the breakpoints outward.
+#include "analog/solver.hpp"
+#include "bench_util.hpp"
+#include "graph/network.hpp"
+#include "sim/sweep.hpp"
+
+using namespace aflow;
+
+namespace {
+
+void sweep_simplified() {
+  std::printf("\n[simplified Fig. 15b circuit — the paper's walk-through]\n");
+  const double r = 10e3;
+  circuit::Netlist nl;
+  const auto x1 = nl.new_node("x1"), p1 = nl.new_node("p1"),
+             x1m = nl.new_node("x1m"), n1 = nl.new_node("n1"),
+             x2 = nl.new_node("x2"), x3 = nl.new_node("x3"),
+             vf = nl.new_node("vflow");
+  const int src = nl.add_vsource(vf, circuit::kGround, 0.0);
+  nl.add_resistor(vf, x1, r);
+  nl.add_resistor(x1, p1, r);
+  nl.add_resistor(x1m, p1, r);
+  nl.add_negative_resistor(p1, circuit::kGround, r / 2.0);
+  nl.add_resistor(x1m, n1, r);
+  nl.add_resistor(x2, n1, r);
+  nl.add_resistor(x3, n1, r);
+  nl.add_negative_resistor(n1, circuit::kGround, r / 3.0);
+  // Capacity clamps x1 <= 4, x2 <= 1, x3 <= 4 (volts == flow units here).
+  const auto lvl4 = nl.new_node("lvl4");
+  nl.add_vsource(lvl4, circuit::kGround, 4.0);
+  const auto lvl1 = nl.new_node("lvl1");
+  nl.add_vsource(lvl1, circuit::kGround, 1.0);
+  nl.add_diode(x1, lvl4);
+  nl.add_diode(x2, lvl1);
+  nl.add_diode(x3, lvl4);
+  nl.add_diode(circuit::kGround, x1);
+  nl.add_diode(circuit::kGround, x2);
+  nl.add_diode(circuit::kGround, x3);
+
+  std::vector<double> values;
+  for (double v = 0.0; v <= 22.0; v += 0.5) values.push_back(v);
+  sim::QuasiStaticSweep sweep(nl, src);
+  const auto result = sweep.run(values, {sim::Probe::node(x1, "Vx1"),
+                                         sim::Probe::node(x2, "Vx2"),
+                                         sim::Probe::node(x3, "Vx3")});
+
+  std::printf("%8s %8s %8s %8s\n", "Vflow", "Vx1", "Vx2", "Vx3");
+  for (size_t k = 0; k < result.source_values.size(); k += 2)
+    std::printf("%8.1f %8.3f %8.3f %8.3f\n", result.source_values[k],
+                result.trajectory[k][0], result.trajectory[k][1],
+                result.trajectory[k][2]);
+  std::printf("breakpoints (diode state changes):");
+  for (const auto& b : result.breakpoints)
+    std::printf("  Vflow=%.1fV (%d flips)", b.source_value, b.flips);
+  std::printf("\npaper: D at 9 V (x2 clamps), optimum B(4,1,3) reached at 19 V\n");
+}
+
+void sweep_full_substrate() {
+  std::printf("\n[full substrate mapping of the same instance]\n");
+  const auto g = graph::paper_example_fig15(10.0);
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vdd = 10.0;
+  opt.quantization = analog::QuantizationMode::kNone;
+
+  std::printf("%8s %8s %8s %8s\n", "Vflow", "x1", "x2", "x3");
+  for (double v : {1.0, 4.0, 9.0, 19.0, 40.0, 80.0, 160.0, 320.0}) {
+    opt.config.vflow = v;
+    const auto r = analog::AnalogMaxFlowSolver(opt).solve(g);
+    std::printf("%8.0f %8.3f %8.3f %8.3f\n", v, r.edge_flow[0], r.edge_flow[1],
+                r.edge_flow[2]);
+  }
+  std::printf("the widget loading shifts the optimum-reaching drive well "
+              "beyond the simplified circuit's 19 V\n");
+}
+
+} // namespace
+
+int main() {
+  bench::banner("Fig. 15 — quasi-static trajectory of the node voltages");
+  sweep_simplified();
+  sweep_full_substrate();
+  return 0;
+}

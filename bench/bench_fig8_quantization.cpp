@@ -1,0 +1,51 @@
+// Fig. 8: voltage-level quantization on the Fig. 5 instance with N = 20 and
+// Vdd = 1 V. The paper reports quantized levels {1.0, 0.65, 0.35, 0.35,
+// 0.65} V, circuit solution 0.7 V and |f| = 2.1 (5% deviation from the
+// exact 2).
+#include "analog/quantize.hpp"
+#include "analog/solver.hpp"
+#include "bench_util.hpp"
+#include "flow/maxflow.hpp"
+#include "graph/network.hpp"
+
+int main() {
+  using namespace aflow;
+  bench::banner("Fig. 8 — voltage level quantization (N = 20, Vdd = 1 V)");
+
+  const auto g = graph::paper_example_fig5();
+  const double exact = flow::push_relabel(g).flow_value;
+  const analog::Quantizer q(1.0, 20, g.max_capacity(),
+                            analog::QuantizationMode::kRound);
+
+  std::printf("%-6s %-10s %-12s %-12s\n", "edge", "capacity", "Q(c) paper",
+              "Q(c) ours");
+  const double paper_q[5] = {1.00, 0.65, 0.35, 0.35, 0.65};
+  for (int e = 0; e < g.num_edges(); ++e)
+    std::printf("x%-5d %-10.0f %-12.2f %-12.2f\n", e + 1, g.edge(e).capacity,
+                paper_q[e], q.to_voltage(g.edge(e).capacity));
+  std::printf("worst-case per-edge error e = C/N = %.3f flow units\n\n",
+              q.worst_case_error());
+
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vflow = 10.0; // enough drive to saturate this instance's cut
+  opt.quantization = analog::QuantizationMode::kRound;
+  opt.config.voltage_levels = 20;
+  const auto r = analog::AnalogMaxFlowSolver(opt).solve(g);
+
+  std::printf("%-42s %10s\n", "quantity", "value");
+  bench::rule('-', 54);
+  std::printf("%-42s %10.3f\n", "exact max flow (before quantization)", exact);
+  std::printf("%-42s %10.3f\n", "circuit flow value (volts)",
+              r.flow_value / g.max_capacity());
+  std::printf("%-42s %10.3f\n", "approximate |f| after de-quantization",
+              r.flow_value);
+  std::printf("%-42s %9.2f%%\n", "deviation from exact",
+              100.0 * (r.flow_value - exact) / exact);
+  std::printf("\npaper: circuit solution 0.7 V -> |f| = 2.1 (+5%%). Our ideal-"
+              "diode circuit settles at the\nquantized optimum 0.65 V -> 1.95 "
+              "(-2.5%%); the paper's +5%% sign indicates soft diode knees\n"
+              "in their SPICE run (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Microbenchmarks (google-benchmark) of the computational kernels under the
+// reproduction: sparse LU on substrate matrices, the DC operating-point
+// solve, graph generation, and the CPU max-flow baselines.
+#include <benchmark/benchmark.h>
+
+#include "analog/solver.hpp"
+#include "flow/maxflow.hpp"
+#include "graph/generators.hpp"
+#include "la/lu.hpp"
+#include "sim/dc.hpp"
+
+using namespace aflow;
+
+namespace {
+
+analog::MaxFlowCircuit make_circuit(int n) {
+  const auto g = graph::rmat_sparse(n, 7);
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vflow = 10.0;
+  return analog::AnalogMaxFlowSolver(opt).map(g);
+}
+
+void BM_SparseLuFactor(benchmark::State& state) {
+  auto c = make_circuit(static_cast<int>(state.range(0)));
+  circuit::MnaAssembler mna(c.netlist);
+  auto devstate = circuit::DeviceState::initial(c.netlist);
+  la::Triplets t;
+  std::vector<double> rhs;
+  mna.assemble(devstate, {}, t, rhs);
+  const auto m = la::SparseMatrix::from_triplets(t);
+  for (auto _ : state) {
+    la::SparseLU lu;
+    lu.factor(m);
+    benchmark::DoNotOptimize(lu.factor_nnz());
+  }
+  state.counters["unknowns"] = static_cast<double>(m.rows());
+}
+BENCHMARK(BM_SparseLuFactor)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SparseLuSolve(benchmark::State& state) {
+  auto c = make_circuit(static_cast<int>(state.range(0)));
+  circuit::MnaAssembler mna(c.netlist);
+  auto devstate = circuit::DeviceState::initial(c.netlist);
+  la::Triplets t;
+  std::vector<double> rhs;
+  mna.assemble(devstate, {}, t, rhs);
+  const auto m = la::SparseMatrix::from_triplets(t);
+  la::SparseLU lu;
+  lu.factor(m);
+  std::vector<double> x(rhs.size());
+  for (auto _ : state) {
+    lu.solve(rhs, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_SparseLuSolve)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AnalogDcSolve(benchmark::State& state) {
+  const auto g = graph::rmat_sparse(static_cast<int>(state.range(0)), 7);
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vflow = 10.0;
+  analog::AnalogMaxFlowSolver solver(opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(g).flow_value);
+  }
+}
+BENCHMARK(BM_AnalogDcSolve)->Arg(64)->Arg(128);
+
+void BM_PushRelabel(benchmark::State& state) {
+  const auto g = graph::rmat_sparse(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(flow::push_relabel(g).flow_value);
+}
+BENCHMARK(BM_PushRelabel)->Arg(256)->Arg(512)->Arg(960);
+
+void BM_Dinic(benchmark::State& state) {
+  const auto g = graph::rmat_sparse(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) benchmark::DoNotOptimize(flow::dinic(g).flow_value);
+}
+BENCHMARK(BM_Dinic)->Arg(256)->Arg(512)->Arg(960);
+
+void BM_RmatGeneration(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        graph::rmat_sparse(static_cast<int>(state.range(0)), 7).num_edges());
+}
+BENCHMARK(BM_RmatGeneration)->Arg(256)->Arg(960);
+
+} // namespace
+
+BENCHMARK_MAIN();

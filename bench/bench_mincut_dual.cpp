@@ -1,0 +1,46 @@
+// Sec. 6.3 (Figs. 12-14): the min-cut dual circuit. For a corpus of
+// instances, compare the analog dual solve against the exact min cut:
+// thresholded-partition cut value, continuous objective, and the recovered
+// flow (dual variables).
+#include "bench_util.hpp"
+#include "flow/maxflow.hpp"
+#include "graph/generators.hpp"
+#include "mincut/dual_circuit.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aflow;
+  bench::banner("Sec. 6.3 — analog min-cut via the dual LP circuit");
+
+  const int seeds = bench::arg_int(argc, argv, "--seeds", 8);
+  std::printf("%6s %6s %6s %10s %12s %12s %10s %8s\n", "seed", "|V|", "|E|",
+              "exact cut", "partition", "objective", "flow r/o", "DC iters");
+  bench::rule();
+
+  int exact_partitions = 0;
+  int solved = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    const auto g = graph::rmat(24, 80, {}, seed);
+    const auto cut = flow::min_cut_from_flow(g, flow::push_relabel(g));
+    try {
+      const auto r = mincut::solve_mincut_dual(g);
+      double side_cut = 0.0;
+      for (const auto& e : g.edges())
+        if (r.side[e.from] && !r.side[e.to]) side_cut += e.capacity;
+      ++solved;
+      if (std::abs(side_cut - cut.cut_value) < 1e-6) ++exact_partitions;
+      std::printf("%6d %6d %6d %10.0f %12.0f %12.2f %10.2f %8d\n", seed,
+                  g.num_vertices(), g.num_edges(), cut.cut_value, side_cut,
+                  r.cut_value, r.flow_value, r.dc_iterations);
+    } catch (const std::exception&) {
+      std::printf("%6d %6d %6d %10.0f %12s\n", seed, g.num_vertices(),
+                  g.num_edges(), cut.cut_value, "(no op point)");
+    }
+  }
+  bench::rule();
+  std::printf("thresholded p-partition recovered the exact min cut on %d/%d "
+              "solved instances.\nThe continuous objective overshoots by the "
+              "widget-coupling distortion; the recovered flow\nreadout is "
+              "qualitative (uncalibrated scale). See EXPERIMENTS.md.\n",
+              exact_partitions, solved);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Sec. 5.2: power and energy analysis. P ~ (|E| + |V|) * Pamp with
+// Pamp = 500 uW; a 5 W embedded budget hosts ~1e4 edges and a 150 W server
+// budget ~3e5; energy efficiency vs the CPU follows from the speedup.
+#include "analog/power.hpp"
+#include "analog/solver.hpp"
+#include "bench_util.hpp"
+#include "flow/maxflow.hpp"
+#include "graph/generators.hpp"
+#include "sim/dc.hpp"
+
+int main() {
+  using namespace aflow;
+  bench::banner("Sec. 5.2 — power consumption vs graph size");
+
+  analog::PowerParams params;
+  std::printf("%6s %8s %10s %14s %16s\n", "|V|", "|E|", "op-amps",
+              "P_opamp (mW)", "P_resistor (mW)");
+  bench::rule();
+  for (int n : {64, 128, 256, 512, 1000}) {
+    const auto g = graph::rmat_sparse(n, 7);
+    auto report = analog::estimate_power(g, params);
+    // Measure the resistive term from the operating point for the sizes the
+    // DC engine handles quickly.
+    if (n <= 256) {
+      analog::AnalogSolveOptions opt;
+      opt.config.fidelity = analog::NegResFidelity::kIdeal;
+      opt.config.parasitic_capacitance = 0.0;
+      opt.config.vflow = 3.0; // Table 1 operating point
+      analog::AnalogMaxFlowSolver solver(opt);
+      const auto c = solver.map(g);
+      sim::DcSolver dc(c.netlist);
+      auto state = circuit::DeviceState::initial(c.netlist);
+      const auto x = dc.solve(state);
+      report = analog::measure_power(g, params, c.netlist, dc.assembler(), x);
+      std::printf("%6d %8d %10d %14.1f %16.3f\n", n, g.num_edges(),
+                  report.active_opamps, report.opamp_power * 1e3,
+                  report.resistor_power * 1e3);
+    } else {
+      std::printf("%6d %8d %10d %14.1f %16s\n", n, g.num_edges(),
+                  report.active_opamps, report.opamp_power * 1e3, "(analytic)");
+    }
+  }
+  bench::rule();
+
+  std::printf("\nbudget arithmetic (Pamp = %.0f uW):\n", params.p_amp * 1e6);
+  std::printf("  %-44s %12lld   (paper: ~1e4)\n",
+              "edges hosted in a 5 W embedded budget",
+              analog::max_edges_for_budget(5.0, params));
+  std::printf("  %-44s %12lld   (paper: 3e5)\n",
+              "edges hosted in a 150 W server budget",
+              analog::max_edges_for_budget(150.0, params));
+
+  // Energy comparison on a mid-size instance.
+  const auto g = graph::rmat_sparse(256, 7);
+  const double cpu_s = bench::time_median([&] { flow::push_relabel(g); });
+  analog::AnalogSolveOptions topt;
+  topt.config.fidelity = analog::NegResFidelity::kOpAmpNic;
+  topt.config.parasitics_on_internal_nodes = true;
+  topt.config.nic_anti_latch = false;
+  topt.config.vflow = 10.0;
+  topt.method = analog::SolveMethod::kTransient;
+  double tconv = 0.0;
+  try {
+    tconv = analog::AnalogMaxFlowSolver(topt).solve(g).convergence_time;
+  } catch (const std::exception&) {
+    tconv = 0.0;
+  }
+  const auto report = analog::estimate_power(g, params);
+  std::printf("\nenergy per solve, %d-vertex / %d-edge instance:\n",
+              g.num_vertices(), g.num_edges());
+  std::printf("  substrate: %.2f W x %.3e s = %.3e J\n", report.total(), tconv,
+              analog::analog_energy(report, tconv));
+  std::printf("  CPU:       %.0f W x %.3e s = %.3e J\n", params.cpu_power,
+              cpu_s, analog::cpu_energy(params, cpu_s));
+  if (tconv > 0.0)
+    std::printf("  energy-efficiency ratio: %.0fx (paper: two to three orders "
+                "of magnitude)\n",
+                analog::cpu_energy(params, cpu_s) /
+                    analog::analog_energy(report, tconv));
+  return 0;
+}

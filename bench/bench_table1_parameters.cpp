@@ -1,0 +1,34 @@
+// Table 1: "Design parameters for the max-flow computing substrate."
+#include "analog/substrate_config.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace aflow;
+  const analog::SubstrateConfig c;
+  bench::banner("Table 1 — Design parameters for the max-flow computing substrate");
+  std::printf("%-48s %10s %10s\n", "parameter", "paper", "this repo");
+  bench::rule();
+  std::printf("%-48s %10s %10.0f\n", "Memristor LRS resistance (kOhm)", "10",
+              c.lrs_resistance / 1e3);
+  std::printf("%-48s %10s %10.0f\n", "Memristor HRS resistance (kOhm)", "1000",
+              c.hrs_resistance / 1e3);
+  std::printf("%-48s %10s %10.1f\n", "Objective function voltage Vflow (V)", "3",
+              c.vflow);
+  std::printf("%-48s %10s %10.0f\n", "Open loop gain of op-amp", "1e4",
+              c.opamp_gain);
+  std::printf("%-48s %10s %7.0f-50\n", "Gain-bandwidth product of op-amp (GHz)",
+              "10 to 50", c.opamp_gbw / 1e9);
+  std::printf("%-48s %10s %10d\n", "Number of columns in the crossbar", "1000",
+              c.crossbar_cols);
+  std::printf("%-48s %10s %10d\n", "Number of rows in the crossbar", "1000",
+              c.crossbar_rows);
+  std::printf("%-48s %10s %10d\n", "Number of voltage levels", "20",
+              c.voltage_levels);
+  bench::rule();
+  std::printf("model additions (see DESIGN.md): diode Ron %.2f Ohm, Roff %.0e "
+              "Ohm, op-amp rails +-%.0f V,\nparasitic %.0f fF/net, supply Vdd "
+              "%.1f V for the quantized capacity levels\n",
+              c.diode.r_on, c.diode.r_off, 15.0,
+              c.parasitic_capacitance * 1e15, c.vdd);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the reproduction benches: tiny argv parsing, wall-clock
+// timing of the CPU baseline, and consistent table printing.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace aflow::bench {
+
+/// Returns the value following `--key` in argv, or `fallback`.
+inline std::string arg_string(int argc, char** argv, const char* key,
+                              std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], key) == 0) return argv[i + 1];
+  return fallback;
+}
+
+inline double arg_double(int argc, char** argv, const char* key, double fallback) {
+  const std::string s = arg_string(argc, argv, key, "");
+  return s.empty() ? fallback : std::stod(s);
+}
+
+inline int arg_int(int argc, char** argv, const char* key, int fallback) {
+  const std::string s = arg_string(argc, argv, key, "");
+  return s.empty() ? fallback : std::stoi(s);
+}
+
+inline bool arg_flag(int argc, char** argv, const char* key) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], key) == 0) return true;
+  return false;
+}
+
+/// Median wall-clock seconds of `fn` over `reps` runs (after one warm-up).
+inline double time_median(const std::function<void()>& fn, int reps = 5) {
+  using Clock = std::chrono::steady_clock;
+  fn(); // warm-up
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    fn();
+    times.push_back(std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline void rule(char c = '-', int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void banner(const std::string& title) {
+  rule('=');
+  std::printf("%s\n", title.c_str());
+  rule('=');
+}
+
+} // namespace aflow::bench

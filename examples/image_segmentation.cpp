@@ -1,0 +1,91 @@
+// Binary image segmentation by graph cut — the computer-vision workload the
+// paper's introduction motivates (Boykov-Kolmogorov-style energy).
+//
+// A synthetic grayscale image with a bright object on a dark background is
+// segmented by a min cut over a 4-connected grid: terminal capacities encode
+// per-pixel data costs, lattice capacities the smoothness prior. The cut is
+// computed exactly (CPU) and, for a downsampled version, on the simulated
+// analog substrate via max-flow = min-cut duality.
+//
+//   $ ./examples/image_segmentation
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analog/solver.hpp"
+#include "flow/maxflow.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+/// Synthetic image: a bright disc plus mild deterministic "noise".
+std::vector<double> make_image(int h, int w) {
+  std::vector<double> img(static_cast<size_t>(h) * w);
+  const double cy = h / 2.0, cx = w / 2.0, radius = std::min(h, w) / 3.2;
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const double d = std::hypot(y - cy, x - cx);
+      double v = d < radius ? 0.85 : 0.2;
+      v += 0.1 * std::sin(3.1 * x) * std::cos(2.3 * y); // texture
+      img[y * w + x] = std::min(1.0, std::max(0.0, v));
+    }
+  return img;
+}
+
+void print_mask(const std::vector<char>& source_side, int h, int w) {
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x)
+      std::putchar(source_side[y * w + x] ? '#' : '.');
+    std::putchar('\n');
+  }
+}
+
+} // namespace
+
+int main() {
+  using namespace aflow;
+  const int h = 16, w = 32;
+  const auto img = make_image(h, w);
+
+  // Data terms: log-likelihood-ish pulls toward object (source) for bright
+  // pixels, background (sink) for dark ones; smoothness lambda on the grid.
+  const double lambda = 1.0;
+  std::vector<double> to_source(img.size()), to_sink(img.size());
+  for (size_t p = 0; p < img.size(); ++p) {
+    to_source[p] = 6.0 * img[p];
+    to_sink[p] = 6.0 * (1.0 - img[p]);
+  }
+  const auto g = graph::grid_cut_graph(h, w, to_source, to_sink, lambda);
+  std::printf("segmentation graph: %d vertices, %d edges\n", g.num_vertices(),
+              g.num_edges());
+
+  const auto mf = flow::push_relabel(g);
+  const auto cut = flow::min_cut_from_flow(g, mf);
+  std::printf("energy (cut value) = %.2f, boundary edges = %zu\n\n",
+              cut.cut_value, cut.cut_edges.size());
+  std::printf("segmentation ('#' = object):\n");
+  print_mask(cut.side, h, w);
+
+  // Analog cross-check on a coarse version (substrate-sized instance).
+  const int hs = 6, ws = 10;
+  const auto small = make_image(hs, ws);
+  std::vector<double> s_src(small.size()), s_snk(small.size());
+  for (size_t p = 0; p < small.size(); ++p) {
+    s_src[p] = 6.0 * small[p];
+    s_snk[p] = 6.0 * (1.0 - small[p]);
+  }
+  const auto gs = graph::grid_cut_graph(hs, ws, s_src, s_snk, lambda);
+  const double exact = flow::push_relabel(gs).flow_value;
+
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vflow = 50.0;
+  opt.config.diode.r_on = 0.01;
+  const auto analog_result = analog::AnalogMaxFlowSolver(opt).solve(gs);
+  std::printf("\ncoarse instance (%dx%d): exact energy %.3f, analog %.3f "
+              "(error %.2f%%)\n",
+              hs, ws, exact, analog_result.flow_value,
+              100.0 * analog_result.relative_error(exact));
+  return 0;
+}

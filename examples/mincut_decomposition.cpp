@@ -1,0 +1,56 @@
+// Large-graph path (Sec. 6.3-6.4): min-cut via the analog dual circuit on
+// small instances, and dual decomposition splitting a graph that exceeds one
+// substrate into two overlapping subproblems solved iteratively.
+//
+//   $ ./examples/mincut_decomposition
+#include <cstdio>
+
+#include "flow/maxflow.hpp"
+#include "graph/generators.hpp"
+#include "mincut/decomposition.hpp"
+#include "mincut/dual_circuit.hpp"
+
+int main() {
+  using namespace aflow;
+
+  // --- Analog min-cut on a substrate-sized instance (Sec. 6.3) ---------
+  const auto g_small = graph::rmat(24, 90, {}, 7);
+  const auto exact_small =
+      flow::min_cut_from_flow(g_small, flow::push_relabel(g_small));
+
+  const auto analog_cut = mincut::solve_mincut_dual(g_small);
+  double partition_cut = 0.0;
+  for (const auto& e : g_small.edges())
+    if (analog_cut.side[e.from] && !analog_cut.side[e.to])
+      partition_cut += e.capacity;
+
+  std::printf("analog min-cut dual circuit (%d vertices, %d edges):\n",
+              g_small.num_vertices(), g_small.num_edges());
+  std::printf("  exact min cut:            %.0f\n", exact_small.cut_value);
+  std::printf("  thresholded p partition:  %.0f\n", partition_cut);
+  std::printf("  continuous objective:     %.2f\n", analog_cut.cut_value);
+  std::printf("  recovered flow (approx.): %.2f\n\n", analog_cut.flow_value);
+
+  // --- Dual decomposition for a graph 2x the substrate (Sec. 6.4) ------
+  const auto g_large = graph::rmat_sparse(400, 11);
+  const auto exact_large =
+      flow::min_cut_from_flow(g_large, flow::push_relabel(g_large));
+
+  mincut::DecompositionOptions opt;
+  opt.max_iterations = 80;
+  const auto r = mincut::solve_by_decomposition(g_large, opt);
+
+  std::printf("dual decomposition (%d vertices, %d edges):\n",
+              g_large.num_vertices(), g_large.num_edges());
+  std::printf("  region sizes: M = %d, N = %d (overlap shared)\n",
+              r.subproblem_vertices_m, r.subproblem_vertices_n);
+  std::printf("  iterations: %d, overlap agreement: %s (%d left)\n",
+              r.iterations, r.agreed ? "yes" : "no", r.disagreements);
+  std::printf("  exact min cut:  %.0f\n", exact_large.cut_value);
+  std::printf("  decomposition:  %.0f\n", r.cut_value);
+  std::printf("  dual bound trace:");
+  for (size_t i = 0; i < r.bound_history.size(); i += 10)
+    std::printf(" %.0f", r.bound_history[i]);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Umbrella header for the analogflow library: the analog max-flow substrate
+// of Liu & Zhang (DAC'15) and every subsystem it depends on. Include the
+// per-module headers directly when compile time matters.
+#pragma once
+
+#include "analog/crossbar.hpp"
+#include "analog/mapper.hpp"
+#include "analog/power.hpp"
+#include "analog/quantize.hpp"
+#include "analog/solver.hpp"
+#include "analog/substrate_config.hpp"
+#include "analog/tuning.hpp"
+#include "analog/variation.hpp"
+#include "arch/clustered.hpp"
+#include "arch/partition.hpp"
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "flow/maxflow.hpp"
+#include "graph/dimacs.hpp"
+#include "graph/generators.hpp"
+#include "graph/network.hpp"
+#include "la/lu.hpp"
+#include "la/ordering.hpp"
+#include "la/sparse.hpp"
+#include "mincut/decomposition.hpp"
+#include "mincut/dual_circuit.hpp"
+#include "sim/dc.hpp"
+#include "sim/sweep.hpp"
+#include "sim/transient.hpp"

@@ -1,0 +1,88 @@
+// Reconfigurable crossbar architecture (Sec. 3).
+//
+// The substrate is an n x n array; the cell at (i, j) holds the circuit
+// widget of edge (i, j), gated into the array by a memristor switch that
+// doubles as the widget's link resistor (LRS memristance == the base r).
+// Row/column i form the electrical net of vertex i; row s is the objective
+// drive. Programming (Sec. 3.1) proceeds row by row: the active row is
+// pulled to Vlow while target columns are raised to Vhigh, so selected
+// cells see Vhigh - Vlow > Vth and switch to LRS, while half-selected cells
+// see at most max(|Vhigh|, |Vlow|) < Vth and retain their state.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "analog/mapper.hpp"
+#include "analog/substrate_config.hpp"
+#include "graph/network.hpp"
+
+namespace aflow::analog {
+
+struct ProgrammingParams {
+  double v_high = 1.2;       // volts on selected columns
+  double v_low = -1.2;       // volts on the active row
+  double pulse_width = 2e-9; // seconds per programming cycle
+  int pulses_per_cell = 1;   // repeated pulses per cycle if needed
+};
+
+struct CrossbarProgramReport {
+  int cycles = 0;               // row cycles used (== rows, Sec. 3.1)
+  double program_time = 0.0;    // seconds
+  double program_energy = 0.0;  // joules (selected + half-selected leakage)
+  double worst_half_select = 0.0; // largest |V| across unselected cells
+  double disturb_margin = 0.0;    // Vth - worst_half_select
+  int misprogrammed_cells = 0;    // after verification
+  bool success = false;
+};
+
+/// Behavioural model of the memristor crossbar with the Sec. 3.1
+/// programming protocol and Sec. 3.2 readout support.
+class Crossbar {
+ public:
+  Crossbar(int rows, int cols, const circuit::MemristorParams& memristor);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Resets every cell to HRS (strong reverse pulses).
+  void reset();
+
+  /// Programs the given cells to LRS, everything else left at HRS, using
+  /// the row-by-row pulse protocol; verifies the final state.
+  CrossbarProgramReport program(const std::vector<std::pair<int, int>>& lrs_cells,
+                                const ProgrammingParams& params = {});
+
+  double memristance(int row, int col) const;
+  bool is_lrs(int row, int col) const;
+  /// Fraction of cells in LRS (crossbar utilisation).
+  double utilization() const;
+
+  /// Models slow memristance drift (Sec. 4.3.2): every LRS cell drifts
+  /// multiplicatively by `relative_drift` (e.g. 0.02 = +2%).
+  void age(double relative_drift);
+
+  /// Cells needed for a graph: one per usable edge, at (from, to).
+  static std::vector<std::pair<int, int>> cells_for_graph(
+      const graph::FlowNetwork& net);
+
+  /// A ResistancePerturbation that realises each edge's crossbar link with
+  /// the programmed memristance of its cell: the HeadLink for ordinary
+  /// edges, the TailLink / ObjectiveLink for sink-adjacent edges (whose
+  /// head column carries no widget). Misprogrammed (HRS) cells therefore
+  /// leave their edge electrically disconnected, as on the real substrate.
+  ResistancePerturbation link_perturbation(const graph::FlowNetwork& net) const;
+
+ private:
+  double& cell(int row, int col) { return m_[static_cast<size_t>(row) * cols_ + col]; }
+  const double& cell(int row, int col) const {
+    return m_[static_cast<size_t>(row) * cols_ + col];
+  }
+
+  int rows_;
+  int cols_;
+  circuit::MemristorParams params_;
+  std::vector<double> m_; // memristance per cell, row-major
+};
+
+} // namespace aflow::analog

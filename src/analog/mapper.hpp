@@ -1,0 +1,113 @@
+// Direct mapping of a max-flow instance onto the analog substrate circuit
+// (Sec. 2 of the paper):
+//
+//  - per edge e, a circuit node x_e whose voltage represents the flow on e,
+//    clamped into [0, Q(c_e)] by the two-diode widget of Fig. 1;
+//  - per internal vertex v, the flow-conservation circuit of Fig. 2: each
+//    incoming edge contributes a negation widget (nodes x_e^- and P_e, two
+//    positive resistors r and a -r/2 negative resistor) plus a link
+//    resistor to the column node n_v; each outgoing edge links x_e to n_v
+//    directly; n_v carries a -r/N_v negative resistor to ground (N_v = the
+//    vertex degree, Eq. 4-5);
+//  - the objective circuit of Fig. 3: Vflow drives every source-adjacent
+//    edge node through a resistor r.
+//
+// Edges into the source or out of the sink cannot carry s-t flow and have no
+// widget in the paper's construction; they are dropped and reported.
+//
+// All resistances can be perturbed per-site (process variation, parasitics,
+// post-tuning residuals) through a ResistancePerturbation callback.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "analog/quantize.hpp"
+#include "analog/substrate_config.hpp"
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "graph/network.hpp"
+
+namespace aflow::analog {
+
+enum class ResistorRole {
+  kObjectiveLink, // Vflow -> x_e               (nominal r)
+  kTailLink,      // x_e -> n_u                 (nominal r)
+  kNegationInput, // x_e -> P_e                 (nominal r)
+  kNegationMirror,// x_e^- -> P_e               (nominal r)
+  kHeadLink,      // x_e^- -> n_v               (nominal r)
+  kWidgetNegRes,  // P_e -> gnd                 (nominal r/2, negative)
+  kColumnNegRes,  // n_v -> gnd                 (nominal r/N_v, negative)
+  kNicFeedback,   // NIC R0 (output -> V-)
+  kNicGround,     // NIC R0 (V- -> gnd)
+  kNicTarget,     // NIC Rtarget
+};
+
+struct ResistorSite {
+  ResistorRole role;
+  int edge = -1;   // input-edge index, when applicable
+  int vertex = -1; // vertex index, when applicable
+};
+
+/// Maps a nominal resistance to the fabricated/tuned value at a site.
+using ResistancePerturbation =
+    std::function<double(double nominal, const ResistorSite&)>;
+
+/// The constructed circuit plus everything needed to read the solution back.
+struct MaxFlowCircuit {
+  circuit::Netlist netlist;
+  Quantizer quantizer{1.0, 1, 1.0};
+
+  int vflow_source = -1;              // vsource id of the objective drive
+  circuit::NodeId vflow_node = -1;
+  std::vector<circuit::NodeId> edge_node;     // x_e, -1 if dropped
+  std::vector<circuit::NodeId> edge_neg_node; // x_e^-, -1 if absent
+  std::vector<circuit::NodeId> vertex_node;   // n_v, -1 for s, t, isolated
+  std::vector<int> dropped_edges;
+  std::vector<int> source_edges; // edges driven by the objective circuit
+  int num_source_edges = 0;      // t in Eq. (7a) == source_edges.size()
+  double base_resistance = 0.0;
+  double vflow_value = 0.0;
+
+  /// Sum of source-edge node voltages = the flow value in volts (Eq. 7a
+  /// right-hand side). Requires access to internal nodes ("debug" readout).
+  double flow_value_volts(std::span<const double> x,
+                          const circuit::MnaAssembler& mna) const;
+
+  /// Hardware readout: J = t * Vflow - r * Iflow (Eq. 7a), from the current
+  /// delivered by the Vflow source only.
+  double flow_value_volts_from_iflow(double iflow) const {
+    return num_source_edges * vflow_value - base_resistance * iflow;
+  }
+
+  /// Per-edge flows in problem units (dropped edges report 0).
+  std::vector<double> edge_flows(std::span<const double> x,
+                                 const circuit::MnaAssembler& mna) const;
+
+  /// Largest conservation violation (volts) across internal vertices:
+  /// | sum V(x_in) - sum V(x_out) |.
+  double max_conservation_violation_volts(
+      std::span<const double> x, const circuit::MnaAssembler& mna,
+      const graph::FlowNetwork& net) const;
+};
+
+struct MapperCounts {
+  int nodes = 0;
+  int resistors = 0;
+  int negative_resistors = 0;
+  int diodes = 0;
+  int opamps = 0;
+  int vsources = 0;
+  int capacitors = 0;
+};
+
+MapperCounts count_devices(const circuit::Netlist& net);
+
+/// Builds the substrate circuit for `net` under `config`.
+MaxFlowCircuit build_maxflow_circuit(
+    const graph::FlowNetwork& net, const SubstrateConfig& config,
+    QuantizationMode mode = QuantizationMode::kRound,
+    const ResistancePerturbation& perturb = {});
+
+} // namespace aflow::analog

@@ -1,0 +1,55 @@
+// Analytical power and energy model (Sec. 5.2).
+//
+// The op-amps dominate: one per present edge (the negation widget's NIC)
+// plus one per internal vertex (the column NIC), so
+//     P ~ (|E| + |V|) * Pamp,       Pamp = 1 V * 500 uA = 500 uW  (32 nm)
+// Resistor dissipation is computed from the solved operating point and can
+// be made negligible by proportionally scaling all resistances up
+// (Sec. 4.3.1 ratio invariance), which the paper uses to justify dropping
+// it from the budget math.
+#pragma once
+
+#include <span>
+
+#include "analog/mapper.hpp"
+#include "circuit/mna.hpp"
+#include "graph/network.hpp"
+
+namespace aflow::analog {
+
+struct PowerParams {
+  double p_amp = 500e-6;     // watts per op-amp (1 V x 500 uA, Sec. 5.2)
+  double cpu_power = 95.0;   // watts, CPU package power for energy comparison
+};
+
+struct PowerReport {
+  int active_opamps = 0;
+  double opamp_power = 0.0;    // watts
+  double resistor_power = 0.0; // watts (from the operating point; 0 if unknown)
+  double total() const { return opamp_power + resistor_power; }
+};
+
+/// Op-amp census for a mapped instance: one per negation widget plus one per
+/// active column (absent edges are power-gated, footnote 4).
+int count_active_opamps(const graph::FlowNetwork& net);
+
+/// Analytical substrate power for an instance (no operating point needed).
+PowerReport estimate_power(const graph::FlowNetwork& net, const PowerParams& p);
+
+/// Adds measured resistor dissipation (sum V^2/R over positive resistors and
+/// memristors) from a solved operating point.
+PowerReport measure_power(const graph::FlowNetwork& net, const PowerParams& p,
+                          const circuit::Netlist& netlist,
+                          const circuit::MnaAssembler& mna,
+                          std::span<const double> x);
+
+/// Largest edge count a substrate can host under `budget` watts (Sec. 5.2:
+/// 5 W -> ~1e4 edges, 150 W -> 3e5 edges), assuming |V| << |E|.
+long long max_edges_for_budget(double budget_watts, const PowerParams& p);
+
+/// Energy of one analog solve: P * t_convergence.
+double analog_energy(const PowerReport& report, double convergence_time_s);
+/// Energy of the CPU baseline: P_cpu * t_cpu.
+double cpu_energy(const PowerParams& p, double cpu_time_s);
+
+} // namespace aflow::analog

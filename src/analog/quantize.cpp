@@ -1,0 +1,43 @@
+#include "analog/quantize.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "analog/substrate_config.hpp"
+
+namespace aflow::analog {
+
+double SubstrateConfig::lag_tau() const {
+  return 1.0 / (std::numbers::pi * opamp_gbw);
+}
+
+Quantizer::Quantizer(double vdd, int levels, double max_capacity,
+                     QuantizationMode mode)
+    : vdd_(vdd), levels_(levels), max_capacity_(max_capacity), mode_(mode) {
+  if (!(vdd > 0.0)) throw std::invalid_argument("Quantizer: vdd must be > 0");
+  if (levels < 1) throw std::invalid_argument("Quantizer: levels must be >= 1");
+  if (!(max_capacity > 0.0))
+    throw std::invalid_argument("Quantizer: max capacity must be > 0");
+}
+
+double Quantizer::to_voltage(double capacity) const {
+  if (capacity < 0.0) throw std::invalid_argument("Quantizer: negative capacity");
+  const double clamped = std::min(capacity, max_capacity_);
+  switch (mode_) {
+    case QuantizationMode::kNone:
+      return clamped / max_capacity_ * vdd_;
+    case QuantizationMode::kFloor:
+      return std::floor(clamped / max_capacity_ * levels_) / levels_ * vdd_;
+    case QuantizationMode::kRound:
+      return std::round(clamped / max_capacity_ * levels_) / levels_ * vdd_;
+  }
+  return 0.0;
+}
+
+double Quantizer::worst_case_error() const {
+  if (mode_ == QuantizationMode::kNone) return 0.0;
+  return max_capacity_ / levels_;
+}
+
+} // namespace aflow::analog

@@ -1,0 +1,151 @@
+#include "analog/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "sim/dc.hpp"
+
+namespace aflow::analog {
+
+namespace {
+
+/// Fastest time constant of the built circuit, used to seed the transient
+/// step size.
+double reference_tau(const SubstrateConfig& config) {
+  double tau = 0.0;
+  if (config.fidelity != NegResFidelity::kIdeal) tau = config.lag_tau();
+  if (config.parasitic_capacitance > 0.0) {
+    const double rc = config.lrs_resistance * config.parasitic_capacitance;
+    tau = tau > 0.0 ? std::min(tau, rc) : rc;
+  }
+  return tau;
+}
+
+void fill_common(const MaxFlowCircuit& c, const circuit::MnaAssembler& mna,
+                 std::span<const double> x, const graph::FlowNetwork& net,
+                 AnalogFlowResult& out) {
+  out.flow_value = c.quantizer.to_flow(c.flow_value_volts(x, mna));
+  const double iflow = mna.vsource_current(c.vflow_source, x);
+  out.steady_iflow = iflow;
+  out.flow_value_hw = c.quantizer.to_flow(c.flow_value_volts_from_iflow(iflow));
+  out.edge_flow = c.edge_flows(x, mna);
+  out.max_conservation_violation =
+      c.quantizer.to_flow(c.max_conservation_violation_volts(x, mna, net));
+  out.counts = count_devices(c.netlist);
+}
+
+} // namespace
+
+AnalogFlowResult AnalogMaxFlowSolver::solve(const graph::FlowNetwork& net) const {
+  switch (options_.method) {
+    case SolveMethod::kSteadyState: return solve_steady_state(net);
+    case SolveMethod::kTransient: return solve_transient(net);
+  }
+  return {};
+}
+
+AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
+    const graph::FlowNetwork& net) const {
+  // The explicit-NIC circuit adds op-amp rail states to the DC
+  // complementarity problem, which routinely cycles; the physical way to
+  // find its operating point is to let the (railed, hence bounded) dynamics
+  // settle, so delegate to the transient engine.
+  if (options_.config.fidelity == NegResFidelity::kOpAmpNic) {
+    AnalogSolveOptions topt = options_;
+    topt.method = SolveMethod::kTransient;
+    topt.record_edge_waveforms = false;
+    AnalogFlowResult out = AnalogMaxFlowSolver(topt).solve_transient(net);
+    out.waveform = {};
+    return out;
+  }
+
+  MaxFlowCircuit c = map(net);
+  circuit::DeviceState state = circuit::DeviceState::initial(c.netlist);
+
+  // Source-ramp homotopy: walking Vflow up from zero mirrors the physical
+  // turn-on and keeps each diode-state solve a small perturbation of the
+  // previous one — a cold solve at full drive can cycle on large graphs.
+  const double v_target = options_.config.vflow;
+  AnalogFlowResult out;
+  std::vector<double> x;
+  double v_done = 0.0;
+  double step = v_target / 4.0;
+  int iterations = 0;
+  sim::DcSolver* last_solver = nullptr;
+  std::unique_ptr<sim::DcSolver> solver;
+  while (v_done < v_target) {
+    const double v_try = std::min(v_target, v_done + step);
+    c.netlist.set_vsource_value(c.vflow_source, v_try);
+    circuit::DeviceState attempt = state;
+    solver = std::make_unique<sim::DcSolver>(c.netlist);
+    try {
+      x = solver->solve(attempt);
+    } catch (const sim::ConvergenceError&) {
+      step *= 0.5;
+      if (step < v_target / 4096.0) throw;
+      continue;
+    }
+    iterations += solver->stats().iterations;
+    state = std::move(attempt);
+    v_done = v_try;
+    step *= 2.0;
+    last_solver = solver.get();
+  }
+
+  fill_common(c, last_solver->assembler(), x, net, out);
+  out.dc_iterations = iterations;
+  out.solves = iterations;
+  out.factorizations = iterations;
+  return out;
+}
+
+AnalogFlowResult AnalogMaxFlowSolver::solve_transient(
+    const graph::FlowNetwork& net) const {
+  MaxFlowCircuit c = map(net);
+
+  const double tau = reference_tau(options_.config);
+  if (tau <= 0.0) {
+    // Purely resistive circuit: the "transient" is instantaneous.
+    AnalogFlowResult out = solve_steady_state(net);
+    out.convergence_time = 0.0;
+    return out;
+  }
+
+  sim::TransientOptions topt;
+  topt.dt_initial = options_.dt_initial.value_or(tau / 8.0);
+  topt.dt_max = options_.dt_max.value_or(tau * 4096.0);
+  topt.t_stop = options_.t_stop;
+  topt.settle_tol = options_.settle_tol;
+
+  std::vector<sim::Probe> probes;
+  probes.push_back(sim::Probe::source_current(c.vflow_source, "Iflow"));
+  if (options_.record_edge_waveforms) {
+    for (size_t e = 0; e < c.edge_node.size(); ++e) {
+      if (c.edge_node[e] < 0) continue;
+      probes.push_back(
+          sim::Probe::node(c.edge_node[e], "V(x" + std::to_string(e) + ")"));
+    }
+  }
+
+  sim::TransientSolver solver(c.netlist, topt);
+  circuit::DeviceState state = circuit::DeviceState::initial(c.netlist);
+  sim::Waveform wf = solver.run(state, probes);
+
+  // Convert the Iflow series into the flow value J(t) (volts, Eq. 7a).
+  for (auto& row : wf.samples) row[0] = c.flow_value_volts_from_iflow(row[0]);
+  wf.labels[0] = "J";
+
+  AnalogFlowResult out;
+  // Read the solution directly off the last accepted transient step (the
+  // run stops only once the probes are settled).
+  fill_common(c, solver.assembler(), solver.last_solution(), net, out);
+  out.convergence_time = sim::convergence_time(
+      wf.time, wf.series(0), options_.convergence_band);
+  out.factorizations = solver.stats().factorizations;
+  out.solves = solver.stats().solves;
+  out.waveform = std::move(wf);
+  return out;
+}
+
+} // namespace aflow::analog

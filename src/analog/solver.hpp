@@ -1,0 +1,89 @@
+// End-to-end analog max-flow solver: builds the substrate circuit for an
+// instance, runs it (DC steady state, or full transient with the Vflow step
+// of Sec. 3.2), and reads the solution back in problem units.
+//
+// Two solve methods:
+//  - kSteadyState: the operating point the substrate converges to; used for
+//    solution-quality experiments (quantization, variation, Vflow studies).
+//  - kTransient: integrates the step response and measures the paper's
+//    convergence time (first time the flow value stays within 0.1% of its
+//    final value) — the quantity plotted in Fig. 10.
+#pragma once
+
+#include <optional>
+
+#include "analog/mapper.hpp"
+#include "analog/substrate_config.hpp"
+#include "flow/maxflow.hpp"
+#include "sim/transient.hpp"
+
+namespace aflow::analog {
+
+enum class SolveMethod { kSteadyState, kTransient };
+
+struct AnalogSolveOptions {
+  SubstrateConfig config;
+  QuantizationMode quantization = QuantizationMode::kRound;
+  SolveMethod method = SolveMethod::kSteadyState;
+  ResistancePerturbation perturb;
+
+  // Transient controls (defaults derived from the device time constants
+  // when left unset).
+  std::optional<double> dt_initial;
+  std::optional<double> dt_max;
+  double t_stop = 1e-3;
+  double settle_tol = 1e-6;
+  double convergence_band = 1e-3; // 0.1% band of Sec. 5.1
+  /// Record V(x_e) for every edge (small circuits; Fig. 5c waveforms).
+  bool record_edge_waveforms = false;
+};
+
+struct AnalogFlowResult {
+  /// Flow value in problem units from the per-edge ("debug") readout.
+  double flow_value = 0.0;
+  /// Flow value from the hardware readout J = t*Vflow - r*Iflow (Eq. 7a).
+  double flow_value_hw = 0.0;
+  std::vector<double> edge_flow; // problem units, parallel to input edges
+  double max_conservation_violation = 0.0; // problem units
+
+  /// Transient only: the paper's convergence time, seconds.
+  double convergence_time = 0.0;
+  /// Waveform of the flow value (volts); with record_edge_waveforms, edge
+  /// voltages follow as additional series.
+  sim::Waveform waveform;
+
+  MapperCounts counts;
+  double steady_iflow = 0.0; // amps delivered by the Vflow source
+  long long factorizations = 0;
+  long long solves = 0;
+  int dc_iterations = 0;
+
+  /// Relative error against an exact flow value.
+  double relative_error(double exact) const {
+    return exact == 0.0 ? 0.0 : std::abs(flow_value - exact) / exact;
+  }
+};
+
+class AnalogMaxFlowSolver {
+ public:
+  explicit AnalogMaxFlowSolver(AnalogSolveOptions options = {})
+      : options_(std::move(options)) {}
+
+  AnalogFlowResult solve(const graph::FlowNetwork& net) const;
+
+  /// The circuit that `solve` would run, for inspection and tests.
+  MaxFlowCircuit map(const graph::FlowNetwork& net) const {
+    return build_maxflow_circuit(net, options_.config, options_.quantization,
+                                 options_.perturb);
+  }
+
+  const AnalogSolveOptions& options() const { return options_; }
+
+ private:
+  AnalogFlowResult solve_steady_state(const graph::FlowNetwork& net) const;
+  AnalogFlowResult solve_transient(const graph::FlowNetwork& net) const;
+
+  AnalogSolveOptions options_;
+};
+
+} // namespace aflow::analog

@@ -1,0 +1,128 @@
+#include "analog/tuning.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "sim/dc.hpp"
+
+namespace aflow::analog {
+
+namespace {
+
+/// The Fig. 9b tuning configuration: an op-amp inverter built from the
+/// negation widget's own components — r1 into the virtual ground, r2 as
+/// feedback, the widget's negative resistor (magnitude R3, nominal r/2)
+/// from the virtual ground to actual ground, and a test voltage VP on the
+/// non-inverting input:
+///     Vxm = -(r2/r1) Vx + VP (1 + r2/r1 - r2/R3).
+struct TuningBench {
+  circuit::Netlist nl;
+  int vx_source = -1;
+  int vp_source = -1;
+  int r2_id = -1;
+  int r3_id = -1; // negative-resistor id
+  circuit::NodeId xm = -1;
+
+  double measure(double vx, double vp) {
+    nl.set_vsource_value(vx_source, vx);
+    nl.set_vsource_value(vp_source, vp);
+    sim::DcSolver solver(nl);
+    circuit::DeviceState state = circuit::DeviceState::initial(nl);
+    const auto x = solver.solve(state);
+    return solver.assembler().node_voltage(xm, x);
+  }
+};
+
+TuningBench build_bench(const TuningOptions& opt) {
+  TuningBench b;
+  const double r = opt.config.lrs_resistance;
+  const auto perturb = make_variation(opt.variation);
+
+  const circuit::NodeId x = b.nl.new_node("x");
+  const circuit::NodeId n = b.nl.new_node("vg"); // inverting (virtual gnd)
+  const circuit::NodeId p = b.nl.new_node("vp"); // non-inverting test input
+  b.xm = b.nl.new_node("xm");
+
+  b.vx_source = b.nl.add_vsource(x, circuit::kGround, 0.0);
+  b.vp_source = b.nl.add_vsource(p, circuit::kGround, 0.0);
+
+  const double r1 = perturb(r, {ResistorRole::kNegationInput, 0, -1});
+  const double r2 = perturb(r, {ResistorRole::kNegationMirror, 0, -1});
+  const double r3 = perturb(r / 2.0, {ResistorRole::kWidgetNegRes, 0, -1});
+  b.nl.add_resistor(x, n, r1);
+  b.r2_id = b.nl.add_resistor(n, b.xm, r2);
+  b.r3_id = b.nl.add_negative_resistor(n, circuit::kGround, r3);
+  b.nl.add_opamp(p, n, b.xm, opt.config.opamp_params());
+  return b;
+}
+
+/// Finds `value` in [lo, hi] such that measure(value) crosses zero
+/// (bisection; f must change sign over the bracket).
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol, int iters = 80) {
+  double flo = f(lo);
+  for (int i = 0; i < iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (std::abs(fmid) < tol) return mid;
+    if ((flo < 0.0) == (fmid < 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+} // namespace
+
+TuningReport tune_negation_widget(const TuningOptions& opt) {
+  TuningBench bench = build_bench(opt);
+  TuningReport report;
+  const double vt = opt.test_voltage;
+  const double vp_probe = 0.1; // volts, step-1 excitation of the VP input
+
+  auto negation_error = [&] { return std::abs(bench.measure(vt, 0.0) + vt); };
+  report.initial_error = negation_error();
+
+  double r3 = bench.nl.negative_resistors()[bench.r3_id].magnitude;
+  double r2 = bench.nl.resistors()[bench.r2_id].resistance;
+
+  for (int round = 0; round < opt.max_rounds; ++round) {
+    report.rounds = round + 1;
+
+    // Step 1: Vx = 0, drive VP, trim R3 until Vxm = 0
+    // (establishes 1/R3 = 1/r1 + 1/r2).
+    r3 = bisect(
+        [&](double candidate) {
+          bench.nl.set_negative_resistor_magnitude(bench.r3_id, candidate);
+          return bench.measure(0.0, vp_probe);
+        },
+        r3 / 4.0, r3 * 4.0, opt.tolerance / 10.0);
+    bench.nl.set_negative_resistor_magnitude(bench.r3_id, r3);
+
+    // Step 2: Vx = Vt, VP = 0, trim r2 until Vxm = -Vt.
+    r2 = bisect(
+        [&](double candidate) {
+          bench.nl.set_resistance(bench.r2_id, candidate);
+          return bench.measure(vt, 0.0) + vt;
+        },
+        r2 / 4.0, r2 * 4.0, opt.tolerance / 10.0);
+    bench.nl.set_resistance(bench.r2_id, r2);
+
+    const double err = negation_error();
+    report.error_history.push_back(err);
+    if (err < opt.tolerance) {
+      report.converged = true;
+      break;
+    }
+  }
+  report.final_error = negation_error();
+  report.converged = report.final_error < opt.tolerance;
+  report.tuned_r3 = r3;
+  report.tuned_r2 = r2;
+  return report;
+}
+
+} // namespace aflow::analog

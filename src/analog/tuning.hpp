@@ -1,0 +1,43 @@
+// Post-fabrication resistance tuning (Sec. 4.3.2, Fig. 9b).
+//
+// The substrate is reconfigured into per-widget tuning circuits that enforce
+// Vx^- = -Vx. The two-step procedure from the paper:
+//   1. with Vx = 0, trim R3 (the widget's negative-resistor magnitude)
+//      until Vx^- = 0, establishing 1/R3 = 1/r1 + 1/r2;
+//   2. with Vx = 1 V, trim r2 until Vx^- = -1 V;
+// iterated a few times for precision. Trimming is possible because every
+// resistance is a memristor in LRS (fine-grained memristance modulation).
+//
+// `tune_negation_widget` runs the procedure on an actual mismatched widget
+// (built at any fidelity) using the DC solver as the measurement bench, and
+// reports the achieved negation error.
+#pragma once
+
+#include "analog/substrate_config.hpp"
+#include "analog/variation.hpp"
+
+namespace aflow::analog {
+
+struct TuningOptions {
+  SubstrateConfig config;     // fidelity, nominal r, op-amp parameters
+  VariationModel variation;   // fabrication mismatch to tune away
+  double tolerance = 1e-4;    // volts, per-step secant target
+  int max_rounds = 8;         // outer 1-2 iterations
+  double test_voltage = 1.0;  // volts for step 2
+};
+
+struct TuningReport {
+  double initial_error = 0.0; // |Vxm + Vx| at Vx = test_voltage, volts
+  double final_error = 0.0;
+  int rounds = 0;
+  bool converged = false;
+  /// Error after each completed round (for convergence plots).
+  std::vector<double> error_history;
+  /// Trimmed values, for inspection: R3 magnitude and r2.
+  double tuned_r3 = 0.0;
+  double tuned_r2 = 0.0;
+};
+
+TuningReport tune_negation_widget(const TuningOptions& options);
+
+} // namespace aflow::analog

@@ -1,0 +1,67 @@
+#include "analog/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace aflow::analog {
+
+namespace {
+
+/// Deterministic per-site RNG stream: the fabricated deviation of a site
+/// must not depend on mapping order.
+std::uint64_t site_key(const ResistorSite& site) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(site.role) + 1);
+  mix(static_cast<std::uint64_t>(site.edge + 2));
+  mix(static_cast<std::uint64_t>(site.vertex + 2));
+  return h;
+}
+
+} // namespace
+
+ResistancePerturbation make_variation(const VariationModel& model) {
+  return [model](double nominal, const ResistorSite& site) {
+    std::mt19937_64 rng(site_key(site) ^ model.seed);
+    double deviation = 0.0;
+    if (model.tuned_tolerance >= 0.0) {
+      std::uniform_real_distribution<double> uni(-model.tuned_tolerance,
+                                                 model.tuned_tolerance);
+      deviation = uni(rng);
+    } else if (model.mismatch_sigma > 0.0) {
+      std::normal_distribution<double> gauss(0.0, model.mismatch_sigma);
+      deviation = std::clamp(gauss(rng), -4.0 * model.mismatch_sigma,
+                             4.0 * model.mismatch_sigma);
+    }
+    return nominal * model.global_scale * (1.0 + deviation);
+  };
+}
+
+ResistancePerturbation make_parasitics(const graph::FlowNetwork& net,
+                                       const ParasiticModel& model,
+                                       ResistancePerturbation base) {
+  return [&net, model, base](double nominal, const ResistorSite& site) {
+    double value = base ? base(nominal, site) : nominal;
+    if (site.edge >= 0 && model.r_wire_per_cell > 0.0) {
+      switch (site.role) {
+        case ResistorRole::kObjectiveLink:
+        case ResistorRole::kTailLink:
+        case ResistorRole::kNegationInput:
+        case ResistorRole::kNegationMirror:
+        case ResistorRole::kHeadLink: {
+          const auto& e = net.edge(site.edge);
+          value += model.r_wire_per_cell * (e.from + e.to);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    return value;
+  };
+}
+
+} // namespace aflow::analog

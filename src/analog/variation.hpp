@@ -1,0 +1,49 @@
+// Process variation, parasitic resistance, and tuning-residual models
+// (Sec. 4.3).
+//
+// The key structural fact (Sec. 4.3.1) is that the solution depends only on
+// resistance *ratios*: a common global scale cancels, so fabrication-lot
+// variation of +-20..30% is harmless and only the *mismatch* between
+// devices (+-0.1..1% with layout matching; tighter after memristive tuning)
+// degrades the solution. These factories produce ResistancePerturbation
+// callbacks for the mapper that realise each effect.
+#pragma once
+
+#include <cstdint>
+
+#include "analog/mapper.hpp"
+
+namespace aflow::analog {
+
+struct VariationModel {
+  /// Die-level common factor applied to every resistor (ratio-preserving).
+  double global_scale = 1.0;
+  /// Per-device relative mismatch: Gaussian sigma (truncated at 4 sigma).
+  double mismatch_sigma = 0.0;
+  /// If >= 0, models post-fabrication tuning (Sec. 4.3.2): the mismatch is
+  /// replaced by a uniform residual in [-tuned_tolerance, +tuned_tolerance].
+  double tuned_tolerance = -1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Perturbation sampling one deviation per (role, edge, vertex) site, so a
+/// given site always sees the same fabricated value.
+ResistancePerturbation make_variation(const VariationModel& model);
+
+struct ParasiticModel {
+  /// Wire resistance per crossbar cell pitch, ohms. A widget at crossbar
+  /// cell (row, col) sees series resistance r_wire * (row + col) on its
+  /// links — the classic position-dependent crossbar IR drop.
+  double r_wire_per_cell = 0.0;
+  int rows = 1000;
+  int cols = 1000;
+};
+
+/// Adds position-dependent crossbar wire resistance on edge-link sites;
+/// composes with `base` (applied first) when provided. The crossbar cell of
+/// edge e = (u, v) is (row u, column v).
+ResistancePerturbation make_parasitics(const graph::FlowNetwork& net,
+                                       const ParasiticModel& model,
+                                       ResistancePerturbation base = {});
+
+} // namespace aflow::analog

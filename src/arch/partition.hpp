@@ -1,0 +1,38 @@
+// Fiduccia-Mattheyses bipartitioning and recursive multiway partitioning,
+// the clustering engine of the island-style mapping flow (Sec. 6.2): highly
+// connected subgraphs go to the same processing island so that most edges
+// stay inside a local crossbar.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.hpp"
+
+namespace aflow::arch {
+
+struct BipartitionResult {
+  std::vector<char> side;  // 0 / 1 per (local) vertex
+  long long cut_edges = 0; // edges crossing the partition
+  int passes = 0;          // FM improvement passes executed
+};
+
+/// FM bipartition of an undirected adjacency (parallel edges allowed).
+/// `balance_tolerance` bounds each side to ceil(n/2)(1 + tol).
+BipartitionResult fm_bipartition(int num_vertices,
+                                 const std::vector<std::pair<int, int>>& edges,
+                                 double balance_tolerance = 0.1,
+                                 std::uint64_t seed = 1);
+
+struct PartitionResult {
+  std::vector<int> part;   // part id per vertex
+  int num_parts = 0;
+  long long cut_edges = 0; // graph edges with endpoints in different parts
+};
+
+/// Recursive-bisection partitioning into parts of at most `capacity`
+/// vertices, minimising edge cut.
+PartitionResult partition_into_islands(const graph::FlowNetwork& net,
+                                       int capacity, std::uint64_t seed = 1);
+
+} // namespace aflow::arch

@@ -1,0 +1,329 @@
+#include "circuit/mna.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aflow::circuit {
+
+namespace {
+
+constexpr double kThermalVoltage = 0.025852; // kT/q at 300 K, volts
+
+/// SPICE-style junction voltage limiting (pnjlim): keeps Newton from
+/// overflowing the exponential.
+double limit_junction(double v_new, double v_old, double vt, double vcrit) {
+  if (v_new > vcrit && std::abs(v_new - v_old) > 2.0 * vt) {
+    if (v_old > 0.0) {
+      const double arg = 1.0 + (v_new - v_old) / vt;
+      if (arg > 0.0) return v_old + vt * std::log(arg);
+      return vcrit;
+    }
+    return vt * std::log(v_new / vt);
+  }
+  return v_new;
+}
+
+} // namespace
+
+DeviceState DeviceState::initial(const Netlist& net) {
+  DeviceState s;
+  s.diode_on.assign(net.diodes().size(), 0);
+  s.diode_v.assign(net.diodes().size(), 0.0);
+  s.opamp_ve.assign(net.opamps().size(), 0.0);
+  s.opamp_sat.assign(net.opamps().size(), 0);
+  s.negres_i.assign(net.negative_resistors().size(), 0.0);
+  s.cap_v.assign(net.capacitors().size(), 0.0);
+  return s;
+}
+
+int MnaAssembler::num_unknowns() const {
+  return (net_->num_nodes() - 1) + static_cast<int>(net_->vsources().size());
+}
+
+int MnaAssembler::vsource_unknown(int src) const {
+  return (net_->num_nodes() - 1) + src;
+}
+
+void MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
+                            la::Triplets& a, std::vector<double>& rhs) const {
+  const int n = num_unknowns();
+  a = la::Triplets(n, n);
+  rhs.assign(n, 0.0);
+
+  auto stamp_conductance = [&](NodeId na, NodeId nb, double g) {
+    const int ia = node_unknown(na);
+    const int ib = node_unknown(nb);
+    if (ia >= 0) a.add(ia, ia, g);
+    if (ib >= 0) a.add(ib, ib, g);
+    if (ia >= 0 && ib >= 0) {
+      a.add(ia, ib, -g);
+      a.add(ib, ia, -g);
+    }
+  };
+  auto stamp_current_into = [&](NodeId node, double amps) {
+    const int i = node_unknown(node);
+    if (i >= 0) rhs[i] += amps;
+  };
+
+  // gmin to ground on every node keeps otherwise-floating nodes pinned.
+  if (opt.gmin > 0.0) {
+    for (NodeId node = 1; node < net_->num_nodes(); ++node)
+      a.add(node_unknown(node), node_unknown(node), opt.gmin);
+  }
+
+  for (const auto& r : net_->resistors())
+    stamp_conductance(r.a, r.b, 1.0 / r.resistance);
+
+  for (const auto& m : net_->memristors())
+    stamp_conductance(m.a, m.b, 1.0 / m.memristance);
+
+  for (size_t i = 0; i < net_->negative_resistors().size(); ++i) {
+    const auto& nr = net_->negative_resistors()[i];
+    const double g = 1.0 / nr.magnitude;
+    if (!opt.transient || nr.tau <= 0.0) {
+      stamp_conductance(nr.a, nr.b, -g);
+    } else {
+      // Backward Euler on tau dI/dt = -g V - I.
+      const double k = opt.dt / nr.tau;
+      const double alpha = k / (1.0 + k);
+      const double beta = 1.0 / (1.0 + k);
+      stamp_conductance(nr.a, nr.b, -alpha * g);
+      const double hist = beta * state.negres_i[i]; // current leaving a
+      stamp_current_into(nr.a, -hist);
+      stamp_current_into(nr.b, hist);
+    }
+  }
+
+  for (size_t i = 0; i < net_->capacitors().size(); ++i) {
+    const auto& c = net_->capacitors()[i];
+    if (!opt.transient) continue; // open in DC
+    const double g = c.capacitance / opt.dt;
+    stamp_conductance(c.a, c.b, g);
+    stamp_current_into(c.a, g * state.cap_v[i]);
+    stamp_current_into(c.b, -g * state.cap_v[i]);
+  }
+
+  for (const auto& cs : net_->isources()) {
+    stamp_current_into(cs.from, -cs.value);
+    stamp_current_into(cs.to, cs.value);
+  }
+
+  for (size_t i = 0; i < net_->vsources().size(); ++i) {
+    const auto& vs = net_->vsources()[i];
+    const int j = vsource_unknown(static_cast<int>(i));
+    const int ip = node_unknown(vs.pos);
+    const int in = node_unknown(vs.neg);
+    if (ip >= 0) { a.add(ip, j, 1.0); a.add(j, ip, 1.0); }
+    if (in >= 0) { a.add(in, j, -1.0); a.add(j, in, -1.0); }
+    rhs[j] = vs.value;
+  }
+
+  for (size_t i = 0; i < net_->diodes().size(); ++i) {
+    const auto& d = net_->diodes()[i];
+    if (d.params.model == DiodeModel::kPiecewiseLinear) {
+      if (state.diode_on[i]) {
+        const double g = 1.0 / d.params.r_on;
+        stamp_conductance(d.anode, d.cathode, g);
+        // I = (Vak - Von)/Ron: the -Von/Ron term is a current source
+        // from anode to cathode.
+        stamp_current_into(d.anode, g * d.params.v_on);
+        stamp_current_into(d.cathode, -g * d.params.v_on);
+      } else {
+        stamp_conductance(d.anode, d.cathode, 1.0 / d.params.r_off);
+      }
+    } else {
+      const double nvt = d.params.emission * kThermalVoltage;
+      const double v0 = state.diode_v[i];
+      const double e = std::exp(std::min(v0 / nvt, 200.0));
+      const double gd = d.params.i_sat / nvt * e;
+      const double id = d.params.i_sat * (e - 1.0);
+      const double ieq = id - gd * v0;
+      stamp_conductance(d.anode, d.cathode, gd);
+      stamp_current_into(d.anode, -ieq);
+      stamp_current_into(d.cathode, ieq);
+    }
+  }
+
+  for (size_t i = 0; i < net_->opamps().size(); ++i) {
+    const auto& op = net_->opamps()[i];
+    const double a_gain = op.params.gain;
+    const double g_out = 1.0 / op.params.r_out;
+    const int io = node_unknown(op.out);
+    assert(io >= 0 && "op-amp output must not be ground");
+
+    if (state.opamp_sat[i] != 0 && op.params.v_rail > 0.0) {
+      // Railed: the output stage is a stiff source at +-v_rail with no
+      // dependence on the inputs.
+      a.add(io, io, g_out);
+      rhs[io] += state.opamp_sat[i] * op.params.v_rail * g_out;
+      continue;
+    }
+
+    double alpha = 1.0;
+    double hist = 0.0;
+    if (opt.transient) {
+      const double k = opt.dt / op.tau();
+      alpha = k / (1.0 + k);
+      hist = state.opamp_ve[i] / (1.0 + k);
+    }
+    // I(out -> element) = (Vout - Ve)/Rout with
+    // Ve = hist + alpha * A * (Vp - Vm).
+    const int ip = node_unknown(op.in_plus);
+    const int im = node_unknown(op.in_minus);
+    a.add(io, io, g_out);
+    if (ip >= 0) a.add(io, ip, -alpha * a_gain * g_out);
+    if (im >= 0) a.add(io, im, alpha * a_gain * g_out);
+    rhs[io] += hist * g_out;
+  }
+}
+
+int MnaAssembler::update_pwl_diode_states(std::span<const double> x,
+                                          DeviceState& state,
+                                          FlipPolicy policy,
+                                          std::uint64_t rng_draw) const {
+  // Dead band around the switching point: at a clamp boundary both states
+  // satisfy their own inequality to within solver noise, and flipping on
+  // exact zero crossings chatters forever. 1 nV is far below any signal of
+  // interest (levels are ~0.05..3 V) and far above LU round-off.
+  constexpr double kDeadBand = 1e-9;
+  int flips = 0;
+  int worst = -1;
+  double worst_violation = 0.0;
+  std::vector<int> violators;
+  for (size_t i = 0; i < net_->diodes().size(); ++i) {
+    const auto& d = net_->diodes()[i];
+    if (d.params.model != DiodeModel::kPiecewiseLinear) continue;
+    const double vak = branch_voltage(d.anode, d.cathode, x);
+    double violation = 0.0;
+    if (!state.diode_on[i] && vak > d.params.v_on)
+      violation = vak - d.params.v_on;
+    else if (state.diode_on[i] && vak < d.params.v_on)
+      violation = d.params.v_on - vak;
+    if (violation <= kDeadBand) continue;
+    switch (policy) {
+      case FlipPolicy::kAll:
+        state.diode_on[i] = !state.diode_on[i];
+        ++flips;
+        break;
+      case FlipPolicy::kWorst:
+        if (violation > worst_violation) {
+          worst_violation = violation;
+          worst = static_cast<int>(i);
+        }
+        break;
+      case FlipPolicy::kRandom:
+        violators.push_back(static_cast<int>(i));
+        break;
+    }
+  }
+  if (policy == FlipPolicy::kWorst && worst >= 0) {
+    state.diode_on[worst] = !state.diode_on[worst];
+    flips = 1;
+  }
+  if (policy == FlipPolicy::kRandom && !violators.empty()) {
+    const int pick = violators[rng_draw % violators.size()];
+    state.diode_on[pick] = !state.diode_on[pick];
+    flips = 1;
+  }
+  return flips;
+}
+
+double MnaAssembler::update_shockley_points(std::span<const double> x,
+                                            DeviceState& state) const {
+  double max_dv = 0.0;
+  for (size_t i = 0; i < net_->diodes().size(); ++i) {
+    const auto& d = net_->diodes()[i];
+    if (d.params.model != DiodeModel::kShockley) continue;
+    const double nvt = d.params.emission * kThermalVoltage;
+    const double vcrit = nvt * std::log(nvt / (std::sqrt(2.0) * d.params.i_sat));
+    const double v_raw = branch_voltage(d.anode, d.cathode, x);
+    const double v_lim = limit_junction(v_raw, state.diode_v[i], nvt, vcrit);
+    max_dv = std::max(max_dv, std::abs(v_lim - state.diode_v[i]));
+    state.diode_v[i] = v_lim;
+  }
+  return max_dv;
+}
+
+int MnaAssembler::update_opamp_saturation(std::span<const double> x,
+                                          const StampOptions& opt,
+                                          DeviceState& state) const {
+  int flips = 0;
+  for (size_t i = 0; i < net_->opamps().size(); ++i) {
+    const auto& op = net_->opamps()[i];
+    if (op.params.v_rail <= 0.0) continue;
+    // The value the linear stage would drive right now.
+    double alpha = 1.0;
+    double hist = 0.0;
+    if (opt.transient) {
+      const double k = opt.dt / op.tau();
+      alpha = k / (1.0 + k);
+      hist = state.opamp_ve[i] / (1.0 + k);
+    }
+    const double ve_lin =
+        hist + alpha * op.params.gain *
+                   branch_voltage(op.in_plus, op.in_minus, x);
+    // Railed amps return to the linear region first (never rail-to-rail):
+    // while railed the feedback loop is open, so the raw A*(V+ - V-) of the
+    // railed solution overstates the drive and would latch the state.
+    signed char want = state.opamp_sat[i];
+    if (state.opamp_sat[i] > 0) {
+      want = ve_lin >= op.params.v_rail ? 1 : 0;
+    } else if (state.opamp_sat[i] < 0) {
+      want = ve_lin <= -op.params.v_rail ? -1 : 0;
+    } else {
+      want = ve_lin > op.params.v_rail ? 1
+             : ve_lin < -op.params.v_rail ? -1 : 0;
+    }
+    if (want != state.opamp_sat[i]) {
+      state.opamp_sat[i] = want;
+      ++flips;
+    }
+  }
+  return flips;
+}
+
+void MnaAssembler::advance_dynamic_states(std::span<const double> x,
+                                          const StampOptions& opt,
+                                          DeviceState& state) const {
+  assert(opt.transient);
+  for (size_t i = 0; i < net_->capacitors().size(); ++i) {
+    const auto& c = net_->capacitors()[i];
+    state.cap_v[i] = branch_voltage(c.a, c.b, x);
+  }
+  for (size_t i = 0; i < net_->negative_resistors().size(); ++i) {
+    const auto& nr = net_->negative_resistors()[i];
+    if (nr.tau <= 0.0) {
+      state.negres_i[i] = -branch_voltage(nr.a, nr.b, x) / nr.magnitude;
+    } else {
+      const double k = opt.dt / nr.tau;
+      state.negres_i[i] =
+          (state.negres_i[i] - k * branch_voltage(nr.a, nr.b, x) / nr.magnitude) /
+          (1.0 + k);
+    }
+  }
+  for (size_t i = 0; i < net_->opamps().size(); ++i) {
+    const auto& op = net_->opamps()[i];
+    const double vdiff =
+        branch_voltage(op.in_plus, op.in_minus, x) * op.params.gain;
+    const double k = opt.dt / op.tau();
+    double ve = (state.opamp_ve[i] + k * vdiff) / (1.0 + k);
+    if (op.params.v_rail > 0.0)
+      ve = std::clamp(ve, -op.params.v_rail, op.params.v_rail);
+    state.opamp_ve[i] = ve;
+  }
+}
+
+double MnaAssembler::diode_current(int d, std::span<const double> x,
+                                   const DeviceState& state) const {
+  const auto& diode = net_->diodes()[d];
+  const double vak = branch_voltage(diode.anode, diode.cathode, x);
+  if (diode.params.model == DiodeModel::kPiecewiseLinear) {
+    if (state.diode_on[d]) return (vak - diode.params.v_on) / diode.params.r_on;
+    return vak / diode.params.r_off;
+  }
+  const double nvt = diode.params.emission * kThermalVoltage;
+  return diode.params.i_sat * (std::exp(std::min(vak / nvt, 200.0)) - 1.0);
+}
+
+} // namespace aflow::circuit

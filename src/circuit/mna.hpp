@@ -1,0 +1,102 @@
+// Modified nodal analysis: turns a Netlist plus device state into the linear
+// system A x = b solved by the `sim` engines.
+//
+// Unknown layout: x = [V(node 1) ... V(node N-1), I(vsource 0) ... ].
+// Ground (node 0) is the reference. Nonlinear devices (diodes) and dynamic
+// devices (capacitors, op-amps, lagged negative resistors) are linearised /
+// discretised (backward Euler) around the supplied DeviceState.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "la/sparse.hpp"
+
+namespace aflow::circuit {
+
+/// Evolving per-device state consumed and produced by the simulator.
+struct DeviceState {
+  std::vector<char> diode_on;      // PWL diode conduction state
+  std::vector<double> diode_v;     // junction voltage linearisation point
+  std::vector<double> opamp_ve;    // op-amp internal (single-pole) state
+  std::vector<signed char> opamp_sat; // -1 / 0 / +1: rail saturation state
+  std::vector<double> negres_i;    // lagged negative-resistor current state
+  std::vector<double> cap_v;       // capacitor branch voltage
+
+  static DeviceState initial(const Netlist& net);
+};
+
+struct StampOptions {
+  bool transient = false; // false: DC (capacitors open, lags at steady state)
+  double dt = 0.0;        // backward-Euler step, seconds (transient only)
+  double gmin = 1e-12;    // Siemens to ground on every node, for robustness
+};
+
+class MnaAssembler {
+ public:
+  explicit MnaAssembler(const Netlist& net) : net_(&net) {}
+
+  int num_unknowns() const;
+  /// Index of a node voltage in x (-1 for ground).
+  int node_unknown(NodeId n) const { return n - 1; }
+  /// Index of a voltage-source branch current in x.
+  int vsource_unknown(int src) const;
+
+  double node_voltage(NodeId n, std::span<const double> x) const {
+    return n == kGround ? 0.0 : x[static_cast<size_t>(n) - 1];
+  }
+  /// Current delivered from the source's positive terminal into the circuit.
+  double vsource_current(int src, std::span<const double> x) const {
+    return -x[static_cast<size_t>(vsource_unknown(src))];
+  }
+
+  /// Builds A (triplets) and b for the given state. Previous contents of
+  /// `a` / `rhs` are discarded.
+  void assemble(const DeviceState& state, const StampOptions& opt,
+                la::Triplets& a, std::vector<double>& rhs) const;
+
+  /// How inconsistent PWL diodes are flipped after a solve.
+  enum class FlipPolicy {
+    kAll,    // flip every violator (fast, can cycle)
+    kWorst,  // flip only the largest violator (Katzenelson-style)
+    kRandom, // flip one violator uniformly at random (cycle breaker)
+  };
+
+  /// Checks PWL diode states against the solution `x` and flips inconsistent
+  /// ones according to `policy`. Returns the number of flips performed.
+  int update_pwl_diode_states(std::span<const double> x, DeviceState& state,
+                              FlipPolicy policy = FlipPolicy::kAll,
+                              std::uint64_t rng_draw = 0) const;
+
+  /// Moves Shockley linearisation points toward the solution (with junction
+  /// voltage limiting). Returns the largest |V_new - V_old| across diodes.
+  double update_shockley_points(std::span<const double> x,
+                                DeviceState& state) const;
+
+  /// Checks op-amp output-rail saturation against the solution and updates
+  /// the per-amp state. Returns the number of state changes.
+  int update_opamp_saturation(std::span<const double> x, const StampOptions& opt,
+                              DeviceState& state) const;
+
+  /// Commits dynamic states (capacitors, op-amps, lags) after an accepted
+  /// transient step of `opt.dt`.
+  void advance_dynamic_states(std::span<const double> x, const StampOptions& opt,
+                              DeviceState& state) const;
+
+  /// Current through diode `d` (anode -> cathode) for the solution `x`.
+  double diode_current(int d, std::span<const double> x,
+                       const DeviceState& state) const;
+
+  const Netlist& netlist() const { return *net_; }
+
+ private:
+  double branch_voltage(NodeId a, NodeId b, std::span<const double> x) const {
+    return node_voltage(a, x) - node_voltage(b, x);
+  }
+
+  const Netlist* net_;
+};
+
+} // namespace aflow::circuit

@@ -1,0 +1,127 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace aflow::circuit {
+
+double OpAmp::tau() const {
+  // Dominant pole at f_p = GBW / A gives tau = A / (2 pi GBW).
+  return params.gain / (2.0 * std::numbers::pi * params.gbw);
+}
+
+void Memristor::apply_programming_pulse(double v, double dt) {
+  if (std::abs(v) < params.v_threshold) return; // retention below threshold
+  const double overdrive = std::abs(v) - params.v_threshold;
+  const double delta = params.switch_rate * overdrive * dt;
+  // Positive bias (a above b) lowers memristance toward LRS; negative bias
+  // raises it toward HRS.
+  if (v > 0.0)
+    memristance = std::max(params.r_lrs, memristance - delta);
+  else
+    memristance = std::min(params.r_hrs, memristance + delta);
+}
+
+Netlist::Netlist() { node_names_.push_back("gnd"); }
+
+NodeId Netlist::new_node(std::string name) {
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  if (name.empty()) name = "n" + std::to_string(id);
+  node_names_.push_back(std::move(name));
+  return id;
+}
+
+void Netlist::check_node(NodeId n) const {
+  if (n < 0 || n >= num_nodes())
+    throw std::invalid_argument("Netlist: node id out of range");
+}
+
+int Netlist::add_resistor(NodeId a, NodeId b, double ohms) {
+  check_node(a);
+  check_node(b);
+  if (ohms == 0.0) throw std::invalid_argument("Netlist: zero resistance");
+  resistors_.push_back({a, b, ohms});
+  return static_cast<int>(resistors_.size()) - 1;
+}
+
+int Netlist::add_negative_resistor(NodeId a, NodeId b, double magnitude_ohms,
+                                   double tau) {
+  check_node(a);
+  check_node(b);
+  if (!(magnitude_ohms > 0.0))
+    throw std::invalid_argument("Netlist: negative resistor magnitude must be > 0");
+  if (tau < 0.0) throw std::invalid_argument("Netlist: negative tau");
+  negres_.push_back({a, b, magnitude_ohms, tau});
+  return static_cast<int>(negres_.size()) - 1;
+}
+
+int Netlist::add_capacitor(NodeId a, NodeId b, double farads) {
+  check_node(a);
+  check_node(b);
+  if (!(farads > 0.0)) throw std::invalid_argument("Netlist: capacitance must be > 0");
+  capacitors_.push_back({a, b, farads});
+  return static_cast<int>(capacitors_.size()) - 1;
+}
+
+int Netlist::add_vsource(NodeId pos, NodeId neg, double volts) {
+  check_node(pos);
+  check_node(neg);
+  vsources_.push_back({pos, neg, volts});
+  return static_cast<int>(vsources_.size()) - 1;
+}
+
+int Netlist::add_isource(NodeId from, NodeId to, double amps) {
+  check_node(from);
+  check_node(to);
+  isources_.push_back({from, to, amps});
+  return static_cast<int>(isources_.size()) - 1;
+}
+
+int Netlist::add_diode(NodeId anode, NodeId cathode, const DiodeParams& params) {
+  check_node(anode);
+  check_node(cathode);
+  if (!(params.r_on > 0.0) || !(params.r_off > 0.0))
+    throw std::invalid_argument("Netlist: diode resistances must be > 0");
+  diodes_.push_back({anode, cathode, params});
+  return static_cast<int>(diodes_.size()) - 1;
+}
+
+int Netlist::add_opamp(NodeId in_plus, NodeId in_minus, NodeId out,
+                       const OpAmpParams& params) {
+  check_node(in_plus);
+  check_node(in_minus);
+  check_node(out);
+  if (!(params.r_out > 0.0))
+    throw std::invalid_argument("Netlist: op-amp needs r_out > 0");
+  if (!(params.gain > 0.0) || !(params.gbw > 0.0))
+    throw std::invalid_argument("Netlist: op-amp gain and GBW must be > 0");
+  opamps_.push_back({in_plus, in_minus, out, params});
+  return static_cast<int>(opamps_.size()) - 1;
+}
+
+int Netlist::add_memristor(NodeId a, NodeId b, const MemristorParams& params,
+                           double initial_memristance) {
+  check_node(a);
+  check_node(b);
+  if (!(params.r_lrs > 0.0) || !(params.r_hrs > params.r_lrs))
+    throw std::invalid_argument("Netlist: memristor needs 0 < r_lrs < r_hrs");
+  const double m =
+      std::clamp(initial_memristance, params.r_lrs, params.r_hrs);
+  memristors_.push_back({a, b, params, m});
+  return static_cast<int>(memristors_.size()) - 1;
+}
+
+int Netlist::add_nic_negative_resistor(NodeId terminal, double r_target, double r0,
+                                       const OpAmpParams& params) {
+  check_node(terminal);
+  const NodeId vminus = new_node(node_name(terminal) + ".nic_vm");
+  const NodeId vout = new_node(node_name(terminal) + ".nic_vo");
+  add_resistor(vout, vminus, r0);
+  add_resistor(vminus, kGround, r0);
+  add_resistor(vout, terminal, r_target);
+  return add_opamp(terminal, vminus, vout, params);
+}
+
+} // namespace aflow::circuit

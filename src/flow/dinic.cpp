@@ -1,0 +1,82 @@
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "flow/maxflow.hpp"
+#include "flow/residual.hpp"
+
+namespace aflow::flow {
+
+namespace {
+
+class DinicSolver {
+ public:
+  DinicSolver(const graph::FlowNetwork& net)
+      : r_(net), s_(net.source()), t_(net.sink()),
+        level_(r_.n), it_(r_.n) {}
+
+  MaxFlowResult run(const graph::FlowNetwork& net) {
+    MaxFlowResult result;
+    while (bfs_levels()) {
+      std::fill(it_.begin(), it_.end(), 0);
+      for (;;) {
+        const double pushed = dfs(s_, std::numeric_limits<double>::infinity());
+        if (pushed <= 0.0) break;
+        result.flow_value += pushed;
+        result.operations++;
+      }
+    }
+    result.edge_flow = r_.edge_flows(net);
+    return result;
+  }
+
+ private:
+  bool bfs_levels() {
+    std::fill(level_.begin(), level_.end(), -1);
+    level_[s_] = 0;
+    std::queue<int> q;
+    q.push(s_);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (int arc : r_.adj[v]) {
+        const int u = r_.head[arc];
+        if (level_[u] == -1 && r_.cap[arc] > 0.0) {
+          level_[u] = level_[v] + 1;
+          q.push(u);
+        }
+      }
+    }
+    return level_[t_] >= 0;
+  }
+
+  double dfs(int v, double limit) {
+    if (v == t_) return limit;
+    for (int& i = it_[v]; i < static_cast<int>(r_.adj[v].size()); ++i) {
+      const int arc = r_.adj[v][i];
+      const int u = r_.head[arc];
+      if (r_.cap[arc] <= 0.0 || level_[u] != level_[v] + 1) continue;
+      const double pushed = dfs(u, std::min(limit, r_.cap[arc]));
+      if (pushed > 0.0) {
+        r_.cap[arc] -= pushed;
+        r_.cap[r_.rev(arc)] += pushed;
+        return pushed;
+      }
+    }
+    level_[v] = -1;
+    return 0.0;
+  }
+
+  detail::Residual r_;
+  int s_, t_;
+  std::vector<int> level_;
+  std::vector<int> it_;
+};
+
+} // namespace
+
+MaxFlowResult dinic(const graph::FlowNetwork& net) {
+  return DinicSolver(net).run(net);
+}
+
+} // namespace aflow::flow

@@ -1,0 +1,48 @@
+// Classical (digital) max-flow solvers.
+//
+// `push_relabel` (FIFO active list, gap heuristic, initial global relabel)
+// is the paper's CPU baseline (Goldberg-Tarjan); `dinic` and `edmonds_karp`
+// serve as independent cross-checks and alternative baselines. All solvers
+// return per-edge flows so the analog solution can be compared edge-wise.
+#pragma once
+
+#include <vector>
+
+#include "graph/network.hpp"
+
+namespace aflow::flow {
+
+struct MaxFlowResult {
+  double flow_value = 0.0;
+  /// Flow assigned to each input edge, parallel to FlowNetwork::edges().
+  std::vector<double> edge_flow;
+  /// Algorithm-specific work counter (augmentations, pushes, ...), for the
+  /// operation-count comparisons in the benchmarks.
+  long long operations = 0;
+};
+
+MaxFlowResult edmonds_karp(const graph::FlowNetwork& net);
+MaxFlowResult dinic(const graph::FlowNetwork& net);
+MaxFlowResult push_relabel(const graph::FlowNetwork& net);
+
+/// A minimum s-t cut extracted from a maximum flow.
+struct MinCutResult {
+  double cut_value = 0.0;
+  /// side[v] == 1 iff v is on the source side of the cut.
+  std::vector<char> side;
+  /// Input-edge indices crossing the cut (source side -> sink side).
+  std::vector<int> cut_edges;
+};
+
+/// Computes the min cut from a max flow via residual reachability.
+MinCutResult min_cut_from_flow(const graph::FlowNetwork& net,
+                               const MaxFlowResult& flow);
+
+/// Verifies that `result` is a feasible flow on `net`: capacity bounds and
+/// conservation hold to within `tol`, and flow_value matches the net
+/// source outflow. Returns an empty string when valid, otherwise a
+/// human-readable description of the first violation.
+std::string check_flow(const graph::FlowNetwork& net, const MaxFlowResult& result,
+                       double tol = 1e-9);
+
+} // namespace aflow::flow

@@ -1,0 +1,84 @@
+#include <cmath>
+#include <queue>
+#include <sstream>
+
+#include "flow/maxflow.hpp"
+
+namespace aflow::flow {
+
+MinCutResult min_cut_from_flow(const graph::FlowNetwork& net,
+                               const MaxFlowResult& flow) {
+  const int n = net.num_vertices();
+  MinCutResult cut;
+  cut.side.assign(n, 0);
+
+  // BFS in the residual graph from the source.
+  std::queue<int> q;
+  q.push(net.source());
+  cut.side[net.source()] = 1;
+  constexpr double kEps = 1e-9;
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int e : net.out_edges(v)) {
+      const auto& edge = net.edge(e);
+      if (!cut.side[edge.to] && edge.capacity - flow.edge_flow[e] > kEps) {
+        cut.side[edge.to] = 1;
+        q.push(edge.to);
+      }
+    }
+    for (int e : net.in_edges(v)) {
+      const auto& edge = net.edge(e);
+      if (!cut.side[edge.from] && flow.edge_flow[e] > kEps) {
+        cut.side[edge.from] = 1;
+        q.push(edge.from);
+      }
+    }
+  }
+
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const auto& edge = net.edge(e);
+    if (cut.side[edge.from] && !cut.side[edge.to]) {
+      cut.cut_edges.push_back(e);
+      cut.cut_value += edge.capacity;
+    }
+  }
+  return cut;
+}
+
+std::string check_flow(const graph::FlowNetwork& net, const MaxFlowResult& result,
+                       double tol) {
+  std::ostringstream err;
+  if (static_cast<int>(result.edge_flow.size()) != net.num_edges())
+    return "edge_flow size mismatch";
+
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const double f = result.edge_flow[e];
+    const double c = net.edge(e).capacity;
+    if (f < -tol || f > c + tol) {
+      err << "edge " << e << ": flow " << f << " outside [0, " << c << "]";
+      return err.str();
+    }
+  }
+  for (int v = 0; v < net.num_vertices(); ++v) {
+    if (v == net.source() || v == net.sink()) continue;
+    double balance = 0.0;
+    for (int e : net.in_edges(v)) balance += result.edge_flow[e];
+    for (int e : net.out_edges(v)) balance -= result.edge_flow[e];
+    if (std::abs(balance) > tol) {
+      err << "vertex " << v << ": conservation violated by " << balance;
+      return err.str();
+    }
+  }
+  double source_out = 0.0;
+  for (int e : net.out_edges(net.source())) source_out += result.edge_flow[e];
+  for (int e : net.in_edges(net.source())) source_out -= result.edge_flow[e];
+  if (std::abs(source_out - result.flow_value) > tol) {
+    err << "flow_value " << result.flow_value << " != net source outflow "
+        << source_out;
+    return err.str();
+  }
+  return {};
+}
+
+} // namespace aflow::flow

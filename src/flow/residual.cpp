@@ -1,0 +1,28 @@
+#include "flow/residual.hpp"
+
+namespace aflow::flow::detail {
+
+Residual::Residual(const graph::FlowNetwork& net) : n(net.num_vertices()) {
+  const int m = net.num_edges();
+  cap.resize(2 * static_cast<size_t>(m));
+  head.resize(2 * static_cast<size_t>(m));
+  adj.resize(n);
+  for (int e = 0; e < m; ++e) {
+    const auto& edge = net.edge(e);
+    cap[2 * static_cast<size_t>(e)] = edge.capacity;
+    cap[2 * static_cast<size_t>(e) + 1] = 0.0;
+    head[2 * static_cast<size_t>(e)] = edge.to;
+    head[2 * static_cast<size_t>(e) + 1] = edge.from;
+    adj[edge.from].push_back(2 * e);
+    adj[edge.to].push_back(2 * e + 1);
+  }
+}
+
+std::vector<double> Residual::edge_flows(const graph::FlowNetwork& net) const {
+  std::vector<double> flows(net.num_edges());
+  for (int e = 0; e < net.num_edges(); ++e)
+    flows[e] = net.edge(e).capacity - cap[2 * static_cast<size_t>(e)];
+  return flows;
+}
+
+} // namespace aflow::flow::detail

@@ -1,0 +1,28 @@
+// Shared residual-graph representation for the augmenting-path and
+// push-relabel solvers: forward/backward arc pairs in a flat array, with
+// arc i^1 the reverse of arc i.
+#pragma once
+
+#include <vector>
+
+#include "graph/network.hpp"
+
+namespace aflow::flow::detail {
+
+struct Residual {
+  explicit Residual(const graph::FlowNetwork& net);
+
+  /// Residual capacity per arc; arcs 2e / 2e+1 are the forward / reverse
+  /// pair of input edge e.
+  std::vector<double> cap;
+  std::vector<int> head;              // arc -> target vertex
+  std::vector<std::vector<int>> adj;  // vertex -> incident arc ids
+  int n = 0;
+
+  int rev(int arc) const { return arc ^ 1; }
+
+  /// Extracts per-input-edge flow (forward capacity consumed).
+  std::vector<double> edge_flows(const graph::FlowNetwork& net) const;
+};
+
+} // namespace aflow::flow::detail

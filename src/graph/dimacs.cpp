@@ -1,0 +1,97 @@
+#include "graph/dimacs.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace aflow::graph {
+
+FlowNetwork read_dimacs(std::istream& in) {
+  std::string line;
+  int n = -1;
+  long long m = -1;
+  int source = -1;
+  int sink = -1;
+  struct Arc { int u, v; double cap; };
+  std::vector<Arc> arcs;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    switch (kind) {
+      case 'c': break; // comment
+      case 'p': {
+        std::string tag;
+        ls >> tag >> n >> m;
+        if (!ls || tag != "max")
+          throw std::runtime_error("read_dimacs: expected 'p max N M'");
+        break;
+      }
+      case 'n': {
+        int v = 0;
+        char role = 0;
+        ls >> v >> role;
+        if (!ls) throw std::runtime_error("read_dimacs: malformed node line");
+        if (role == 's') {
+          if (source != -1) throw std::runtime_error("read_dimacs: duplicate source");
+          source = v - 1;
+        } else if (role == 't') {
+          if (sink != -1) throw std::runtime_error("read_dimacs: duplicate sink");
+          sink = v - 1;
+        } else {
+          throw std::runtime_error("read_dimacs: node role must be 's' or 't'");
+        }
+        break;
+      }
+      case 'a': {
+        Arc a{};
+        ls >> a.u >> a.v >> a.cap;
+        if (!ls) throw std::runtime_error("read_dimacs: malformed arc line");
+        arcs.push_back({a.u - 1, a.v - 1, a.cap});
+        break;
+      }
+      default:
+        throw std::runtime_error("read_dimacs: unknown line kind '" +
+                                 std::string(1, kind) + "'");
+    }
+  }
+  if (n < 2) throw std::runtime_error("read_dimacs: missing problem line");
+  if (source < 0 || sink < 0)
+    throw std::runtime_error("read_dimacs: missing source or sink designator");
+
+  FlowNetwork net(n, source, sink);
+  for (const auto& a : arcs) {
+    if (a.u < 0 || a.u >= n || a.v < 0 || a.v >= n)
+      throw std::runtime_error("read_dimacs: arc endpoint out of range");
+    if (a.u == a.v) continue; // self loops carry no s-t flow; drop silently
+    if (a.cap <= 0.0) continue; // zero-capacity arcs are no-ops
+    net.add_edge(a.u, a.v, a.cap);
+  }
+  return net;
+}
+
+FlowNetwork read_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_dimacs_file: cannot open " + path);
+  return read_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const FlowNetwork& net) {
+  out << "c analogflow DIMACS max-flow export\n";
+  out << "p max " << net.num_vertices() << ' ' << net.num_edges() << '\n';
+  out << "n " << net.source() + 1 << " s\n";
+  out << "n " << net.sink() + 1 << " t\n";
+  for (const Edge& e : net.edges())
+    out << "a " << e.from + 1 << ' ' << e.to + 1 << ' ' << e.capacity << '\n';
+}
+
+void write_dimacs_file(const std::string& path, const FlowNetwork& net) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_dimacs_file: cannot open " + path);
+  write_dimacs(out, net);
+}
+
+} // namespace aflow::graph

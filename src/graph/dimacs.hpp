@@ -1,0 +1,23 @@
+// DIMACS max-flow format I/O ("p max", "n", "a" lines), the de-facto
+// interchange format for max-flow benchmarks. Vertices are 1-based on disk
+// and 0-based in memory.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/network.hpp"
+
+namespace aflow::graph {
+
+/// Parses a DIMACS max-flow problem. Throws std::runtime_error on malformed
+/// input (missing problem line, bad arc endpoints, duplicate node
+/// designators, ...).
+FlowNetwork read_dimacs(std::istream& in);
+FlowNetwork read_dimacs_file(const std::string& path);
+
+/// Writes `net` in DIMACS max-flow format.
+void write_dimacs(std::ostream& out, const FlowNetwork& net);
+void write_dimacs_file(const std::string& path, const FlowNetwork& net);
+
+} // namespace aflow::graph

@@ -1,0 +1,114 @@
+#include "graph/network.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace aflow::graph {
+
+FlowNetwork::FlowNetwork(int num_vertices, int source, int sink)
+    : num_vertices_(num_vertices), source_(source), sink_(sink),
+      out_(num_vertices), in_(num_vertices) {
+  if (num_vertices < 2)
+    throw std::invalid_argument("FlowNetwork: need at least source and sink");
+  if (source < 0 || source >= num_vertices || sink < 0 || sink >= num_vertices)
+    throw std::invalid_argument("FlowNetwork: source/sink out of range");
+  if (source == sink)
+    throw std::invalid_argument("FlowNetwork: source must differ from sink");
+}
+
+int FlowNetwork::add_edge(int from, int to, double capacity) {
+  if (from < 0 || from >= num_vertices_ || to < 0 || to >= num_vertices_)
+    throw std::invalid_argument("FlowNetwork::add_edge: vertex out of range");
+  if (from == to)
+    throw std::invalid_argument("FlowNetwork::add_edge: self loops not supported");
+  if (!(capacity > 0.0))
+    throw std::invalid_argument("FlowNetwork::add_edge: capacity must be positive");
+  const int id = static_cast<int>(edges_.size());
+  edges_.push_back({from, to, capacity});
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+double FlowNetwork::max_capacity() const {
+  double c = 0.0;
+  for (const Edge& e : edges_) c = std::max(c, e.capacity);
+  return c;
+}
+
+void FlowNetwork::validate() const {
+  if (num_vertices_ < 2) throw std::invalid_argument("FlowNetwork: too few vertices");
+  if (source_ == sink_) throw std::invalid_argument("FlowNetwork: source == sink");
+  for (const Edge& e : edges_) {
+    if (e.from == e.to) throw std::invalid_argument("FlowNetwork: self loop");
+    if (!(e.capacity > 0.0))
+      throw std::invalid_argument("FlowNetwork: non-positive capacity");
+  }
+}
+
+std::vector<char> reachable_from(const FlowNetwork& net, int start) {
+  std::vector<char> seen(net.num_vertices(), 0);
+  std::queue<int> q;
+  q.push(start);
+  seen[start] = 1;
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int e : net.out_edges(v)) {
+      const int u = net.edge(e).to;
+      if (!seen[u]) { seen[u] = 1; q.push(u); }
+    }
+  }
+  return seen;
+}
+
+std::vector<char> reaches_to(const FlowNetwork& net, int target) {
+  std::vector<char> seen(net.num_vertices(), 0);
+  std::queue<int> q;
+  q.push(target);
+  seen[target] = 1;
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int e : net.in_edges(v)) {
+      const int u = net.edge(e).from;
+      if (!seen[u]) { seen[u] = 1; q.push(u); }
+    }
+  }
+  return seen;
+}
+
+bool FlowNetwork::vertex_on_st_path(int v) const {
+  return reachable_from(*this, source_)[v] && reaches_to(*this, sink_)[v];
+}
+
+FlowNetwork paper_example_fig5() {
+  // Vertices: 0 = s, 1 = n1, 2 = n2, 3 = n3, 4 = t.
+  //
+  // Topology reconstructed from the paper's quantitative claims: the exact
+  // max flow is 2 (Fig. 8), Vx1 settles at 2 V, and Vx3/Vx4 saturate at
+  // their 1 V capacities (Sec. 2.4) — which pins x3 as the n2->n3 edge:
+  //        s --x1(3)--> n1 --x2(2)--> n2 --x5(2)--> t
+  //                                   n2 --x3(1)--> n3 --x4(1)--> t
+  FlowNetwork net(5, 0, 4);
+  net.add_edge(0, 1, 3.0); // x1: s  -> n1
+  net.add_edge(1, 2, 2.0); // x2: n1 -> n2
+  net.add_edge(2, 3, 1.0); // x3: n2 -> n3
+  net.add_edge(3, 4, 1.0); // x4: n3 -> t
+  net.add_edge(2, 4, 2.0); // x5: n2 -> t
+  return net;
+}
+
+FlowNetwork paper_example_fig15(double inf_cap) {
+  // Vertices: 0 = s, 1 = n1, 2 = n2, 3 = n3, 4 = t.
+  FlowNetwork net(5, 0, 4);
+  net.add_edge(0, 1, 4.0);     // x1: s  -> n1
+  net.add_edge(1, 2, 1.0);     // x2: n1 -> n2
+  net.add_edge(1, 3, 4.0);     // x3: n1 -> n3
+  net.add_edge(2, 4, inf_cap); // n2 -> t, "infinite"
+  net.add_edge(3, 4, inf_cap); // n3 -> t, "infinite"
+  return net;
+}
+
+} // namespace aflow::graph

@@ -1,0 +1,187 @@
+#include "la/lu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aflow::la {
+
+namespace {
+
+// Depth-first search used to compute the reach of column pattern `b_rows`
+// in the graph of already-computed L columns. Rows are original indices;
+// `pinv[i]` maps an original row to its pivot step (-1 if not yet pivotal).
+// Emits the reach in topological order into `stack_out` (from `top` to n-1).
+int reach(int n, std::span<const int> lp, std::span<const int> li,
+          std::span<const int> pinv, std::span<const int> b_rows,
+          std::vector<int>& work_stack, std::vector<int>& path_pos,
+          std::vector<char>& marked, std::vector<int>& stack_out) {
+  int top = n;
+  for (int row : b_rows) {
+    if (marked[row]) continue;
+    // Iterative DFS from `row`.
+    int head = 0;
+    work_stack[0] = row;
+    while (head >= 0) {
+      const int i = work_stack[head];
+      const int k = pinv[i]; // L column this row maps to, if pivotal
+      if (!marked[i]) {
+        marked[i] = 1;
+        path_pos[head] = (k < 0) ? 0 : lp[k];
+      }
+      bool done = true;
+      if (k >= 0) {
+        for (int p = path_pos[head]; p < lp[k + 1]; ++p) {
+          const int child = li[p];
+          if (marked[child]) continue;
+          path_pos[head] = p + 1; // resume here after visiting child
+          work_stack[++head] = child;
+          done = false;
+          break;
+        }
+      }
+      if (done) {
+        --head;
+        stack_out[--top] = i;
+      }
+    }
+  }
+  return top;
+}
+
+} // namespace
+
+void SparseLU::factor(const SparseMatrix& a) { factor_with_order(a, false); }
+
+void SparseLU::refactor(const SparseMatrix& a) {
+  const int n = a.rows();
+  factor_with_order(a, n == static_cast<int>(colperm_.size()));
+}
+
+void SparseLU::factor_with_order(const SparseMatrix& a, bool reuse_order) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("SparseLU: matrix must be square");
+  const int n = a.rows();
+
+  if (!reuse_order) {
+    switch (options_.ordering) {
+      case Ordering::kMinDegree: colperm_ = minimum_degree_order(a); break;
+      case Ordering::kRcm: colperm_ = rcm_order(a); break;
+      case Ordering::kNatural: colperm_ = natural_order(n); break;
+    }
+  }
+
+  lp_.assign(1, 0);
+  li_.clear();
+  lx_.clear();
+  up_.assign(1, 0);
+  ui_.clear();
+  ux_.clear();
+  udiag_.assign(n, 0.0);
+  rowperm_.assign(n, -1);
+
+  std::vector<int> pinv(n, -1); // original row -> pivot step
+  std::vector<double> x(n, 0.0);
+  std::vector<char> marked(n, 0);
+  std::vector<int> stack_out(n), work_stack(n), path_pos(n);
+
+  const auto acp = a.col_ptr();
+  const auto ari = a.row_idx();
+  const auto avx = a.values();
+
+  for (int k = 0; k < n; ++k) {
+    const int col = colperm_[k];
+    std::span<const int> b_rows(ari.data() + acp[col],
+                                static_cast<size_t>(acp[col + 1] - acp[col]));
+    const int top =
+        reach(n, lp_, li_, pinv, b_rows, work_stack, path_pos, marked, stack_out);
+
+    // Scatter numeric values of A(:, col).
+    for (int p = acp[col]; p < acp[col + 1]; ++p) x[ari[p]] = avx[p];
+
+    // Sparse forward solve with the unit-diagonal L computed so far.
+    for (int s = top; s < n; ++s) {
+      const int i = stack_out[s];
+      const int j = pinv[i];
+      if (j < 0) continue;
+      const double xj = x[i];
+      if (xj != 0.0) {
+        for (int p = lp_[j]; p < lp_[j + 1]; ++p) x[li_[p]] -= lx_[p] * xj;
+      }
+    }
+
+    // Pivot selection among not-yet-pivotal rows; prefer the symmetric
+    // diagonal candidate (row == col) when it is large enough.
+    int ipiv = -1;
+    double maxabs = 0.0;
+    for (int s = top; s < n; ++s) {
+      const int i = stack_out[s];
+      if (pinv[i] >= 0) continue;
+      const double v = std::abs(x[i]);
+      if (v > maxabs) { maxabs = v; ipiv = i; }
+    }
+    if (ipiv < 0 || maxabs == 0.0) {
+      // Clean up scatter state before throwing.
+      for (int s = top; s < n; ++s) { marked[stack_out[s]] = 0; x[stack_out[s]] = 0.0; }
+      throw SingularMatrixError(k);
+    }
+    if (pinv[col] < 0 && std::abs(x[col]) >= options_.pivot_threshold * maxabs)
+      ipiv = col;
+
+    const double pivot = x[ipiv];
+    udiag_[k] = pivot;
+    pinv[ipiv] = k;
+    rowperm_[k] = ipiv;
+
+    // Split the reach into U entries (pivotal rows) and L entries (the rest).
+    for (int s = top; s < n; ++s) {
+      const int i = stack_out[s];
+      marked[i] = 0;
+      const double v = x[i];
+      x[i] = 0.0;
+      if (i == ipiv) continue;
+      if (pinv[i] >= 0) {
+        if (v != 0.0) { ui_.push_back(pinv[i]); ux_.push_back(v); }
+      } else {
+        if (v != 0.0) { li_.push_back(i); lx_.push_back(v / pivot); }
+      }
+    }
+    lp_.push_back(static_cast<int>(li_.size()));
+    up_.push_back(static_cast<int>(ui_.size()));
+  }
+
+  // Remap L row indices from original rows to pivot steps; by construction
+  // every remaining row eventually became pivotal.
+  for (auto& i : li_) {
+    assert(pinv[i] >= 0);
+    i = pinv[i];
+  }
+  n_ = n;
+}
+
+void SparseLU::solve(std::span<const double> b, std::span<double> x) const {
+  assert(factored());
+  assert(static_cast<int>(b.size()) == n_ && static_cast<int>(x.size()) == n_);
+  std::vector<double> y(n_);
+  for (int k = 0; k < n_; ++k) y[k] = b[rowperm_[k]];
+  // Forward solve: L has unit diagonal; columns already in pivot order.
+  for (int k = 0; k < n_; ++k) {
+    const double yk = y[k];
+    if (yk == 0.0) continue;
+    for (int p = lp_[k]; p < lp_[k + 1]; ++p) y[li_[p]] -= lx_[p] * yk;
+  }
+  // Backward solve with U.
+  for (int k = n_ - 1; k >= 0; --k) {
+    const double xk = y[k] / udiag_[k];
+    y[k] = xk;
+    if (xk == 0.0) continue;
+    for (int p = up_[k]; p < up_[k + 1]; ++p) y[ui_[p]] -= ux_[p] * xk;
+  }
+  for (int k = 0; k < n_; ++k) x[colperm_[k]] = y[k];
+}
+
+long long SparseLU::factor_nnz() const {
+  return static_cast<long long>(li_.size()) + static_cast<long long>(ui_.size()) + n_;
+}
+
+} // namespace aflow::la

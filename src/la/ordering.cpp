@@ -1,0 +1,119 @@
+#include "la/ordering.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace aflow::la {
+
+std::vector<int> natural_order(int n) {
+  std::vector<int> p(n);
+  for (int i = 0; i < n; ++i) p[i] = i;
+  return p;
+}
+
+std::vector<int> invert_permutation(const std::vector<int>& perm) {
+  std::vector<int> inv(perm.size());
+  for (size_t k = 0; k < perm.size(); ++k) inv[perm[k]] = static_cast<int>(k);
+  return inv;
+}
+
+std::vector<int> minimum_degree_order(const SparseMatrix& a) {
+  const int n = std::max(a.rows(), a.cols());
+  auto adj = a.symmetric_adjacency();
+  adj.resize(n);
+
+  std::vector<char> eliminated(n, 0);
+  std::vector<int> degree(n);
+  for (int i = 0; i < n; ++i) degree[i] = static_cast<int>(adj[i].size());
+
+  // Bucket queue keyed by (possibly stale) degree; stale entries are lazily
+  // discarded, which keeps this a practical approximation of minimum degree.
+  using Entry = std::pair<int, int>; // (degree, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (int i = 0; i < n; ++i) pq.emplace(degree[i], i);
+
+  std::vector<int> perm;
+  perm.reserve(n);
+  std::vector<char> mark(n, 0);
+
+  while (!pq.empty()) {
+    const auto [deg, v] = pq.top();
+    pq.pop();
+    if (eliminated[v] || deg != degree[v]) continue;
+    eliminated[v] = 1;
+    perm.push_back(v);
+
+    // Gather live neighbours of v.
+    std::vector<int> live;
+    live.reserve(adj[v].size());
+    for (int u : adj[v])
+      if (!eliminated[u]) live.push_back(u);
+
+    // Form the elimination clique among live neighbours; update degrees.
+    for (int u : live) {
+      // Drop eliminated nodes from u's list (v included) and merge clique.
+      auto& lu = adj[u];
+      lu.erase(std::remove_if(lu.begin(), lu.end(),
+                              [&](int w) { return eliminated[w] != 0; }),
+               lu.end());
+      for (int w : lu) mark[w] = 1;
+      mark[u] = 1;
+      for (int w : live)
+        if (!mark[w]) lu.push_back(w);
+      for (int w : lu) mark[w] = 0;
+      mark[u] = 0;
+      degree[u] = static_cast<int>(lu.size());
+      pq.emplace(degree[u], u);
+    }
+    adj[v].clear();
+    adj[v].shrink_to_fit();
+  }
+  assert(static_cast<int>(perm.size()) == n);
+  return perm;
+}
+
+std::vector<int> rcm_order(const SparseMatrix& a) {
+  const int n = std::max(a.rows(), a.cols());
+  auto adj = a.symmetric_adjacency();
+  adj.resize(n);
+
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<char> visited(n, 0);
+
+  // Process each connected component, starting from a minimum-degree node.
+  std::vector<int> nodes = natural_order(n);
+  std::stable_sort(nodes.begin(), nodes.end(), [&](int x, int y) {
+    return adj[x].size() < adj[y].size();
+  });
+
+  for (int start : nodes) {
+    if (visited[start]) continue;
+    std::queue<int> q;
+    q.push(start);
+    visited[start] = 1;
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      order.push_back(v);
+      std::vector<int> nbrs;
+      for (int u : adj[v])
+        if (!visited[u]) nbrs.push_back(u);
+      std::sort(nbrs.begin(), nbrs.end(), [&](int x, int y) {
+        return adj[x].size() < adj[y].size();
+      });
+      for (int u : nbrs) {
+        visited[u] = 1;
+        q.push(u);
+      }
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  assert(static_cast<int>(order.size()) == n);
+  return order;
+}
+
+} // namespace aflow::la

@@ -1,0 +1,29 @@
+// Fill-reducing orderings for sparse LU factorisation.
+//
+// Circuit matrices from the analog substrate are structurally symmetric and
+// very sparse (a handful of entries per row, with a few dense-ish rows at
+// graph hubs and shared voltage-level sources). Minimum degree is the
+// work-horse here; reverse Cuthill-McKee is kept for mesh-like systems and
+// as a cross-check in tests.
+#pragma once
+
+#include <vector>
+
+#include "la/sparse.hpp"
+
+namespace aflow::la {
+
+/// Minimum-degree ordering on the pattern of A + A^T.
+/// Returns `perm` with perm[k] = index of the k-th pivot.
+std::vector<int> minimum_degree_order(const SparseMatrix& a);
+
+/// Reverse Cuthill-McKee ordering on the pattern of A + A^T.
+std::vector<int> rcm_order(const SparseMatrix& a);
+
+/// Identity permutation of size n.
+std::vector<int> natural_order(int n);
+
+/// Returns the inverse permutation: inv[perm[k]] = k.
+std::vector<int> invert_permutation(const std::vector<int>& perm);
+
+} // namespace aflow::la

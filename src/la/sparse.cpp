@@ -1,0 +1,155 @@
+#include "la/sparse.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace aflow::la {
+
+void Triplets::add(int row, int col, double value) {
+  if (row < 0 || col < 0) throw std::invalid_argument("Triplets::add: negative index");
+  rows_ = std::max(rows_, row + 1);
+  cols_ = std::max(cols_, col + 1);
+  entries_.push_back({row, col, value});
+}
+
+SparseMatrix SparseMatrix::from_triplets(const Triplets& t) {
+  SparseMatrix m;
+  m.rows_ = t.rows();
+  m.cols_ = t.cols();
+  const auto entries = t.entries();
+
+  std::vector<int> count(static_cast<size_t>(m.cols_) + 1, 0);
+  for (const auto& e : entries) count[static_cast<size_t>(e.col) + 1]++;
+  for (int c = 0; c < m.cols_; ++c) count[static_cast<size_t>(c) + 1] += count[c];
+
+  std::vector<int> rows(entries.size());
+  std::vector<double> vals(entries.size());
+  {
+    std::vector<int> next(count.begin(), count.end() - 1);
+    for (const auto& e : entries) {
+      const int slot = next[e.col]++;
+      rows[slot] = e.row;
+      vals[slot] = e.value;
+    }
+  }
+
+  // Sort within each column and merge duplicates.
+  m.col_ptr_.assign(static_cast<size_t>(m.cols_) + 1, 0);
+  m.row_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  std::vector<std::pair<int, double>> scratch;
+  for (int c = 0; c < m.cols_; ++c) {
+    scratch.clear();
+    for (int k = count[c]; k < count[static_cast<size_t>(c) + 1]; ++k)
+      scratch.emplace_back(rows[k], vals[k]);
+    std::sort(scratch.begin(), scratch.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t k = 0; k < scratch.size();) {
+      const int r = scratch[k].first;
+      double v = 0.0;
+      while (k < scratch.size() && scratch[k].first == r) v += scratch[k++].second;
+      m.row_idx_.push_back(r);
+      m.values_.push_back(v);
+    }
+    m.col_ptr_[static_cast<size_t>(c) + 1] = static_cast<int>(m.row_idx_.size());
+  }
+  return m;
+}
+
+void SparseMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  assert(static_cast<int>(x.size()) == cols_);
+  assert(static_cast<int>(y.size()) == rows_);
+  std::fill(y.begin(), y.end(), 0.0);
+  for (int c = 0; c < cols_; ++c) {
+    const double xc = x[c];
+    if (xc == 0.0) continue;
+    for (int k = col_ptr_[c]; k < col_ptr_[static_cast<size_t>(c) + 1]; ++k)
+      y[row_idx_[k]] += values_[k] * xc;
+  }
+}
+
+double SparseMatrix::at(int row, int col) const {
+  if (col < 0 || col >= cols_) return 0.0;
+  const auto first = row_idx_.begin() + col_ptr_[col];
+  const auto last = row_idx_.begin() + col_ptr_[static_cast<size_t>(col) + 1];
+  const auto it = std::lower_bound(first, last, row);
+  if (it == last || *it != row) return 0.0;
+  return values_[static_cast<size_t>(it - row_idx_.begin())];
+}
+
+std::vector<std::vector<int>> SparseMatrix::symmetric_adjacency() const {
+  const int n = std::max(rows_, cols_);
+  std::vector<std::vector<int>> adj(n);
+  for (int c = 0; c < cols_; ++c) {
+    for (int k = col_ptr_[c]; k < col_ptr_[static_cast<size_t>(c) + 1]; ++k) {
+      const int r = row_idx_[k];
+      if (r == c) continue;
+      adj[c].push_back(r);
+      adj[r].push_back(c);
+    }
+  }
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adj;
+}
+
+namespace dense {
+
+bool lu_solve(std::vector<double> a, int n, std::span<const double> b,
+              std::span<double> x) {
+  assert(static_cast<int>(a.size()) == n * n);
+  assert(static_cast<int>(b.size()) == n && static_cast<int>(x.size()) == n);
+  std::vector<int> piv(n);
+  std::vector<double> rhs(b.begin(), b.end());
+  for (int i = 0; i < n; ++i) piv[i] = i;
+
+  for (int k = 0; k < n; ++k) {
+    int p = k;
+    double best = std::abs(a[static_cast<size_t>(k) * n + k]);
+    for (int i = k + 1; i < n; ++i) {
+      const double v = std::abs(a[static_cast<size_t>(i) * n + k]);
+      if (v > best) { best = v; p = i; }
+    }
+    if (best == 0.0) return false;
+    if (p != k) {
+      for (int j = 0; j < n; ++j)
+        std::swap(a[static_cast<size_t>(p) * n + j], a[static_cast<size_t>(k) * n + j]);
+      std::swap(rhs[p], rhs[k]);
+    }
+    const double pivot = a[static_cast<size_t>(k) * n + k];
+    for (int i = k + 1; i < n; ++i) {
+      const double f = a[static_cast<size_t>(i) * n + k] / pivot;
+      if (f == 0.0) continue;
+      a[static_cast<size_t>(i) * n + k] = f;
+      for (int j = k + 1; j < n; ++j)
+        a[static_cast<size_t>(i) * n + j] -= f * a[static_cast<size_t>(k) * n + j];
+      rhs[i] -= f * rhs[k];
+    }
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    double s = rhs[i];
+    for (int j = i + 1; j < n; ++j) s -= a[static_cast<size_t>(i) * n + j] * x[j];
+    x[i] = s / a[static_cast<size_t>(i) * n + i];
+  }
+  return true;
+}
+
+} // namespace dense
+
+double norm_inf(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double norm2(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+} // namespace aflow::la

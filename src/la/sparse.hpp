@@ -1,0 +1,91 @@
+// Sparse linear algebra substrate for the analogflow circuit simulator.
+//
+// Provides a COO triplet builder (`Triplets`) used during MNA stamping and a
+// compressed-sparse-column matrix (`SparseMatrix`) consumed by the LU solver.
+// All indices are 0-based `int` (circuit matrices stay well below 2^31).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace aflow::la {
+
+/// One (row, col, value) entry of a matrix under construction.
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  double value = 0.0;
+};
+
+/// Accumulates (row, col, value) entries; duplicates are summed when the
+/// matrix is compressed. This is the natural target of MNA "stamping".
+class Triplets {
+ public:
+  Triplets() = default;
+  explicit Triplets(int rows, int cols) : rows_(rows), cols_(cols) {}
+
+  /// Adds `value` at (row, col). Grows the logical dimensions if needed.
+  void add(int row, int col, double value);
+
+  /// Removes all entries but keeps the logical dimensions.
+  void clear() { entries_.clear(); }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::span<const Triplet> entries() const { return entries_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+/// Immutable compressed-sparse-column matrix.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Compresses a triplet list; duplicate (row, col) entries are summed.
+  static SparseMatrix from_triplets(const Triplets& t);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int nnz() const { return static_cast<int>(values_.size()); }
+
+  std::span<const int> col_ptr() const { return col_ptr_; }
+  std::span<const int> row_idx() const { return row_idx_; }
+  std::span<const double> values() const { return values_; }
+
+  /// y = A * x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Returns entry (row, col), 0 if not stored. O(log nnz(col)).
+  double at(int row, int col) const;
+
+  /// Structurally-symmetrised adjacency (pattern of A + A^T, no diagonal),
+  /// used by fill-reducing orderings.
+  std::vector<std::vector<int>> symmetric_adjacency() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> col_ptr_;   // size cols+1
+  std::vector<int> row_idx_;   // size nnz, sorted within each column
+  std::vector<double> values_; // size nnz
+};
+
+/// Dense helpers used by tests and tiny subcircuits (e.g. the tuning loop).
+namespace dense {
+
+/// Solves A x = b in-place with partial pivoting; A is row-major n*n.
+/// Returns false if A is numerically singular.
+bool lu_solve(std::vector<double> a, int n, std::span<const double> b,
+              std::span<double> x);
+
+} // namespace dense
+
+double norm_inf(std::span<const double> v);
+double norm2(std::span<const double> v);
+
+} // namespace aflow::la

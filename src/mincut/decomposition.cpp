@@ -1,0 +1,177 @@
+#include "mincut/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace aflow::mincut {
+
+namespace {
+
+std::vector<int> undirected_bfs_distance(const graph::FlowNetwork& net,
+                                         int start) {
+  constexpr int kInf = 1 << 29;
+  std::vector<int> dist(net.num_vertices(), kInf);
+  std::queue<int> q;
+  dist[start] = 0;
+  q.push(start);
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    auto visit = [&](int u) {
+      if (dist[u] > dist[v] + 1) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    };
+    for (int e : net.out_edges(v)) visit(net.edge(e).to);
+    for (int e : net.in_edges(v)) visit(net.edge(e).from);
+  }
+  return dist;
+}
+
+/// One subproblem: the induced subgraph of a region, overlap edges at half
+/// capacity, plus the +-lambda terminal arcs on overlap vertices.
+struct Subproblem {
+  graph::FlowNetwork net{2, 0, 1};
+  std::vector<int> to_local; // full vertex -> local id (-1 if absent)
+  std::vector<int> to_full;  // local -> full vertex
+};
+
+Subproblem build_subproblem(const graph::FlowNetwork& g, const Split& split,
+                            bool region_m, const std::vector<double>& lambda) {
+  const auto& in_region = region_m ? split.in_m : split.in_n;
+  Subproblem sp;
+  sp.to_local.assign(g.num_vertices(), -1);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!in_region[v]) continue;
+    sp.to_local[v] = static_cast<int>(sp.to_full.size());
+    sp.to_full.push_back(v);
+  }
+  sp.net = graph::FlowNetwork(static_cast<int>(sp.to_full.size()),
+                              sp.to_local[g.source()], sp.to_local[g.sink()]);
+
+  for (const auto& e : g.edges()) {
+    const int u = sp.to_local[e.from];
+    const int v = sp.to_local[e.to];
+    if (u < 0 || v < 0) continue;
+    const bool shared = split.overlap[e.from] && split.overlap[e.to];
+    const double cap = shared ? e.capacity / 2.0 : e.capacity;
+    if (cap > 0.0) sp.net.add_edge(u, v, cap);
+  }
+
+  // Lagrangian unary terms on duplicated vertices: lambda > 0 pushes the M
+  // copy toward the sink side and the N copy toward the source side.
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!split.overlap[v] || v == g.source() || v == g.sink()) continue;
+    const double l = lambda[v];
+    if (l == 0.0) continue;
+    const int lv = sp.to_local[v];
+    const bool toward_sink = region_m ? (l > 0.0) : (l < 0.0);
+    if (toward_sink)
+      sp.net.add_edge(lv, sp.net.sink(), std::abs(l));
+    else
+      sp.net.add_edge(sp.net.source(), lv, std::abs(l));
+  }
+  return sp;
+}
+
+} // namespace
+
+Split split_by_bfs(const graph::FlowNetwork& net, int overlap_rings) {
+  if (overlap_rings < 1)
+    throw std::invalid_argument("split_by_bfs: overlap_rings must be >= 1");
+  const auto dist = undirected_bfs_distance(net, net.source());
+
+  // Median reachable distance defines the frontier.
+  std::vector<int> reachable;
+  for (int v = 0; v < net.num_vertices(); ++v)
+    if (dist[v] < (1 << 29)) reachable.push_back(dist[v]);
+  std::nth_element(reachable.begin(), reachable.begin() + reachable.size() / 2,
+                   reachable.end());
+  const int frontier = reachable.empty() ? 0 : reachable[reachable.size() / 2];
+
+  Split split;
+  split.in_m.assign(net.num_vertices(), 0);
+  split.in_n.assign(net.num_vertices(), 0);
+  split.overlap.assign(net.num_vertices(), 0);
+  for (int v = 0; v < net.num_vertices(); ++v) {
+    const int d = dist[v];
+    split.in_m[v] = d <= frontier;
+    split.in_n[v] = d >= frontier - overlap_rings + 1; // unreachable -> N
+  }
+  // Terminals live in both regions.
+  split.in_m[net.source()] = split.in_n[net.source()] = 1;
+  split.in_m[net.sink()] = split.in_n[net.sink()] = 1;
+  for (int v = 0; v < net.num_vertices(); ++v)
+    split.overlap[v] = split.in_m[v] && split.in_n[v];
+  return split;
+}
+
+DecompositionResult solve_by_decomposition(const graph::FlowNetwork& net,
+                                           const DecompositionOptions& options) {
+  auto oracle = options.oracle;
+  if (!oracle) {
+    oracle = [](const graph::FlowNetwork& g) {
+      return flow::min_cut_from_flow(g, flow::push_relabel(g));
+    };
+  }
+
+  const Split split = split_by_bfs(net, options.overlap_rings);
+  std::vector<double> lambda(net.num_vertices(), 0.0);
+  const double cmax = net.max_capacity();
+
+  DecompositionResult out;
+  out.side.assign(net.num_vertices(), 0);
+  for (int v = 0; v < net.num_vertices(); ++v) {
+    out.subproblem_vertices_m += split.in_m[v];
+    out.subproblem_vertices_n += split.in_n[v];
+  }
+
+  std::vector<char> side_m, side_n;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    out.iterations = iter;
+    const Subproblem sp_m = build_subproblem(net, split, true, lambda);
+    const Subproblem sp_n = build_subproblem(net, split, false, lambda);
+    const auto cut_m = oracle(sp_m.net);
+    const auto cut_n = oracle(sp_n.net);
+    out.bound_history.push_back(cut_m.cut_value + cut_n.cut_value);
+
+    side_m.assign(net.num_vertices(), 0);
+    side_n.assign(net.num_vertices(), 0);
+    for (int v = 0; v < net.num_vertices(); ++v) {
+      if (sp_m.to_local[v] >= 0) side_m[v] = cut_m.side[sp_m.to_local[v]];
+      if (sp_n.to_local[v] >= 0) side_n[v] = cut_n.side[sp_n.to_local[v]];
+    }
+
+    out.disagreements = 0;
+    for (int v = 0; v < net.num_vertices(); ++v)
+      if (split.overlap[v] && side_m[v] != side_n[v]) out.disagreements++;
+
+    if (out.disagreements == 0) {
+      out.agreed = true;
+      break;
+    }
+
+    // Diminishing subgradient step on the overlap labels.
+    const double step = options.initial_step * cmax / std::sqrt(iter);
+    for (int v = 0; v < net.num_vertices(); ++v) {
+      if (!split.overlap[v]) continue;
+      lambda[v] += step * (static_cast<int>(side_m[v]) - side_n[v]);
+    }
+  }
+
+  // Merge: M labels for M-side vertices, N for the rest (overlap agreed, or
+  // M wins ties when the iteration cap was hit).
+  for (int v = 0; v < net.num_vertices(); ++v)
+    out.side[v] = split.in_m[v] ? side_m[v] : side_n[v];
+  out.side[net.source()] = 1;
+  out.side[net.sink()] = 0;
+
+  for (const auto& e : net.edges())
+    if (out.side[e.from] && !out.side[e.to]) out.cut_value += e.capacity;
+  return out;
+}
+
+} // namespace aflow::mincut

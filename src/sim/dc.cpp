@@ -1,0 +1,81 @@
+#include "sim/dc.hpp"
+
+#include <random>
+#include <set>
+
+namespace aflow::sim {
+
+std::vector<double> DcSolver::solve_linear(const circuit::DeviceState& state,
+                                           double gmin) {
+  circuit::StampOptions opt;
+  opt.transient = false;
+  opt.gmin = gmin;
+
+  la::Triplets a;
+  std::vector<double> rhs;
+  assembler_.assemble(state, opt, a, rhs);
+
+  la::SparseLU::Options lu_opt;
+  lu_opt.ordering = options_.ordering;
+  la::SparseLU lu(lu_opt);
+  lu.factor(la::SparseMatrix::from_triplets(a));
+  stats_.factor_nnz = lu.factor_nnz();
+
+  std::vector<double> x(rhs.size());
+  lu.solve(rhs, x);
+  return x;
+}
+
+std::vector<double> DcSolver::solve(circuit::DeviceState& state) {
+  stats_ = {};
+  std::set<std::vector<char>> seen_diode_states;
+  auto policy = circuit::MnaAssembler::FlipPolicy::kAll;
+  std::mt19937_64 rng(0x5eed5eedULL);
+
+  std::vector<double> x;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    stats_.iterations = iter + 1;
+
+    // gmin stepping: if the system is singular at the nominal gmin, retry
+    // with progressively larger leakage.
+    double gmin = options_.gmin;
+    for (;;) {
+      try {
+        x = solve_linear(state, gmin);
+        break;
+      } catch (const la::SingularMatrixError&) {
+        gmin = (gmin == 0.0) ? 1e-12 : gmin * 100.0;
+        if (gmin > 1e-4) throw;
+      }
+    }
+
+    const double shockley_dv = assembler_.update_shockley_points(x, state);
+
+    circuit::StampOptions dc_opt;
+    dc_opt.transient = false;
+    const int sat_flips = assembler_.update_opamp_saturation(x, dc_opt, state);
+
+    // Escalate the flip policy whenever the PWL state vector repeats:
+    // simultaneous flipping cycles on hard complementarity instances,
+    // worst-violator can two-cycle, randomised single flips break ties.
+    std::vector<char> state_key = state.diode_on;
+    state_key.insert(state_key.end(), state.opamp_sat.begin(),
+                     state.opamp_sat.end());
+    if (policy != circuit::MnaAssembler::FlipPolicy::kRandom &&
+        !seen_diode_states.insert(state_key).second) {
+      policy = policy == circuit::MnaAssembler::FlipPolicy::kAll
+                   ? circuit::MnaAssembler::FlipPolicy::kWorst
+                   : circuit::MnaAssembler::FlipPolicy::kRandom;
+    }
+    const int flips =
+        assembler_.update_pwl_diode_states(x, state, policy, rng());
+    stats_.diode_flips += flips + sat_flips;
+
+    if (flips == 0 && sat_flips == 0 && shockley_dv < options_.shockley_tol)
+      return x;
+  }
+  throw ConvergenceError("DcSolver: no consistent operating point after " +
+                         std::to_string(options_.max_iterations) + " iterations");
+}
+
+} // namespace aflow::sim

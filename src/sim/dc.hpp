@@ -1,0 +1,61 @@
+// DC operating-point solver.
+//
+// Handles the two nonlinearities in the substrate's device set:
+//  - piecewise-linear ideal diodes, by state pivoting (solve, flip
+//    inconsistent diodes, re-solve) with cycle detection that falls back to
+//    flipping only the worst violator — the classic way to solve the linear
+//    complementarity system an ideal-diode network defines;
+//  - Shockley diodes, by damped Newton with junction-voltage limiting.
+//
+// A gmin-stepping fallback handles nearly-singular systems.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "la/lu.hpp"
+
+namespace aflow::sim {
+
+class ConvergenceError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct DcOptions {
+  int max_iterations = 400;
+  double shockley_tol = 1e-6; // volts, junction update convergence
+  double gmin = 1e-12;
+  la::SparseLU::Ordering ordering = la::SparseLU::Ordering::kMinDegree;
+};
+
+struct DcStats {
+  int iterations = 0;
+  int diode_flips = 0;
+  long long factor_nnz = 0;
+};
+
+class DcSolver {
+ public:
+  explicit DcSolver(const circuit::Netlist& net, DcOptions options = {})
+      : assembler_(net), options_(options) {}
+
+  /// Solves for the operating point, iterating diode states / Newton to
+  /// consistency. `state` is used as the starting point and updated.
+  /// Throws ConvergenceError if no consistent state is found.
+  std::vector<double> solve(circuit::DeviceState& state);
+
+  const circuit::MnaAssembler& assembler() const { return assembler_; }
+  const DcStats& stats() const { return stats_; }
+
+ private:
+  std::vector<double> solve_linear(const circuit::DeviceState& state,
+                                   double gmin);
+
+  circuit::MnaAssembler assembler_;
+  DcOptions options_;
+  DcStats stats_;
+};
+
+} // namespace aflow::sim

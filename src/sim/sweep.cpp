@@ -1,0 +1,35 @@
+#include "sim/sweep.hpp"
+
+namespace aflow::sim {
+
+SweepResult QuasiStaticSweep::run(const std::vector<double>& values,
+                                  const std::vector<Probe>& probes) {
+  SweepResult result;
+  circuit::DeviceState state = circuit::DeviceState::initial(*net_);
+
+  std::vector<char> prev_diodes = state.diode_on;
+  for (double v : values) {
+    net_->set_vsource_value(source_, v);
+    DcSolver solver(*net_, options_);
+    const std::vector<double> x = solver.solve(state);
+
+    int flips = 0;
+    for (size_t i = 0; i < state.diode_on.size(); ++i)
+      if (state.diode_on[i] != prev_diodes[i]) ++flips;
+    if (flips > 0) result.breakpoints.push_back({v, flips});
+    prev_diodes = state.diode_on;
+
+    result.source_values.push_back(v);
+    std::vector<double> row(probes.size());
+    const auto& asmbl = solver.assembler();
+    for (size_t p = 0; p < probes.size(); ++p) {
+      row[p] = probes[p].kind == Probe::Kind::kNodeVoltage
+                   ? asmbl.node_voltage(probes[p].id, x)
+                   : asmbl.vsource_current(probes[p].id, x);
+    }
+    result.trajectory.push_back(std::move(row));
+  }
+  return result;
+}
+
+} // namespace aflow::sim

@@ -1,0 +1,43 @@
+// Quasi-static source sweep (Sec. 6.5 of the paper): ramp a voltage source
+// slowly enough that the circuit tracks its DC operating point, and record
+// the trajectory of selected probes. Diode state changes between sweep
+// points are reported as breakpoints — these are the corners (points D, B,
+// ...) of the piecewise-linear voltage trajectory in Fig. 15c.
+#pragma once
+
+#include <vector>
+
+#include "sim/dc.hpp"
+#include "sim/transient.hpp"
+
+namespace aflow::sim {
+
+struct SweepBreakpoint {
+  double source_value = 0.0; // sweep value at which diode states changed
+  int flips = 0;             // how many diodes changed state
+};
+
+struct SweepResult {
+  std::vector<double> source_values;
+  /// trajectory[k][p] = probe p at sweep point k.
+  std::vector<std::vector<double>> trajectory;
+  std::vector<SweepBreakpoint> breakpoints;
+};
+
+class QuasiStaticSweep {
+ public:
+  QuasiStaticSweep(circuit::Netlist& net, int swept_source, DcOptions options = {})
+      : net_(&net), source_(swept_source), options_(options) {}
+
+  /// DC-solves at each source value (warm-starting diode states from the
+  /// previous point, as a slow physical ramp would).
+  SweepResult run(const std::vector<double>& values,
+                  const std::vector<Probe>& probes);
+
+ private:
+  circuit::Netlist* net_;
+  int source_;
+  DcOptions options_;
+};
+
+} // namespace aflow::sim

@@ -1,0 +1,173 @@
+#include "sim/transient.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aflow::sim {
+
+std::vector<double> Waveform::series(int probe) const {
+  std::vector<double> out(samples.size());
+  for (size_t k = 0; k < samples.size(); ++k) out[k] = samples[k][probe];
+  return out;
+}
+
+double convergence_time(std::span<const double> time,
+                        std::span<const double> value, double rel_tol) {
+  assert(time.size() == value.size());
+  if (time.empty()) return 0.0;
+  const double vf = value.back();
+  if (!std::isfinite(vf)) return time.back(); // diverged: never converged
+  const double band = rel_tol * std::abs(vf);
+  // Walk backwards to the last sample outside the band.
+  for (size_t k = value.size(); k-- > 0;) {
+    if (!(std::abs(value[k] - vf) <= band)) // NaN counts as outside
+      return k + 1 < time.size() ? time[k + 1] : time.back();
+  }
+  return time.front();
+}
+
+double TransientSolver::probe_value(const Probe& p,
+                                    std::span<const double> x) const {
+  switch (p.kind) {
+    case Probe::Kind::kNodeVoltage: return assembler_.node_voltage(p.id, x);
+    case Probe::Kind::kSourceCurrent: return assembler_.vsource_current(p.id, x);
+  }
+  return 0.0;
+}
+
+Waveform TransientSolver::run(circuit::DeviceState& state,
+                              const std::vector<Probe>& probes) {
+  stats_ = {};
+  Waveform wf;
+  for (const auto& p : probes)
+    wf.labels.push_back(p.label.empty() ? std::string("probe") : p.label);
+
+  const int n = assembler_.num_unknowns();
+  std::vector<double> x(n, 0.0), rhs;
+  la::Triplets a;
+  la::SparseLU::Options lu_opt;
+  lu_opt.ordering = options_.ordering;
+  la::SparseLU lu(lu_opt);
+
+  circuit::StampOptions opt;
+  opt.transient = true;
+  opt.gmin = options_.gmin;
+  opt.dt = options_.dt_initial;
+
+  bool need_factor = true;
+  bool have_pattern = false;
+  double t = 0.0;
+  int steps_at_dt = 0;
+  int settled_run = 0;
+
+  auto refactor = [&]() {
+    assembler_.assemble(state, opt, a, rhs);
+    const auto m = la::SparseMatrix::from_triplets(a);
+    if (have_pattern)
+      lu.refactor(m);
+    else
+      lu.factor(m);
+    have_pattern = true;
+    stats_.factorizations++;
+    need_factor = false;
+  };
+
+  while (t < options_.t_stop && stats_.steps < options_.max_steps) {
+    // Resolve this step: solve, flip inconsistent diodes, repeat.
+    // Dynamic-state history enters through `rhs`, so any diode flip forces
+    // reassembly (values change but the pattern is static: off-diodes stamp
+    // 1/Roff, on-diodes 1/Ron at the same positions). If the events refuse
+    // to settle (clamp chattering during fast slews), reject the step and
+    // retry at half the step size, where the capacitive stamps dominate and
+    // the per-step complementarity problem is easier.
+    const circuit::DeviceState step_start = state;
+    int halvings = 0;
+    for (;;) {
+      bool settled_events = false;
+      for (int event_iter = 0; event_iter <= options_.max_event_iterations;
+           ++event_iter) {
+        if (need_factor) refactor();
+        else assembler_.assemble(state, opt, a, rhs); // refresh history RHS only
+        lu.solve(rhs, x);
+        stats_.solves++;
+        const double shockley_dv = assembler_.update_shockley_points(x, state);
+        const int sat_flips = assembler_.update_opamp_saturation(x, opt, state);
+        const int flips = sat_flips + assembler_.update_pwl_diode_states(
+            x, state,
+            event_iter <= 20 ? circuit::MnaAssembler::FlipPolicy::kAll
+            : event_iter <= 40
+                ? circuit::MnaAssembler::FlipPolicy::kWorst
+                : circuit::MnaAssembler::FlipPolicy::kRandom,
+            static_cast<std::uint64_t>(event_iter) * 2654435761u);
+        if (flips > 0) {
+          stats_.diode_flips += flips;
+          need_factor = true;
+          continue;
+        }
+        if (shockley_dv >= 1e-6) { need_factor = true; continue; }
+        settled_events = true;
+        break;
+      }
+      if (settled_events) break;
+      if (++halvings > 24)
+        throw ConvergenceError(
+            "TransientSolver: diode events did not settle at t=" +
+            std::to_string(t) + " (dt=" + std::to_string(opt.dt) +
+            ", step=" + std::to_string(stats_.steps) +
+            ") even after step-size backoff");
+      state = step_start;
+      opt.dt *= 0.5;
+      steps_at_dt = 0;
+      need_factor = true;
+      stats_.step_rejections++;
+    }
+
+    assembler_.advance_dynamic_states(x, opt, state);
+    t += opt.dt;
+    stats_.steps++;
+
+    wf.time.push_back(t);
+    std::vector<double> row(probes.size());
+    for (size_t p = 0; p < probes.size(); ++p) {
+      row[p] = probe_value(probes[p], x);
+      if (!std::isfinite(row[p]) || std::abs(row[p]) > options_.divergence_limit)
+        throw ConvergenceError("TransientSolver: circuit diverging at t=" +
+                               std::to_string(t) + " (probe " + wf.labels[p] +
+                               " = " + std::to_string(row[p]) + ")");
+    }
+
+    // Early-settle detection.
+    if (options_.settle_tol && !wf.samples.empty()) {
+      const auto& prev = wf.samples.back();
+      bool stable = true;
+      for (size_t p = 0; p < row.size(); ++p) {
+        const double scale = std::max({std::abs(row[p]), std::abs(prev[p]), 1e-12});
+        if (std::abs(row[p] - prev[p]) > *options_.settle_tol * scale) {
+          stable = false;
+          break;
+        }
+      }
+      settled_run = stable ? settled_run + 1 : 0;
+    }
+    wf.samples.push_back(std::move(row));
+    if (options_.settle_tol && settled_run >= options_.settle_window &&
+        opt.dt >= options_.dt_max) {
+      stats_.settled = true;
+      break;
+    }
+
+    // Geometric dt schedule: hold for steps_per_dt accepted steps, then
+    // double (each change costs one refactorisation).
+    if (++steps_at_dt >= options_.steps_per_dt && opt.dt < options_.dt_max) {
+      opt.dt = std::min(opt.dt * 2.0, options_.dt_max);
+      steps_at_dt = 0;
+      need_factor = true;
+    }
+  }
+  stats_.end_time = t;
+  last_x_ = std::move(x);
+  return wf;
+}
+
+} // namespace aflow::sim

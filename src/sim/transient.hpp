@@ -1,0 +1,107 @@
+// Transient analysis: backward-Euler integration of the substrate dynamics
+// (parasitic capacitors, op-amp single poles, lagged negative resistors)
+// with PWL-diode event handling.
+//
+// The step size follows a geometric schedule (hold, then double every
+// `steps_per_dt` accepted steps) so the MNA matrix — which depends on dt —
+// is refactorised only at dt changes and diode flips. Backward Euler is
+// L-stable, which lets the integration stride over the fast op-amp poles
+// once they have settled while remaining faithful to the slow network modes
+// that dominate the paper's convergence times.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "la/lu.hpp"
+#include "sim/dc.hpp"
+
+namespace aflow::sim {
+
+/// A recorded quantity: a node voltage or a voltage-source current.
+struct Probe {
+  enum class Kind { kNodeVoltage, kSourceCurrent };
+  Kind kind = Kind::kNodeVoltage;
+  int id = 0; // NodeId or vsource index
+  std::string label;
+
+  static Probe node(circuit::NodeId n, std::string label = {}) {
+    return {Kind::kNodeVoltage, n, std::move(label)};
+  }
+  static Probe source_current(int src, std::string label = {}) {
+    return {Kind::kSourceCurrent, src, std::move(label)};
+  }
+};
+
+struct Waveform {
+  std::vector<std::string> labels;
+  std::vector<double> time;
+  /// samples[k][p] = value of probe p at time[k].
+  std::vector<std::vector<double>> samples;
+
+  std::vector<double> series(int probe) const;
+  double final_value(int probe) const { return samples.back()[probe]; }
+};
+
+/// Earliest time T such that |v(t) - v_final| <= rel_tol * |v_final| for all
+/// t >= T — the paper's convergence-time definition (Sec. 5.1, 0.1%).
+double convergence_time(std::span<const double> time,
+                        std::span<const double> value, double rel_tol = 1e-3);
+
+struct TransientOptions {
+  double t_stop = 1e-3;
+  double dt_initial = 1e-12;
+  double dt_max = 1e-6;
+  int steps_per_dt = 8;     // accepted steps before dt doubles
+  int max_steps = 2000000;
+  double gmin = 1e-12;
+  int max_event_iterations = 60; // diode-flip resolution within one step
+  la::SparseLU::Ordering ordering = la::SparseLU::Ordering::kMinDegree;
+
+  /// If set, the run stops early once every probe has been stable to within
+  /// `settle_tol` (relative) for `settle_window` consecutive samples.
+  std::optional<double> settle_tol;
+  int settle_window = 24;
+  /// Abort (throw ConvergenceError) when any probe exceeds this magnitude
+  /// or becomes non-finite — the circuit is diverging.
+  double divergence_limit = 1e12;
+};
+
+struct TransientStats {
+  long long steps = 0;
+  long long factorizations = 0;
+  long long solves = 0;
+  long long step_rejections = 0; // step-size halvings due to clamp chatter
+  int diode_flips = 0;
+  double end_time = 0.0;
+  bool settled = false;
+};
+
+class TransientSolver {
+ public:
+  TransientSolver(const circuit::Netlist& net, TransientOptions options = {})
+      : assembler_(net), options_(options) {}
+
+  /// Integrates from t = 0 with initial `state` (typically
+  /// DeviceState::initial or a DC point of the pre-step circuit).
+  Waveform run(circuit::DeviceState& state, const std::vector<Probe>& probes);
+
+  const TransientStats& stats() const { return stats_; }
+  const circuit::MnaAssembler& assembler() const { return assembler_; }
+  /// Full MNA solution at the last accepted step of the previous run().
+  const std::vector<double>& last_solution() const { return last_x_; }
+
+ private:
+  double probe_value(const Probe& p, std::span<const double> x) const;
+
+  circuit::MnaAssembler assembler_;
+  TransientOptions options_;
+  TransientStats stats_;
+  std::vector<double> last_x_;
+};
+
+} // namespace aflow::sim

@@ -1,0 +1,263 @@
+// End-to-end analog max-flow: the substrate's steady state must reproduce
+// the paper's example numbers (Fig. 5, Fig. 8) and track the exact optimum
+// on generated instances within the quantization + finite-Vflow error the
+// paper reports (<= 8%, Sec. 5.1).
+#include <gtest/gtest.h>
+
+#include "analog/solver.hpp"
+#include "flow/maxflow.hpp"
+#include "graph/generators.hpp"
+
+namespace analog = aflow::analog;
+namespace flow = aflow::flow;
+namespace graph = aflow::graph;
+
+namespace {
+
+analog::AnalogSolveOptions ideal_options() {
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.quantization = analog::QuantizationMode::kNone;
+  // A large drive leaves almost no objective slack, isolating circuit
+  // error; the small diode on-resistance keeps the Ron * I overshoot on
+  // saturated clamps negligible even at this drive.
+  opt.config.vflow = 50.0;
+  opt.config.diode.r_on = 0.01;
+  return opt;
+}
+
+} // namespace
+
+TEST(AnalogMapper, Fig5CircuitInventory) {
+  const auto g = graph::paper_example_fig5();
+  analog::AnalogSolveOptions opt = ideal_options();
+  analog::AnalogMaxFlowSolver solver(opt);
+  const auto c = solver.map(g);
+
+  // 5 edges usable, 1 source edge, none dropped.
+  EXPECT_TRUE(c.dropped_edges.empty());
+  EXPECT_EQ(c.num_source_edges, 1);
+  ASSERT_EQ(c.source_edges.size(), 1u);
+  EXPECT_EQ(c.source_edges[0], 0);
+
+  const auto counts = analog::count_devices(c.netlist);
+  // Edges with head != t get a negation widget (x1,x2,x3): 3 widgets.
+  // Negative resistors: 3 widget (-r/2) + 3 columns (-r/N) = 6.
+  EXPECT_EQ(counts.negative_resistors, 6);
+  EXPECT_EQ(counts.diodes, 10); // two per edge
+  // Resistors: objective link (1) + tail links (4) + widget 2r (6) +
+  // head links (3) = 14.
+  EXPECT_EQ(counts.resistors, 14);
+  // Sources: Vflow + distinct positive levels {3V, 2V, 1V} = 4.
+  EXPECT_EQ(counts.vsources, 4);
+}
+
+TEST(AnalogMapper, DropsSinkOutAndSourceInEdges) {
+  graph::FlowNetwork g(4, 0, 3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 3, 2.0);
+  g.add_edge(3, 2, 1.0); // out of sink: dropped
+  g.add_edge(2, 0, 1.0); // into source: dropped
+  analog::AnalogMaxFlowSolver solver(ideal_options());
+  const auto c = solver.map(g);
+  EXPECT_EQ(c.dropped_edges, (std::vector<int>{2, 3}));
+  EXPECT_EQ(c.edge_node[2], -1);
+  EXPECT_EQ(c.edge_node[3], -1);
+}
+
+TEST(AnalogSolver, Fig5SteadyStateMatchesPaper) {
+  // Paper Sec. 2.4: Vx1 settles at 2 V and the flow value is 2. The split
+  // between x3/x4 and x5 is degenerate (any x3 in [0,1] with x5 = 2 - x3 is
+  // optimal); the paper's narrative picks the x3 = x4 = 1 vertex while the
+  // circuit's operating point distributes by conductance. Check the unique
+  // quantities and the feasibility/conservation structure instead.
+  const auto g = graph::paper_example_fig5();
+  analog::AnalogSolveOptions opt = ideal_options();
+  opt.config.vdd = 3.0; // 1 V per unit capacity, as in the paper's example
+  analog::AnalogMaxFlowSolver solver(opt);
+  const auto r = solver.solve(g);
+
+  EXPECT_NEAR(r.flow_value, 2.0, 0.02);
+  EXPECT_NEAR(r.edge_flow[0], 2.0, 0.02);                  // x1 (unique)
+  EXPECT_NEAR(r.edge_flow[1], 2.0, 0.02);                  // x2 saturates
+  EXPECT_NEAR(r.edge_flow[2], r.edge_flow[3], 0.02);       // x3 = x4
+  EXPECT_NEAR(r.edge_flow[2] + r.edge_flow[4], 2.0, 0.03); // x3 + x5 = x2
+  for (int e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GE(r.edge_flow[e], -0.02);
+    EXPECT_LE(r.edge_flow[e], g.edge(e).capacity + 0.02);
+  }
+}
+
+TEST(AnalogSolver, HardwareReadoutMatchesDebugReadout) {
+  const auto g = graph::paper_example_fig5();
+  analog::AnalogMaxFlowSolver solver(ideal_options());
+  const auto r = solver.solve(g);
+  // Eq. 7a: J from Iflow equals the sum of source-edge voltages.
+  EXPECT_NEAR(r.flow_value_hw, r.flow_value, 1e-3 * std::abs(r.flow_value) + 1e-6);
+}
+
+TEST(AnalogSolver, ConservationHoldsAtSteadyState) {
+  const auto g = graph::rmat(32, 140, {}, 11);
+  analog::AnalogMaxFlowSolver solver(ideal_options());
+  const auto r = solver.solve(g);
+  // Ideal fidelity: KCL enforces conservation to solver precision
+  // (scaled to flow units).
+  EXPECT_LT(r.max_conservation_violation, 1e-4 * g.max_capacity());
+}
+
+TEST(AnalogSolver, Fig8QuantizationExample) {
+  // N = 20, Vdd = 1 V on the Fig. 5 graph. The paper reports the circuit
+  // solution at 0.7 V ~ |f| = 2.1 (5% above the exact 2); with ideal diodes
+  // the quantized optimum is 1.95 (x2 bottleneck at 0.65 V). Accept the
+  // quantized-LP window around 2.
+  const auto g = graph::paper_example_fig5();
+  analog::AnalogSolveOptions opt = ideal_options();
+  opt.quantization = analog::QuantizationMode::kRound;
+  opt.config.voltage_levels = 20;
+  opt.config.vdd = 1.0;
+  analog::AnalogMaxFlowSolver solver(opt);
+  const auto r = solver.solve(g);
+
+  EXPECT_NEAR(r.flow_value, 1.95, 0.03);
+  const double rel_err = std::abs(r.flow_value - 2.0) / 2.0;
+  EXPECT_LT(rel_err, 0.08); // the paper's 8% envelope
+}
+
+TEST(AnalogSolver, QuantizedCapsMatchFig8Voltages) {
+  analog::Quantizer q(1.0, 20, 3.0, analog::QuantizationMode::kRound);
+  EXPECT_NEAR(q.to_voltage(3.0), 1.00, 1e-12);
+  EXPECT_NEAR(q.to_voltage(2.0), 0.65, 1e-12);
+  EXPECT_NEAR(q.to_voltage(1.0), 0.35, 1e-12);
+  // The paper's own formula (floor) gives 0.30 for capacity 1.
+  analog::Quantizer qf(1.0, 20, 3.0, analog::QuantizationMode::kFloor);
+  EXPECT_NEAR(qf.to_voltage(1.0), 0.30, 1e-12);
+  EXPECT_DOUBLE_EQ(q.worst_case_error(), 3.0 / 20.0);
+}
+
+class AnalogVsExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnalogVsExact, IdealSubstrateTracksOptimum) {
+  const int seed = GetParam();
+  const auto g = graph::rmat(40, 200, {}, seed);
+  const double exact = flow::push_relabel(g).flow_value;
+  ASSERT_GT(exact, 0.0);
+
+  analog::AnalogMaxFlowSolver solver(ideal_options());
+  const auto r = solver.solve(g);
+  // Idealised substrate with unquantized levels and a large drive: only
+  // residual circuit error remains.
+  EXPECT_NEAR(r.flow_value, exact, 0.02 * exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalogVsExact, ::testing::Range(1, 9));
+
+class QuantizationBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizationBound, FlowErrorRespectsLpPerturbation) {
+  // The quantized instance is itself a max-flow LP whose capacities moved by
+  // at most e = C/N per edge; the substrate flow must be within the exact
+  // optimum of the *quantized* instance up to circuit error.
+  const int seed = GetParam();
+  const auto g = graph::rmat(36, 150, {}, seed);
+
+  analog::AnalogSolveOptions opt = ideal_options();
+  opt.quantization = analog::QuantizationMode::kRound;
+  opt.config.voltage_levels = 20;
+  analog::AnalogMaxFlowSolver solver(opt);
+  const auto r = solver.solve(g);
+
+  // Exact optimum of the quantized instance (zero-capacity edges dropped).
+  const auto c = solver.map(g);
+  graph::FlowNetwork gq(g.num_vertices(), g.source(), g.sink());
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const double cap = c.quantizer.to_flow(c.quantizer.to_voltage(g.edge(e).capacity));
+    if (cap > 0.0) gq.add_edge(g.edge(e).from, g.edge(e).to, cap);
+  }
+  const double exact_q = flow::push_relabel(gq).flow_value;
+  EXPECT_NEAR(r.flow_value, exact_q, 0.02 * exact_q + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantizationBound, ::testing::Range(1, 7));
+
+TEST(AnalogSolver, FlowIncreasesWithVflow) {
+  // Sec. 2.3: the s-t flow value increases with Vflow until the optimum is
+  // reached. The paper's Fig. 15 walk-through reaches the optimum at
+  // Vflow = 19 V on its *simplified* circuit (x2/x3 left dangling); the
+  // full substrate's negation widgets draw additional current, so the same
+  // optimum needs a larger drive.
+  const auto g = graph::paper_example_fig15(10.0);
+  double prev = -1.0;
+  for (double vflow : {1.0, 4.0, 9.0, 19.0, 60.0, 200.0}) {
+    analog::AnalogSolveOptions opt = ideal_options();
+    opt.config.vflow = vflow;
+    opt.config.vdd = 10.0; // 1 V per flow unit (C = 10)
+    analog::AnalogMaxFlowSolver solver(opt);
+    const double f = solver.solve(g).flow_value;
+    EXPECT_GT(f, prev - 1e-9);
+    prev = f;
+  }
+  EXPECT_NEAR(prev, 4.0, 0.2);
+}
+
+TEST(AnalogSolver, LagFidelityMatchesIdealSteadyState) {
+  const auto g = graph::paper_example_fig5();
+  analog::AnalogSolveOptions ideal = ideal_options();
+  analog::AnalogSolveOptions lag = ideal_options();
+  lag.config.fidelity = analog::NegResFidelity::kLag;
+  lag.config.parasitic_capacitance = 20e-15;
+  const auto ri = analog::AnalogMaxFlowSolver(ideal).solve(g);
+  const auto rl = analog::AnalogMaxFlowSolver(lag).solve(g);
+  EXPECT_NEAR(rl.flow_value, ri.flow_value, 1e-6 + 1e-3 * ri.flow_value);
+}
+
+TEST(AnalogSolver, TransientConvergesToSteadyState) {
+  // Transient fidelity: the explicit Fig. 9a NIC (unrailed, see DESIGN.md)
+  // with parasitics on every node, at a moderate drive where the start-up
+  // transient stays bounded.
+  const auto g = graph::paper_example_fig5();
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kOpAmpNic;
+  opt.config.parasitic_capacitance = 20e-15;
+  opt.config.parasitics_on_internal_nodes = true;
+  opt.config.vflow = 10.0;
+  opt.quantization = analog::QuantizationMode::kNone;
+  opt.method = analog::SolveMethod::kTransient;
+  opt.record_edge_waveforms = true;
+  analog::AnalogMaxFlowSolver solver(opt);
+  const auto r = solver.solve(g);
+
+  // Ideal-substrate steady state at the same drive as the reference.
+  analog::AnalogSolveOptions dc_opt = opt;
+  dc_opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  dc_opt.method = analog::SolveMethod::kSteadyState;
+  const auto rdc = analog::AnalogMaxFlowSolver(dc_opt).solve(g);
+
+  EXPECT_NEAR(r.flow_value, rdc.flow_value, 5e-2 * rdc.flow_value);
+  EXPECT_GT(r.convergence_time, 0.0);
+  EXPECT_LT(r.convergence_time, 1e-4);
+  // Waveform carries J plus one series per usable edge.
+  EXPECT_EQ(r.waveform.labels.size(), 1u + 5u);
+}
+
+TEST(AnalogSolver, ConvergenceFasterWithHigherGbw) {
+  // Measured on the Fig. 5 instance: the marginal widgets keep larger
+  // R-MAT instances' unrailed transients from settling reliably (see
+  // EXPERIMENTS.md), so the GBW trend is asserted where the dynamics are
+  // well-behaved.
+  const auto g = graph::paper_example_fig5();
+  auto run = [&](double gbw) {
+    analog::AnalogSolveOptions opt;
+    opt.config.fidelity = analog::NegResFidelity::kOpAmpNic;
+    opt.config.parasitic_capacitance = 20e-15;
+    opt.config.parasitics_on_internal_nodes = true;
+    opt.config.vflow = 10.0;
+    opt.config.opamp_gbw = gbw;
+    opt.quantization = analog::QuantizationMode::kNone;
+    opt.method = analog::SolveMethod::kTransient;
+    return analog::AnalogMaxFlowSolver(opt).solve(g).convergence_time;
+  };
+  const double t10 = run(10e9);
+  const double t50 = run(50e9);
+  EXPECT_LT(t50, t10); // Sec. 5.1: higher GBW converges faster
+}

@@ -1,0 +1,132 @@
+// Clustered island-style architectures (Sec. 6.2): FM partitioning,
+// placement, channel routing, and the utilisation argument.
+#include <gtest/gtest.h>
+
+#include "arch/clustered.hpp"
+#include "arch/partition.hpp"
+#include "graph/generators.hpp"
+
+namespace arch = aflow::arch;
+namespace graph = aflow::graph;
+
+TEST(Partition, FmSeparatesTwoCliques) {
+  // Two 4-cliques joined by one edge: optimal bipartition cuts exactly it.
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a < 4; ++a)
+    for (int b = a + 1; b < 4; ++b) {
+      edges.emplace_back(a, b);
+      edges.emplace_back(4 + a, 4 + b);
+    }
+  edges.emplace_back(0, 4);
+  const auto r = arch::fm_bipartition(8, edges, 0.1, 3);
+  EXPECT_EQ(r.cut_edges, 1);
+  EXPECT_EQ(r.side[0], r.side[1]);
+  EXPECT_EQ(r.side[0], r.side[3]);
+  EXPECT_NE(r.side[0], r.side[4]);
+}
+
+TEST(Partition, FmRespectsBalance) {
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 1; v < 30; ++v) edges.emplace_back(0, v); // star
+  const auto r = arch::fm_bipartition(30, edges, 0.1, 1);
+  int left = 0;
+  for (char s : r.side) left += s == 0;
+  EXPECT_GE(left, 13);
+  EXPECT_LE(left, 17);
+}
+
+TEST(Partition, IslandsRespectCapacity) {
+  const auto g = graph::rmat_sparse(96, 5);
+  const auto p = arch::partition_into_islands(g, 16, 5);
+  std::vector<int> count(p.num_parts, 0);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_GE(p.part[v], 0);
+    ASSERT_LT(p.part[v], p.num_parts);
+    count[p.part[v]]++;
+  }
+  for (int c : count) EXPECT_LE(c, 16);
+  // Cut accounting is consistent.
+  long long cut = 0;
+  for (const auto& e : g.edges()) cut += p.part[e.from] != p.part[e.to];
+  EXPECT_EQ(cut, p.cut_edges);
+}
+
+TEST(Partition, ClusteringBeatsRandomAssignment) {
+  const auto g = graph::rmat_sparse(128, 9);
+  const auto p = arch::partition_into_islands(g, 32, 9);
+  // Random assignment into the same number of parts cuts ~ (1 - 1/parts)
+  // of the edges; FM should do clearly better on a clustered R-MAT graph.
+  const double random_cut =
+      g.num_edges() * (1.0 - 1.0 / std::max(p.num_parts, 1));
+  EXPECT_LT(static_cast<double>(p.cut_edges), 0.8 * random_cut);
+}
+
+TEST(Clustered, MappingIsConsistent) {
+  const auto g = graph::rmat_sparse(128, 3);
+  arch::ArchSpec spec;
+  spec.island_capacity = 32;
+  spec.channel_width = 1 << 20; // effectively unbounded: must route
+  const auto m = arch::map_to_islands(g, spec, 3);
+
+  EXPECT_TRUE(m.routed);
+  EXPECT_EQ(m.intra_island_edges + m.inter_island_edges, g.num_edges());
+  EXPECT_GT(m.islands, 1);
+  EXPECT_GT(m.required_channel_width, 0);
+  EXPECT_GE(m.total_wirelength, m.inter_island_edges); // >= 1 segment each
+}
+
+TEST(Clustered, UtilizationBeatsMonolithicOnSparseGraphs) {
+  // The Sec. 6.2 motivation: a large sparse graph wastes a monolithic
+  // n x n crossbar (utilisation ~ 1/n); islands recover utilisation.
+  const auto g = graph::rmat_sparse(512, 7);
+  arch::ArchSpec spec;
+  spec.island_capacity = 32;
+  const auto m = arch::map_to_islands(g, spec, 7);
+  EXPECT_GT(m.clustered_utilization, 2.0 * m.monolithic_utilization);
+}
+
+TEST(Clustered, RoutingFailsWhenChannelTooNarrow) {
+  const auto g = graph::rmat_sparse(128, 11);
+  arch::ArchSpec spec;
+  spec.island_capacity = 16;
+  spec.channel_width = 1;
+  const auto m = arch::map_to_islands(g, spec, 11);
+  EXPECT_FALSE(m.routed);
+  EXPECT_GT(m.required_channel_width, 1);
+}
+
+TEST(Clustered, Grid2DNeedsNoWiderChannelsThan1D) {
+  // The Fig. 11 trade-off: 2-D routing spreads demand over many segments,
+  // so its peak channel occupancy is at most the 1-D bundle's.
+  const auto g = graph::rmat_sparse(192, 13);
+  arch::ArchSpec d1;
+  d1.island_capacity = 24;
+  arch::ArchSpec d2 = d1;
+  d2.style = arch::RoutingStyle::kGrid2D;
+  d2.grid_columns = 3;
+  const auto m1 = arch::map_to_islands(g, d1, 13);
+  const auto m2 = arch::map_to_islands(g, d2, 13);
+  EXPECT_LE(m2.required_channel_width, m1.required_channel_width);
+}
+
+TEST(Clustered, SingleIslandHasNoRouting) {
+  const auto g = graph::rmat(20, 60, {}, 1);
+  arch::ArchSpec spec;
+  spec.island_capacity = 64; // whole graph fits
+  const auto m = arch::map_to_islands(g, spec, 1);
+  EXPECT_EQ(m.islands, 1);
+  EXPECT_EQ(m.inter_island_edges, 0);
+  EXPECT_EQ(m.required_channel_width, 0);
+  EXPECT_TRUE(m.routed);
+}
+
+TEST(Clustered, RejectsBadSpecs) {
+  const auto g = graph::rmat(20, 60, {}, 1);
+  arch::ArchSpec bad;
+  bad.island_capacity = 0;
+  EXPECT_THROW(arch::map_to_islands(g, bad), std::invalid_argument);
+  arch::ArchSpec bad2;
+  bad2.style = arch::RoutingStyle::kGrid2D;
+  bad2.grid_columns = 0;
+  EXPECT_THROW(arch::map_to_islands(g, bad2), std::invalid_argument);
+}

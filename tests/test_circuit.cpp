@@ -1,0 +1,92 @@
+// Netlist construction rules and behavioural device models.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/netlist.hpp"
+
+namespace circuit = aflow::circuit;
+
+TEST(Netlist, NodeCreationAndNames) {
+  circuit::Netlist nl;
+  EXPECT_EQ(nl.num_nodes(), 1); // ground
+  const auto a = nl.new_node("alpha");
+  const auto b = nl.new_node();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(nl.node_name(a), "alpha");
+  EXPECT_EQ(nl.node_name(0), "gnd");
+}
+
+TEST(Netlist, DeviceValidation) {
+  circuit::Netlist nl;
+  const auto a = nl.new_node();
+  EXPECT_THROW(nl.add_resistor(a, 99, 1.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_resistor(a, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_negative_resistor(a, 0, -5.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_negative_resistor(a, 0, 5.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_capacitor(a, 0, 0.0), std::invalid_argument);
+  circuit::OpAmpParams bad;
+  bad.r_out = 0.0;
+  EXPECT_THROW(nl.add_opamp(a, 0, a, bad), std::invalid_argument);
+  circuit::MemristorParams mp;
+  mp.r_hrs = mp.r_lrs; // not > LRS
+  EXPECT_THROW(nl.add_memristor(a, 0, mp, 1e4), std::invalid_argument);
+}
+
+TEST(Netlist, MemristanceIsClampedToDeviceRange) {
+  circuit::Netlist nl;
+  const auto a = nl.new_node();
+  circuit::MemristorParams mp; // 10k .. 1M
+  const int id = nl.add_memristor(a, 0, mp, 1.0);
+  EXPECT_DOUBLE_EQ(nl.memristors()[id].memristance, mp.r_lrs);
+}
+
+TEST(OpAmp, TauMatchesDominantPole) {
+  circuit::OpAmp op;
+  op.params.gain = 1e4;
+  op.params.gbw = 10e9;
+  // tau = A / (2 pi GBW)
+  EXPECT_NEAR(op.tau(), 1e4 / (2.0 * std::numbers::pi * 10e9), 1e-12);
+}
+
+TEST(Memristor, ThresholdSwitchingAndRetention) {
+  circuit::MemristorParams mp;
+  circuit::Memristor m{0, 0, mp, mp.r_hrs};
+
+  // Below threshold: retention.
+  m.apply_programming_pulse(1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(m.memristance, mp.r_hrs);
+
+  // Above threshold: switches toward LRS and clamps there.
+  m.apply_programming_pulse(2.4, 2e-9);
+  EXPECT_DOUBLE_EQ(m.memristance, mp.r_lrs);
+  EXPECT_TRUE(m.is_lrs());
+
+  // Reverse polarity: back toward HRS.
+  m.apply_programming_pulse(-2.4, 2e-9);
+  EXPECT_DOUBLE_EQ(m.memristance, mp.r_hrs);
+  EXPECT_FALSE(m.is_lrs());
+}
+
+TEST(Memristor, PartialSwitchingScalesWithPulseWidth) {
+  circuit::MemristorParams mp;
+  mp.switch_rate = 1e12; // slow device: partial switching
+  circuit::Memristor m{0, 0, mp, mp.r_hrs};
+  m.apply_programming_pulse(2.3, 1e-9);
+  const double after_one = m.memristance;
+  EXPECT_LT(after_one, mp.r_hrs);
+  EXPECT_GT(after_one, mp.r_lrs);
+  m.apply_programming_pulse(2.3, 1e-9);
+  EXPECT_LT(m.memristance, after_one);
+}
+
+TEST(Netlist, NicSubcircuitShape) {
+  circuit::Netlist nl;
+  const auto t = nl.new_node("t");
+  const int amp = nl.add_nic_negative_resistor(t, 5e3, 10e3, {});
+  EXPECT_EQ(amp, 0);
+  EXPECT_EQ(nl.resistors().size(), 3u);
+  EXPECT_EQ(nl.opamps().size(), 1u);
+  EXPECT_EQ(nl.opamps()[0].in_plus, t);
+}

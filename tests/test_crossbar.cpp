@@ -1,0 +1,147 @@
+// Crossbar programming protocol (Sec. 3.1) and the crossbar-to-circuit
+// equivalence (Sec. 3.2).
+#include <gtest/gtest.h>
+
+#include "analog/crossbar.hpp"
+#include "analog/solver.hpp"
+#include "flow/maxflow.hpp"
+#include "graph/generators.hpp"
+
+namespace analog = aflow::analog;
+namespace graph = aflow::graph;
+namespace flow = aflow::flow;
+
+namespace {
+
+analog::SubstrateConfig test_config() {
+  analog::SubstrateConfig c;
+  c.fidelity = analog::NegResFidelity::kIdeal;
+  c.parasitic_capacitance = 0.0;
+  c.vflow = 50.0;
+  return c;
+}
+
+} // namespace
+
+TEST(Crossbar, ProgramsTargetCellsOnly) {
+  analog::Crossbar xbar(8, 8, {});
+  const std::vector<std::pair<int, int>> cells = {{0, 1}, {3, 5}, {7, 0}};
+  const auto report = xbar.program(cells);
+
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.misprogrammed_cells, 0);
+  EXPECT_EQ(report.cycles, 8); // one per row (Sec. 3.1)
+  EXPECT_GT(report.disturb_margin, 0.0);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) {
+      const bool want = std::find(cells.begin(), cells.end(),
+                                  std::make_pair(r, c)) != cells.end();
+      EXPECT_EQ(xbar.is_lrs(r, c), want) << r << "," << c;
+    }
+  EXPECT_NEAR(xbar.utilization(), 3.0 / 64.0, 1e-12);
+}
+
+TEST(Crossbar, ReprogrammingIsIdempotentAfterReset) {
+  analog::Crossbar xbar(4, 4, {});
+  ASSERT_TRUE(xbar.program({{0, 1}}).success);
+  xbar.reset();
+  EXPECT_DOUBLE_EQ(xbar.utilization(), 0.0);
+  ASSERT_TRUE(xbar.program({{2, 3}}).success);
+  EXPECT_TRUE(xbar.is_lrs(2, 3));
+  EXPECT_FALSE(xbar.is_lrs(0, 1));
+}
+
+TEST(Crossbar, HalfSelectDisturbWithBadMargins) {
+  // Programming voltages above the threshold on half-selected cells must
+  // corrupt the array — the model has to expose the failure.
+  analog::Crossbar xbar(6, 6, {});
+  analog::ProgrammingParams bad;
+  bad.v_high = 1.5; // above the 1.3 V threshold alone
+  bad.v_low = -1.5;
+  const auto report = xbar.program({{1, 2}, {4, 2}}, bad);
+  EXPECT_LT(report.disturb_margin, 0.0);
+  EXPECT_FALSE(report.success);
+  EXPECT_GT(report.misprogrammed_cells, 0);
+}
+
+TEST(Crossbar, ProgrammingTimeScalesWithRows) {
+  analog::Crossbar small(16, 16, {});
+  analog::Crossbar large(64, 64, {});
+  const auto rs = small.program({{0, 0}});
+  const auto rl = large.program({{0, 0}});
+  EXPECT_EQ(rs.cycles, 16);
+  EXPECT_EQ(rl.cycles, 64);
+  EXPECT_NEAR(rl.program_time / rs.program_time, 4.0, 1e-9);
+  EXPECT_GT(rl.program_energy, 0.0);
+}
+
+TEST(Crossbar, AgingDriftsLrsCells) {
+  analog::Crossbar xbar(4, 4, {});
+  ASSERT_TRUE(xbar.program({{1, 1}}).success);
+  const double before = xbar.memristance(1, 1);
+  xbar.age(0.05);
+  EXPECT_NEAR(xbar.memristance(1, 1), before * 1.05, 1e-6);
+  // HRS cells unaffected.
+  EXPECT_DOUBLE_EQ(xbar.memristance(0, 0), 1000e3);
+}
+
+TEST(Crossbar, CellsForGraphSkipsUnusableEdges) {
+  graph::FlowNetwork g(4, 0, 3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 3, 2.0);
+  g.add_edge(3, 1, 1.0); // out of sink: no widget
+  const auto cells = analog::Crossbar::cells_for_graph(g);
+  EXPECT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], std::make_pair(0, 1));
+  EXPECT_EQ(cells[1], std::make_pair(1, 3));
+}
+
+TEST(Crossbar, ProgrammedSubstrateMatchesDirectMapping) {
+  // Full configure-then-compute pipeline (Sec. 3.2): solving through the
+  // programmed crossbar must agree with the directly mapped circuit, since
+  // every LRS cell lands exactly on the nominal link resistance.
+  const auto g = graph::rmat(24, 100, {}, 5);
+  analog::Crossbar xbar(24, 24, {});
+  ASSERT_TRUE(xbar.program(analog::Crossbar::cells_for_graph(g)).success);
+
+  analog::AnalogSolveOptions direct;
+  direct.config = test_config();
+  analog::AnalogSolveOptions via_xbar = direct;
+  via_xbar.perturb = xbar.link_perturbation(g);
+
+  const auto rd = analog::AnalogMaxFlowSolver(direct).solve(g);
+  const auto rx = analog::AnalogMaxFlowSolver(via_xbar).solve(g);
+  EXPECT_NEAR(rx.flow_value, rd.flow_value, 1e-6 + 1e-6 * rd.flow_value);
+}
+
+TEST(Crossbar, MisprogrammedCellHasDetectableReadoutSignature) {
+  // A dark (HRS) cell breaks the structural assumptions behind BOTH
+  // readouts — the dark edge's node still charges to its clamp (voltage
+  // readout over-reports) and Eq. 7a assumes nominal objective links
+  // (hardware readout mis-scales) — but the two disagree strongly, which is
+  // exactly the detectable signature of misprogramming. With clean
+  // programming they agree tightly.
+  graph::FlowNetwork g(3, 0, 2);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 5.0);
+  g.add_edge(0, 2, 5.0);
+  const double exact = flow::push_relabel(g).flow_value;
+  EXPECT_NEAR(exact, 10.0, 1e-9);
+
+  analog::AnalogSolveOptions opt;
+  opt.config = test_config();
+
+  analog::Crossbar clean(3, 3, {});
+  ASSERT_TRUE(clean.program(analog::Crossbar::cells_for_graph(g)).success);
+  opt.perturb = clean.link_perturbation(g);
+  const auto r_clean = analog::AnalogMaxFlowSolver(opt).solve(g);
+  EXPECT_LT(std::abs(r_clean.flow_value_hw - r_clean.flow_value),
+            0.01 * exact);
+
+  analog::Crossbar dark(3, 3, {});
+  ASSERT_TRUE(dark.program({{0, 1}, {1, 2}}).success); // (0,2) left HRS
+  opt.perturb = dark.link_perturbation(g);
+  const auto r_dark = analog::AnalogMaxFlowSolver(opt).solve(g);
+  EXPECT_GT(std::abs(r_dark.flow_value_hw - r_dark.flow_value),
+            0.2 * exact);
+}

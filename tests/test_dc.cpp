@@ -1,0 +1,250 @@
+// DC operating-point analysis: MNA stamps, diode clamps, op-amps, negative
+// resistance, and the paper's own circuit identities:
+//  - the negation widget enforces Vx^- = -Vx (Eq. 2-3);
+//  - the Fig. 15 example yields Vx1 = 2/9 Vflow, Vx2 = Vx3 = 1/9 Vflow;
+//  - the NIC's effective resistance degrades as ~1/A (Sec. 4.2).
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.hpp"
+#include "sim/dc.hpp"
+
+namespace circuit = aflow::circuit;
+namespace sim = aflow::sim;
+
+namespace {
+
+std::vector<double> solve(circuit::Netlist& nl, circuit::DeviceState* state = nullptr) {
+  sim::DcSolver solver(nl);
+  circuit::DeviceState local = circuit::DeviceState::initial(nl);
+  circuit::DeviceState& s = state ? *state : local;
+  return solver.solve(s);
+}
+
+double v(const circuit::Netlist& nl, circuit::NodeId n,
+         const std::vector<double>& x) {
+  return circuit::MnaAssembler(nl).node_voltage(n, x);
+}
+
+} // namespace
+
+TEST(Dc, VoltageDivider) {
+  circuit::Netlist nl;
+  const auto top = nl.new_node(), mid = nl.new_node();
+  nl.add_vsource(top, circuit::kGround, 10.0);
+  nl.add_resistor(top, mid, 1e3);
+  nl.add_resistor(mid, circuit::kGround, 3e3);
+  const auto x = solve(nl);
+  EXPECT_NEAR(v(nl, mid, x), 7.5, 1e-6);
+}
+
+TEST(Dc, VsourceCurrentConvention) {
+  circuit::Netlist nl;
+  const auto top = nl.new_node();
+  const int src = nl.add_vsource(top, circuit::kGround, 10.0);
+  nl.add_resistor(top, circuit::kGround, 2e3);
+  const auto x = solve(nl);
+  // Delivered current is positive out of the + terminal: 10V / 2k = 5 mA.
+  EXPECT_NEAR(circuit::MnaAssembler(nl).vsource_current(src, x), 5e-3, 1e-10);
+}
+
+TEST(Dc, CurrentSourceIntoResistor) {
+  circuit::Netlist nl;
+  const auto n = nl.new_node();
+  nl.add_isource(circuit::kGround, n, 1e-3);
+  nl.add_resistor(n, circuit::kGround, 1e3);
+  const auto x = solve(nl);
+  EXPECT_NEAR(v(nl, n, x), 1.0, 1e-9);
+}
+
+TEST(Dc, MemristorStampsAsProgrammedResistance) {
+  circuit::Netlist nl;
+  const auto top = nl.new_node(), mid = nl.new_node();
+  nl.add_vsource(top, circuit::kGround, 2.0);
+  nl.add_resistor(top, mid, 10e3);
+  circuit::MemristorParams mp;
+  nl.add_memristor(mid, circuit::kGround, mp, 10e3);
+  const auto x = solve(nl);
+  EXPECT_NEAR(v(nl, mid, x), 1.0, 1e-6);
+}
+
+TEST(Dc, PwlDiodeClampsLowAndHigh) {
+  // Fig. 1 capacity clamp: source drives x above the clamp level; the upper
+  // diode must pin V(x) at the level (2 V here, with Ron drop ~ mV).
+  circuit::Netlist nl;
+  const auto drive = nl.new_node(), x_node = nl.new_node(), lvl = nl.new_node();
+  nl.add_vsource(drive, circuit::kGround, 5.0);
+  nl.add_resistor(drive, x_node, 10e3);
+  nl.add_vsource(lvl, circuit::kGround, 2.0);
+  nl.add_diode(x_node, lvl);              // clamps V(x) <= 2
+  nl.add_diode(circuit::kGround, x_node); // clamps V(x) >= 0
+  auto x = solve(nl);
+  EXPECT_NEAR(v(nl, x_node, x), 2.0, 1e-2);
+
+  // Now pull down: lower clamp engages near 0.
+  nl.set_vsource_value(0, -5.0);
+  x = solve(nl);
+  EXPECT_NEAR(v(nl, x_node, x), 0.0, 1e-2);
+}
+
+TEST(Dc, PwlDiodeTurnOnVoltageShiftsClamp) {
+  circuit::Netlist nl;
+  const auto drive = nl.new_node(), x_node = nl.new_node(), lvl = nl.new_node();
+  nl.add_vsource(drive, circuit::kGround, 5.0);
+  nl.add_resistor(drive, x_node, 10e3);
+  nl.add_vsource(lvl, circuit::kGround, 2.0);
+  circuit::DiodeParams dp;
+  dp.v_on = 0.3;
+  nl.add_diode(x_node, lvl, dp);
+  const auto x = solve(nl);
+  EXPECT_NEAR(v(nl, x_node, x), 2.3, 2e-2); // clamp level + Von
+}
+
+TEST(Dc, ShockleyDiodeForwardDrop) {
+  circuit::Netlist nl;
+  const auto top = nl.new_node(), a = nl.new_node();
+  nl.add_vsource(top, circuit::kGround, 5.0);
+  nl.add_resistor(top, a, 1e3);
+  circuit::DiodeParams dp;
+  dp.model = circuit::DiodeModel::kShockley;
+  nl.add_diode(a, circuit::kGround, dp);
+  const auto x = solve(nl);
+  // Silicon-ish drop at ~4.3 mA.
+  EXPECT_GT(v(nl, a, x), 0.5);
+  EXPECT_LT(v(nl, a, x), 0.8);
+}
+
+TEST(Dc, IdealNegativeResistorStampsNegativeConductance) {
+  // Series r with -r/2 to ground: divider gives Vout = Vin * (-0.5)/(1-0.5)
+  // = -Vin; with Vin = 1 the node sits at -1 V.
+  circuit::Netlist nl;
+  const auto in = nl.new_node(), out = nl.new_node();
+  nl.add_vsource(in, circuit::kGround, 1.0);
+  nl.add_resistor(in, out, 10e3);
+  nl.add_negative_resistor(out, circuit::kGround, 5e3);
+  const auto x = solve(nl);
+  EXPECT_NEAR(v(nl, out, x), -1.0, 1e-6);
+}
+
+TEST(Dc, OpAmpFollowerTracksInput) {
+  circuit::Netlist nl;
+  const auto in = nl.new_node(), out = nl.new_node();
+  nl.add_vsource(in, circuit::kGround, 1.5);
+  nl.add_opamp(in, out, out, {}); // unity follower
+  nl.add_resistor(out, circuit::kGround, 10e3);
+  const auto x = solve(nl);
+  EXPECT_NEAR(v(nl, out, x), 1.5, 1e-3); // finite-gain error ~ 1/A
+}
+
+TEST(Dc, OpAmpInverterGain) {
+  circuit::Netlist nl;
+  const auto in = nl.new_node(), vm = nl.new_node(), out = nl.new_node();
+  nl.add_vsource(in, circuit::kGround, 0.5);
+  nl.add_resistor(in, vm, 10e3);
+  nl.add_resistor(vm, out, 20e3); // gain -2
+  nl.add_opamp(circuit::kGround, vm, out, {});
+  const auto x = solve(nl);
+  EXPECT_NEAR(v(nl, out, x), -1.0, 2e-3);
+}
+
+TEST(Dc, NicRealizesNegativeResistance) {
+  // Drive the NIC terminal through a known resistor and infer Reff from the
+  // divider; Sec. 4.2: Reff ~ -(1 + k/A) Rtarget.
+  circuit::Netlist nl;
+  const auto in = nl.new_node(), t = nl.new_node();
+  nl.add_vsource(in, circuit::kGround, 1.0);
+  nl.add_resistor(in, t, 10e3);
+  nl.add_nic_negative_resistor(t, 5e3, 10e3, {});
+  const auto x = solve(nl);
+  const double vt = v(nl, t, x);
+  // Reff = vt / i, i = (1 - vt)/10k.
+  const double reff = vt * 10e3 / (1.0 - vt);
+  EXPECT_NEAR(reff, -5e3, 5e3 * 0.01); // within 1% of -Rtarget
+}
+
+TEST(Dc, NicPrecisionScalesWithGain) {
+  auto reff_for_gain = [](double gain) {
+    circuit::Netlist nl;
+    const auto in = nl.new_node(), t = nl.new_node();
+    nl.add_vsource(in, circuit::kGround, 1.0);
+    nl.add_resistor(in, t, 10e3);
+    circuit::OpAmpParams op;
+    op.gain = gain;
+    nl.add_nic_negative_resistor(t, 5e3, 10e3, op);
+    const auto x = solve(nl);
+    const double vt = circuit::MnaAssembler(nl).node_voltage(t, x);
+    return vt * 10e3 / (1.0 - vt);
+  };
+  const double err_lo = std::abs(reff_for_gain(100.0) + 5e3) / 5e3;
+  const double err_hi = std::abs(reff_for_gain(1e4) + 5e3) / 5e3;
+  // Precision inversely proportional to gain (Sec. 4.2).
+  EXPECT_GT(err_lo / err_hi, 50.0);
+  EXPECT_LT(err_hi, 1e-3);
+}
+
+TEST(Dc, NegationWidgetEnforcesMirror) {
+  // Fig. 2 widget: x --r-- P --r-- xm, -r/2 at P, load on xm. Vxm = -Vx.
+  circuit::Netlist nl;
+  const auto x_node = nl.new_node(), p = nl.new_node(), xm = nl.new_node();
+  nl.add_vsource(x_node, circuit::kGround, 0.7);
+  nl.add_resistor(x_node, p, 10e3);
+  nl.add_resistor(xm, p, 10e3);
+  nl.add_negative_resistor(p, circuit::kGround, 5e3);
+  nl.add_resistor(xm, circuit::kGround, 10e3); // arbitrary load
+  const auto x = solve(nl);
+  EXPECT_NEAR(v(nl, xm, x), -0.7, 1e-6);
+}
+
+TEST(Dc, Fig15LinearRegimeMatchesPaper) {
+  // Paper Sec. 6.5: before any clamp engages,
+  //   Vx1 = 2/9 Vflow, Vx2 = Vx3 = 1/9 Vflow.
+  // Build the Fig. 15b circuit: Vflow-r-x1, negation widget on x1, x1m and
+  // x2, x3 joined at column n1 with -r/3.
+  const double r = 10e3;
+  circuit::Netlist nl;
+  const auto x1 = nl.new_node("x1"), p1 = nl.new_node("p1"),
+             x1m = nl.new_node("x1m"), n1 = nl.new_node("n1"),
+             x2 = nl.new_node("x2"), x3 = nl.new_node("x3"),
+             vf = nl.new_node("vflow");
+  const double vflow = 0.9; // small: linear regime
+  nl.add_vsource(vf, circuit::kGround, vflow);
+  nl.add_resistor(vf, x1, r);
+  nl.add_resistor(x1, p1, r);
+  nl.add_resistor(x1m, p1, r);
+  nl.add_negative_resistor(p1, circuit::kGround, r / 2.0);
+  nl.add_resistor(x1m, n1, r);
+  nl.add_resistor(x2, n1, r);
+  nl.add_resistor(x3, n1, r);
+  nl.add_negative_resistor(n1, circuit::kGround, r / 3.0);
+  const auto x = solve(nl);
+  EXPECT_NEAR(v(nl, x1, x), 2.0 / 9.0 * vflow, 1e-6);
+  EXPECT_NEAR(v(nl, x2, x), 1.0 / 9.0 * vflow, 1e-6);
+  EXPECT_NEAR(v(nl, x3, x), 1.0 / 9.0 * vflow, 1e-6);
+  EXPECT_NEAR(v(nl, x1m, x), -v(nl, x1, x), 1e-7);
+}
+
+TEST(Dc, GminSteppingRecoversFloatingNode) {
+  // A node connected only through a capacitor is floating in DC; gmin keeps
+  // the system solvable and pins it to ground.
+  circuit::Netlist nl;
+  const auto a = nl.new_node(), b = nl.new_node();
+  nl.add_vsource(a, circuit::kGround, 1.0);
+  nl.add_capacitor(a, b, 1e-12);
+  const auto x = solve(nl);
+  EXPECT_NEAR(v(nl, b, x), 0.0, 1e-6);
+}
+
+TEST(Dc, DiodeStateCyclingFallsBackToSingleFlip) {
+  // Two competing clamps on the same node: simultaneous flipping can cycle;
+  // the solver must still find the consistent state.
+  circuit::Netlist nl;
+  const auto d = nl.new_node(), x_node = nl.new_node();
+  const auto lvl1 = nl.new_node(), lvl2 = nl.new_node();
+  nl.add_vsource(d, circuit::kGround, 5.0);
+  nl.add_resistor(d, x_node, 1e3);
+  nl.add_vsource(lvl1, circuit::kGround, 1.0);
+  nl.add_vsource(lvl2, circuit::kGround, 1.5);
+  nl.add_diode(x_node, lvl1);
+  nl.add_diode(x_node, lvl2);
+  const auto x = solve(nl);
+  EXPECT_NEAR(v(nl, x_node, x), 1.0, 2e-2); // tightest clamp wins
+}

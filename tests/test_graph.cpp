@@ -1,0 +1,175 @@
+// Flow networks, generators, DIMACS I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/dimacs.hpp"
+#include "graph/generators.hpp"
+#include "graph/network.hpp"
+
+namespace graph = aflow::graph;
+
+TEST(FlowNetwork, BasicConstruction) {
+  graph::FlowNetwork net(4, 0, 3);
+  const int e0 = net.add_edge(0, 1, 2.5);
+  const int e1 = net.add_edge(1, 3, 1.0);
+  EXPECT_EQ(e0, 0);
+  EXPECT_EQ(e1, 1);
+  EXPECT_EQ(net.num_edges(), 2);
+  EXPECT_EQ(net.out_degree(0), 1);
+  EXPECT_EQ(net.in_degree(3), 1);
+  EXPECT_EQ(net.degree(1), 2);
+  EXPECT_DOUBLE_EQ(net.max_capacity(), 2.5);
+  net.validate();
+}
+
+TEST(FlowNetwork, RejectsMalformedInput) {
+  EXPECT_THROW(graph::FlowNetwork(1, 0, 0), std::invalid_argument);
+  EXPECT_THROW(graph::FlowNetwork(3, 1, 1), std::invalid_argument);
+  EXPECT_THROW(graph::FlowNetwork(3, 0, 5), std::invalid_argument);
+  graph::FlowNetwork net(3, 0, 2);
+  EXPECT_THROW(net.add_edge(0, 0, 1.0), std::invalid_argument); // self loop
+  EXPECT_THROW(net.add_edge(0, 1, 0.0), std::invalid_argument); // zero cap
+  EXPECT_THROW(net.add_edge(0, 9, 1.0), std::invalid_argument); // range
+}
+
+TEST(FlowNetwork, Reachability) {
+  graph::FlowNetwork net(4, 0, 3);
+  net.add_edge(0, 1, 1.0);
+  net.add_edge(1, 3, 1.0);
+  // vertex 2 is isolated
+  const auto fwd = graph::reachable_from(net, 0);
+  EXPECT_TRUE(fwd[0] && fwd[1] && fwd[3]);
+  EXPECT_FALSE(fwd[2]);
+  EXPECT_TRUE(net.vertex_on_st_path(1));
+  EXPECT_FALSE(net.vertex_on_st_path(2));
+}
+
+TEST(FlowNetwork, PaperExamples) {
+  const auto fig5 = graph::paper_example_fig5();
+  EXPECT_EQ(fig5.num_vertices(), 5);
+  EXPECT_EQ(fig5.num_edges(), 5);
+  EXPECT_DOUBLE_EQ(fig5.max_capacity(), 3.0);
+  fig5.validate();
+
+  const auto fig15 = graph::paper_example_fig15();
+  EXPECT_EQ(fig15.num_edges(), 5);
+  fig15.validate();
+}
+
+TEST(Generators, RmatRespectsSizeAndDeterminism) {
+  const auto g1 = graph::rmat(64, 256, {}, 42);
+  const auto g2 = graph::rmat(64, 256, {}, 42);
+  EXPECT_EQ(g1.num_vertices(), 64);
+  EXPECT_NEAR(g1.num_edges(), 256, 16); // dedup can fall slightly short
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  for (int e = 0; e < g1.num_edges(); ++e) {
+    EXPECT_EQ(g1.edge(e).from, g2.edge(e).from);
+    EXPECT_EQ(g1.edge(e).to, g2.edge(e).to);
+    EXPECT_DOUBLE_EQ(g1.edge(e).capacity, g2.edge(e).capacity);
+  }
+  g1.validate();
+  // Sink reachable from source by construction.
+  EXPECT_TRUE(graph::reachable_from(g1, g1.source())[g1.sink()]);
+}
+
+TEST(Generators, RmatDenseAndSparseRegimes) {
+  const auto dense = graph::rmat_dense(320, 1);
+  const auto sparse = graph::rmat_sparse(320, 1);
+  // Dense: ~8.68e-3 * n^2 = ~889 edges; sparse: ~8n = 2560.
+  EXPECT_GT(dense.num_edges(), 700);
+  EXPECT_LT(dense.num_edges(), 950);
+  EXPECT_GT(sparse.num_edges(), 2200);
+  EXPECT_LT(sparse.num_edges(), 2600);
+}
+
+TEST(Generators, RmatSkewsDegrees) {
+  // With a = 0.57 the low-numbered vertices should accumulate more edges.
+  const auto g = graph::rmat(256, 2048, {}, 7);
+  long long low = 0, high = 0;
+  for (const auto& e : g.edges()) {
+    if (e.from < 128) ++low;
+    else ++high;
+  }
+  EXPECT_GT(low, high);
+}
+
+TEST(Generators, GridCutGraphShape) {
+  const int h = 3, w = 4;
+  std::vector<double> src(h * w, 0.0), snk(h * w, 0.0);
+  src[0] = 5.0;
+  snk[11] = 5.0;
+  const auto g = graph::grid_cut_graph(h, w, src, snk, 1.0);
+  EXPECT_EQ(g.num_vertices(), h * w + 2);
+  // Lattice arcs: 2*(h*(w-1) + (h-1)*w) = 2*(9+8) = 34, plus 2 terminal arcs.
+  EXPECT_EQ(g.num_edges(), 36);
+  g.validate();
+}
+
+TEST(Generators, LayeredRandomIsLayered) {
+  const auto g = graph::layered_random(4, 5, 3, 10, 3);
+  EXPECT_EQ(g.num_vertices(), 2 + 4 * 5);
+  g.validate();
+  for (const auto& e : g.edges()) {
+    if (e.from == g.source() || e.to == g.sink()) continue;
+    const int from_layer = (e.from - 1) / 5;
+    const int to_layer = (e.to - 1) / 5;
+    EXPECT_EQ(to_layer, from_layer + 1);
+  }
+}
+
+TEST(Generators, UniformRandomConnectsTerminals) {
+  const auto g = graph::uniform_random(30, 90, 20, 5);
+  EXPECT_GE(g.out_degree(g.source()), 1);
+  EXPECT_GE(g.in_degree(g.sink()), 1);
+  g.validate();
+}
+
+TEST(Dimacs, RoundTrip) {
+  const auto g = graph::paper_example_fig5();
+  std::stringstream ss;
+  graph::write_dimacs(ss, g);
+  const auto g2 = graph::read_dimacs(ss);
+  ASSERT_EQ(g2.num_vertices(), g.num_vertices());
+  ASSERT_EQ(g2.num_edges(), g.num_edges());
+  EXPECT_EQ(g2.source(), g.source());
+  EXPECT_EQ(g2.sink(), g.sink());
+  for (int e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(g2.edge(e).from, g.edge(e).from);
+    EXPECT_EQ(g2.edge(e).to, g.edge(e).to);
+    EXPECT_DOUBLE_EQ(g2.edge(e).capacity, g.edge(e).capacity);
+  }
+}
+
+TEST(Dimacs, ParsesStandardInput) {
+  std::stringstream ss(
+      "c tiny example\n"
+      "p max 3 2\n"
+      "n 1 s\n"
+      "n 3 t\n"
+      "a 1 2 7\n"
+      "a 2 3 4\n");
+  const auto g = graph::read_dimacs(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.edge(0).capacity, 7.0);
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  {
+    std::stringstream ss("a 1 2 3\n");
+    EXPECT_THROW(graph::read_dimacs(ss), std::runtime_error); // no problem line
+  }
+  {
+    std::stringstream ss("p max 3 1\nn 1 s\na 1 2 3\n");
+    EXPECT_THROW(graph::read_dimacs(ss), std::runtime_error); // no sink
+  }
+  {
+    std::stringstream ss("p max 3 1\nn 1 s\nn 2 t\nn 3 s\na 1 2 3\n");
+    EXPECT_THROW(graph::read_dimacs(ss), std::runtime_error); // dup source
+  }
+  {
+    std::stringstream ss("p max 2 1\nn 1 s\nn 2 t\na 1 9 3\n");
+    EXPECT_THROW(graph::read_dimacs(ss), std::runtime_error); // range
+  }
+}

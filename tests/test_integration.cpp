@@ -1,0 +1,155 @@
+// Cross-module integration: the full substrate lifecycle and the pipelines
+// a downstream user would run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "analog/crossbar.hpp"
+#include "analog/power.hpp"
+#include "analog/solver.hpp"
+#include "arch/clustered.hpp"
+#include "flow/maxflow.hpp"
+#include "graph/dimacs.hpp"
+#include "graph/generators.hpp"
+#include "mincut/dual_circuit.hpp"
+
+namespace analog = aflow::analog;
+namespace arch = aflow::arch;
+namespace flow = aflow::flow;
+namespace graph = aflow::graph;
+namespace mincut = aflow::mincut;
+
+TEST(Integration, FullLifecycleProgramComputeReadout) {
+  // Generate -> size the crossbar -> program (Sec. 3.1) -> compute
+  // (Sec. 3.2) -> read out -> compare with the CPU baseline.
+  const auto g = graph::rmat(48, 220, {}, 33);
+  const double exact = flow::push_relabel(g).flow_value;
+
+  analog::Crossbar xbar(g.num_vertices(), g.num_vertices(), {});
+  const auto prog = xbar.program(analog::Crossbar::cells_for_graph(g));
+  ASSERT_TRUE(prog.success);
+  EXPECT_EQ(prog.cycles, g.num_vertices());
+
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vflow = 50.0;
+  opt.config.diode.r_on = 0.01;
+  opt.quantization = analog::QuantizationMode::kRound;
+  opt.config.voltage_levels = 20;
+  opt.perturb = xbar.link_perturbation(g);
+
+  const auto r = analog::AnalogMaxFlowSolver(opt).solve(g);
+  EXPECT_LT(r.relative_error(exact), 0.08); // the paper's error envelope
+
+  // Power accounting for this instance.
+  const auto power = analog::estimate_power(g, {});
+  EXPECT_GT(power.active_opamps, 0);
+  EXPECT_LT(power.total(), 5.0); // well inside the 5 W embedded budget
+}
+
+TEST(Integration, DimacsPipelineMatchesInMemory) {
+  const auto g = graph::rmat(32, 120, {}, 8);
+  std::stringstream ss;
+  graph::write_dimacs(ss, g);
+  const auto g2 = graph::read_dimacs(ss);
+
+  const double f1 = flow::dinic(g).flow_value;
+  const double f2 = flow::dinic(g2).flow_value;
+  EXPECT_DOUBLE_EQ(f1, f2);
+
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vflow = 50.0;
+  const auto r1 = analog::AnalogMaxFlowSolver(opt).solve(g);
+  const auto r2 = analog::AnalogMaxFlowSolver(opt).solve(g2);
+  EXPECT_NEAR(r1.flow_value, r2.flow_value, 1e-9);
+}
+
+TEST(Integration, MaxFlowMinCutDualityAcrossSolvers) {
+  // Three independent routes to the same number: CPU max-flow, analog
+  // max-flow, analog min-cut partition.
+  const auto g = graph::rmat(28, 100, {}, 13);
+  const auto mf = flow::push_relabel(g);
+  const auto cut = flow::min_cut_from_flow(g, mf);
+  ASSERT_NEAR(mf.flow_value, cut.cut_value, 1e-9);
+
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vflow = 50.0;
+  opt.config.diode.r_on = 0.01;
+  const auto analog_flow = analog::AnalogMaxFlowSolver(opt).solve(g);
+  EXPECT_LT(analog_flow.relative_error(mf.flow_value), 0.05);
+
+  const auto analog_cut = mincut::solve_mincut_dual(g);
+  double side_cut = 0.0;
+  for (const auto& e : g.edges())
+    if (analog_cut.side[e.from] && !analog_cut.side[e.to]) side_cut += e.capacity;
+  EXPECT_NEAR(side_cut, cut.cut_value, 1e-6);
+}
+
+TEST(Integration, VisionWorkloadSegmentsCleanly) {
+  // A two-blob synthetic image: the min cut should separate the blobs.
+  const int h = 6, w = 9;
+  std::vector<double> src(h * w, 0.0), snk(h * w, 0.0);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const int p = y * w + x;
+      if (x < 3) src[p] = 8.0;        // strongly foreground
+      else if (x >= 6) snk[p] = 8.0;  // strongly background
+    }
+  const auto g = graph::grid_cut_graph(h, w, src, snk, 1.0);
+  const auto mf = flow::push_relabel(g);
+  const auto cut = flow::min_cut_from_flow(g, mf);
+
+  // The cut must cross the middle band: cost = h * lambda * (1 boundary).
+  EXPECT_NEAR(cut.cut_value, h * 1.0, 1e-9 + h * 1.0);
+  for (int y = 0; y < h; ++y) {
+    EXPECT_TRUE(cut.side[y * w + 0]);      // foreground pixels source-side
+    EXPECT_FALSE(cut.side[y * w + w - 1]); // background pixels sink-side
+  }
+}
+
+TEST(Integration, OversizedGraphNeedsClusteredMapping) {
+  // A graph larger than one crossbar must go through the Sec. 6.2 flow.
+  const auto g = graph::rmat_sparse(200, 17);
+  arch::ArchSpec spec;
+  spec.island_capacity = 64;
+  spec.channel_width = 4096;
+  const auto m = arch::map_to_islands(g, spec, 17);
+  EXPECT_TRUE(m.routed);
+  EXPECT_GE(m.islands, (g.num_vertices() + 63) / 64);
+
+  // Islands host subcircuits no larger than their capacity.
+  std::vector<int> load(m.islands, 0);
+  for (int v = 0; v < g.num_vertices(); ++v) load[m.vertex_island[v]]++;
+  for (int c : load) EXPECT_LE(c, spec.island_capacity);
+}
+
+TEST(Integration, QuantizationErrorBoundHoldsEndToEnd) {
+  // Per-edge worst-case quantization error is C/N (Sec. 4.1); the end-to-
+  // end flow error of the quantized *instance* is bounded by the cut size
+  // times C/N. Verify against the exact quantized optimum.
+  for (int seed : {1, 2, 3}) {
+    const auto g = graph::rmat(40, 170, {}, seed);
+    const double c_max = g.max_capacity();
+    const int levels = 20;
+    analog::Quantizer q(1.0, levels, c_max, analog::QuantizationMode::kRound);
+
+    graph::FlowNetwork gq(g.num_vertices(), g.source(), g.sink());
+    for (const auto& e : g.edges()) {
+      const double cap = q.to_flow(q.to_voltage(e.capacity));
+      if (cap > 0.0) gq.add_edge(e.from, e.to, cap);
+    }
+    const double exact = flow::push_relabel(g).flow_value;
+    const double quantized = flow::push_relabel(gq).flow_value;
+    const auto cut = flow::min_cut_from_flow(g, flow::push_relabel(g));
+    const double bound =
+        static_cast<double>(cut.cut_edges.size()) * q.worst_case_error() / 2.0 +
+        1e-9;
+    EXPECT_LE(std::abs(quantized - exact), bound) << "seed " << seed;
+  }
+}

@@ -1,0 +1,198 @@
+// Sparse linear algebra: triplet compression, matvec, orderings, LU.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "la/lu.hpp"
+#include "la/ordering.hpp"
+#include "la/sparse.hpp"
+
+namespace la = aflow::la;
+
+TEST(Triplets, DuplicatesAreSummed) {
+  la::Triplets t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.0);
+  t.add(2, 1, -4.0);
+  const auto m = la::SparseMatrix::from_triplets(t);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), -4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(Triplets, NegativeIndexThrows) {
+  la::Triplets t;
+  EXPECT_THROW(t.add(-1, 0, 1.0), std::invalid_argument);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  la::Triplets t(3, 3);
+  t.add(0, 0, 2.0);
+  t.add(0, 2, 1.0);
+  t.add(1, 1, -1.0);
+  t.add(2, 0, 5.0);
+  const auto m = la::SparseMatrix::from_triplets(t);
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(3);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+  EXPECT_DOUBLE_EQ(y[2], 5.0);
+}
+
+TEST(SparseMatrix, SymmetricAdjacencyIgnoresDiagonal) {
+  la::Triplets t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 1.0);
+  t.add(2, 0, 1.0);
+  const auto adj = la::SparseMatrix::from_triplets(t).symmetric_adjacency();
+  EXPECT_EQ(adj[0], (std::vector<int>{1, 2}));
+  EXPECT_EQ(adj[1], (std::vector<int>{0}));
+  EXPECT_EQ(adj[2], (std::vector<int>{0}));
+}
+
+TEST(Ordering, PermutationsAreValid) {
+  la::Triplets t(4, 4);
+  for (int i = 0; i < 4; ++i) t.add(i, i, 1.0);
+  t.add(0, 3, 1.0);
+  t.add(3, 0, 1.0);
+  const auto m = la::SparseMatrix::from_triplets(t);
+  for (auto perm : {la::minimum_degree_order(m), la::rcm_order(m)}) {
+    std::vector<char> seen(4, 0);
+    for (int p : perm) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, 4);
+      EXPECT_FALSE(seen[p]) << "duplicate in permutation";
+      seen[p] = 1;
+    }
+  }
+}
+
+TEST(Ordering, InvertPermutation) {
+  const std::vector<int> p = {2, 0, 1};
+  const auto inv = la::invert_permutation(p);
+  EXPECT_EQ(inv, (std::vector<int>{1, 2, 0}));
+}
+
+namespace {
+
+/// Random diagonally-dominant-ish sparse system for LU validation.
+la::SparseMatrix random_system(int n, double density, std::mt19937_64& rng,
+                               la::Triplets* out_triplets = nullptr) {
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::bernoulli_distribution hit(density);
+  la::Triplets t(n, n);
+  for (int i = 0; i < n; ++i) {
+    t.add(i, i, 4.0 + val(rng));
+    for (int j = 0; j < n; ++j)
+      if (i != j && hit(rng)) t.add(i, j, val(rng));
+  }
+  if (out_triplets) *out_triplets = t;
+  return la::SparseMatrix::from_triplets(t);
+}
+
+} // namespace
+
+class SparseLUParam
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(SparseLUParam, SolveMatchesMultiply) {
+  const auto [n, density, seed] = GetParam();
+  std::mt19937_64 rng(seed);
+  const auto a = random_system(n, density, rng);
+
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = val(rng);
+  std::vector<double> b(n);
+  a.multiply(x_true, b);
+
+  for (auto ordering : {la::SparseLU::Ordering::kMinDegree,
+                        la::SparseLU::Ordering::kRcm,
+                        la::SparseLU::Ordering::kNatural}) {
+    la::SparseLU::Options opt;
+    opt.ordering = ordering;
+    la::SparseLU lu(opt);
+    lu.factor(a);
+    std::vector<double> x(n);
+    lu.solve(b, x);
+    for (int i = 0; i < n; ++i)
+      EXPECT_NEAR(x[i], x_true[i], 1e-8) << "n=" << n << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SparseLUParam,
+    ::testing::Values(std::make_tuple(5, 0.5, 1), std::make_tuple(20, 0.2, 2),
+                      std::make_tuple(50, 0.1, 3), std::make_tuple(100, 0.05, 4),
+                      std::make_tuple(200, 0.02, 5),
+                      std::make_tuple(400, 0.01, 6)));
+
+TEST(SparseLU, RefactorReusesOrdering) {
+  std::mt19937_64 rng(7);
+  la::Triplets t;
+  const auto a = random_system(60, 0.1, rng, &t);
+  la::SparseLU lu;
+  lu.factor(a);
+
+  // Same pattern, scaled values.
+  la::Triplets t2(60, 60);
+  for (const auto& e : t.entries()) t2.add(e.row, e.col, e.value * 2.0);
+  const auto a2 = la::SparseMatrix::from_triplets(t2);
+  lu.refactor(a2);
+
+  std::vector<double> x_true(60, 1.0), b(60), x(60);
+  a2.multiply(x_true, b);
+  lu.solve(b, x);
+  for (int i = 0; i < 60; ++i) EXPECT_NEAR(x[i], 1.0, 1e-8);
+}
+
+TEST(SparseLU, SingularMatrixThrows) {
+  la::Triplets t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  // Column/row 2 empty -> structurally singular.
+  t.add(2, 2, 0.0);
+  la::SparseLU lu;
+  EXPECT_THROW(lu.factor(la::SparseMatrix::from_triplets(t)),
+               la::SingularMatrixError);
+}
+
+TEST(SparseLU, NonSquareThrows) {
+  la::Triplets t(2, 3);
+  t.add(0, 0, 1.0);
+  t.add(1, 2, 1.0);
+  la::SparseLU lu;
+  EXPECT_THROW(lu.factor(la::SparseMatrix::from_triplets(t)),
+               std::invalid_argument);
+}
+
+TEST(SparseLU, PivotingHandlesZeroDiagonal) {
+  // [[0 1], [1 0]] needs row pivoting.
+  la::Triplets t(2, 2);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  la::SparseLU lu;
+  lu.factor(la::SparseMatrix::from_triplets(t));
+  std::vector<double> b = {3.0, 4.0}, x(2);
+  lu.solve(b, x);
+  EXPECT_DOUBLE_EQ(x[0], 4.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(DenseLU, SolvesAndDetectsSingular) {
+  std::vector<double> a = {2, 1, 1, 3};
+  std::vector<double> b = {5, 10}, x(2);
+  ASSERT_TRUE(la::dense::lu_solve(a, 2, b, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  std::vector<double> singular = {1, 2, 2, 4};
+  EXPECT_FALSE(la::dense::lu_solve(singular, 2, b, x));
+}
+
+TEST(Norms, InfAndTwo) {
+  const std::vector<double> v = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(la::norm_inf(v), 4.0);
+  EXPECT_DOUBLE_EQ(la::norm2(v), 5.0);
+}

@@ -1,0 +1,98 @@
+// Power and energy model (Sec. 5.2): op-amp census, budget arithmetic, and
+// the measured resistive term.
+#include <gtest/gtest.h>
+
+#include "analog/power.hpp"
+#include "analog/solver.hpp"
+#include "analog/variation.hpp"
+#include "graph/generators.hpp"
+#include "sim/dc.hpp"
+
+namespace analog = aflow::analog;
+namespace graph = aflow::graph;
+
+TEST(Power, OpAmpCensusMatchesStructure) {
+  // Fig. 5 instance: widgets on x1,x2,x3 (heads n1,n2,n3) + columns
+  // n1,n2,n3 -> 6 op-amps; edges into the sink need none.
+  const auto g = graph::paper_example_fig5();
+  EXPECT_EQ(analog::count_active_opamps(g), 6);
+}
+
+TEST(Power, EstimateUsesPaperConstant) {
+  const auto g = graph::paper_example_fig5();
+  analog::PowerParams p; // 500 uW
+  const auto report = analog::estimate_power(g, p);
+  EXPECT_EQ(report.active_opamps, 6);
+  EXPECT_DOUBLE_EQ(report.opamp_power, 6 * 500e-6);
+  EXPECT_DOUBLE_EQ(report.total(), report.opamp_power);
+}
+
+TEST(Power, BudgetNumbersFromThePaper) {
+  analog::PowerParams p;
+  // Sec. 5.2: 5 W -> 1e4 edges; 150 W -> 3e5 edges.
+  EXPECT_EQ(analog::max_edges_for_budget(5.0, p), 10000);
+  EXPECT_EQ(analog::max_edges_for_budget(150.0, p), 300000);
+}
+
+TEST(Power, MeasuredResistorPowerIsPositiveAndSmall) {
+  // At the Table-1 operating point (Vflow = 3 V) with the resistances scaled
+  // up 10x (the paper's own suggestion for suppressing resistive power,
+  // Sec. 5.2 + ratio invariance), the resistive term stays below the
+  // op-amp budget.
+  const auto g = graph::rmat(24, 90, {}, 4);
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vflow = 3.0;
+  analog::VariationModel vm;
+  vm.global_scale = 10.0;
+  opt.perturb = analog::make_variation(vm);
+  analog::AnalogMaxFlowSolver solver(opt);
+  const auto circuit = solver.map(g);
+
+  aflow::sim::DcSolver dc(circuit.netlist);
+  auto state = aflow::circuit::DeviceState::initial(circuit.netlist);
+  const auto x = dc.solve(state);
+
+  analog::PowerParams p;
+  const auto report =
+      analog::measure_power(g, p, circuit.netlist, dc.assembler(), x);
+  EXPECT_GT(report.resistor_power, 0.0);
+  EXPECT_LT(report.resistor_power, report.opamp_power);
+}
+
+TEST(Power, ResistorPowerShrinksWithGlobalScaling) {
+  // Sec. 5.2: proportionally scaling all resistances up cuts resistor power
+  // without changing the solution (ratio invariance).
+  const auto g = graph::rmat(24, 90, {}, 4);
+  auto measure = [&](double scale) {
+    analog::AnalogSolveOptions opt;
+    opt.config.fidelity = analog::NegResFidelity::kIdeal;
+    opt.config.parasitic_capacitance = 0.0;
+    opt.config.vflow = 10.0;
+    analog::VariationModel vm;
+    vm.global_scale = scale;
+    opt.perturb = analog::make_variation(vm);
+    analog::AnalogMaxFlowSolver solver(opt);
+    const auto c = solver.map(g);
+    aflow::sim::DcSolver dc(c.netlist);
+    auto state = aflow::circuit::DeviceState::initial(c.netlist);
+    const auto x = dc.solve(state);
+    return analog::measure_power(g, {}, c.netlist, dc.assembler(), x)
+        .resistor_power;
+  };
+  const double p1 = measure(1.0);
+  const double p4 = measure(4.0);
+  EXPECT_NEAR(p4, p1 / 4.0, 0.05 * p1);
+}
+
+TEST(Power, EnergyComparisonFavorsFasterSolver) {
+  analog::PowerParams p;
+  analog::PowerReport substrate;
+  substrate.active_opamps = 1000;
+  substrate.opamp_power = 1000 * p.p_amp; // 0.5 W
+  const double analog_e = analog::analog_energy(substrate, 10e-6);
+  const double cpu_e = analog::cpu_energy(p, 10e-3); // 1000x slower CPU
+  EXPECT_LT(analog_e, cpu_e);
+  EXPECT_NEAR(cpu_e / analog_e, 95.0 / 0.5 * 1000.0, 1e-6);
+}

@@ -1,0 +1,122 @@
+// Quasi-static sweep engine (Sec. 6.5 machinery), DIMACS file round trips,
+// and solver edge cases not covered by the module suites.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "analog/solver.hpp"
+#include "flow/maxflow.hpp"
+#include "graph/dimacs.hpp"
+#include "graph/generators.hpp"
+#include "sim/sweep.hpp"
+
+namespace analog = aflow::analog;
+namespace circuit = aflow::circuit;
+namespace flow = aflow::flow;
+namespace graph = aflow::graph;
+namespace sim = aflow::sim;
+
+TEST(QuasiStaticSweep, LinearCircuitTracksSource) {
+  // A plain divider: the swept probe must be exactly half the source.
+  circuit::Netlist nl;
+  const auto top = nl.new_node(), mid = nl.new_node();
+  const int src = nl.add_vsource(top, circuit::kGround, 0.0);
+  nl.add_resistor(top, mid, 1e3);
+  nl.add_resistor(mid, circuit::kGround, 1e3);
+
+  sim::QuasiStaticSweep sweep(nl, src);
+  const auto r = sweep.run({0.0, 1.0, 2.0, 4.0}, {sim::Probe::node(mid, "v")});
+  ASSERT_EQ(r.source_values.size(), 4u);
+  for (size_t k = 0; k < r.source_values.size(); ++k)
+    EXPECT_NEAR(r.trajectory[k][0], r.source_values[k] / 2.0, 1e-6);
+  EXPECT_TRUE(r.breakpoints.empty());
+}
+
+TEST(QuasiStaticSweep, ReportsClampBreakpoints) {
+  // Divider into a 1 V clamp: one breakpoint when the diode engages.
+  circuit::Netlist nl;
+  const auto top = nl.new_node(), mid = nl.new_node(), lvl = nl.new_node();
+  const int src = nl.add_vsource(top, circuit::kGround, 0.0);
+  nl.add_vsource(lvl, circuit::kGround, 1.0);
+  nl.add_resistor(top, mid, 1e3);
+  nl.add_resistor(mid, circuit::kGround, 1e3);
+  nl.add_diode(mid, lvl);
+
+  std::vector<double> values;
+  for (double v = 0.0; v <= 4.0; v += 0.25) values.push_back(v);
+  sim::QuasiStaticSweep sweep(nl, src);
+  const auto r = sweep.run(values, {sim::Probe::node(mid, "v")});
+
+  ASSERT_EQ(r.breakpoints.size(), 1u);
+  // Unclamped v_mid = Vflow/2 crosses 1 V at Vflow = 2 V.
+  EXPECT_NEAR(r.breakpoints[0].source_value, 2.25, 0.26);
+  EXPECT_NEAR(r.trajectory.back()[0], 1.0, 1e-2); // clamped at the end
+}
+
+TEST(Dimacs, FileRoundTripThroughDisk) {
+  const auto g = graph::rmat(24, 90, {}, 3);
+  const std::string path = "/tmp/aflow_dimacs_test.max";
+  graph::write_dimacs_file(path, g);
+  const auto g2 = graph::read_dimacs_file(path);
+  EXPECT_DOUBLE_EQ(flow::dinic(g).flow_value, flow::dinic(g2).flow_value);
+  std::remove(path.c_str());
+  EXPECT_THROW(graph::read_dimacs_file("/nonexistent/nope.max"),
+               std::runtime_error);
+}
+
+TEST(AnalogSolver, RejectsEmptyGraph) {
+  graph::FlowNetwork g(2, 0, 1);
+  analog::AnalogMaxFlowSolver solver;
+  EXPECT_THROW(solver.solve(g), std::invalid_argument);
+}
+
+TEST(AnalogSolver, SingleEdgeInstanceIsExact) {
+  graph::FlowNetwork g(2, 0, 1);
+  g.add_edge(0, 1, 7.0);
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vflow = 10.0;
+  opt.quantization = analog::QuantizationMode::kNone;
+  const auto r = analog::AnalogMaxFlowSolver(opt).solve(g);
+  EXPECT_NEAR(r.flow_value, 7.0, 0.05);
+}
+
+TEST(AnalogSolver, DisconnectedInstanceReadsNearZero) {
+  graph::FlowNetwork g(4, 0, 3);
+  g.add_edge(0, 1, 5.0); // dead end: vertex 1 has no outlet
+  g.add_edge(2, 3, 5.0); // unreachable from the source
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vflow = 10.0;
+  const auto r = analog::AnalogMaxFlowSolver(opt).solve(g);
+  EXPECT_LT(std::abs(r.flow_value), 0.1);
+}
+
+TEST(AnalogSolver, ParallelEdgesShareLevelSources) {
+  // Ten edges with the same capacity must share one level source (Sec. 4.1).
+  graph::FlowNetwork g(2, 0, 1);
+  for (int i = 0; i < 10; ++i) g.add_edge(0, 1, 4.0);
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  analog::AnalogMaxFlowSolver solver(opt);
+  const auto c = solver.map(g);
+  // Vflow + one shared level source.
+  EXPECT_EQ(c.netlist.vsources().size(), 2u);
+}
+
+TEST(AnalogSolver, LargeSparseInstanceStaysInErrorEnvelope) {
+  // A 960-vertex instance — the top of the paper's Fig. 10 range — through
+  // the steady-state path end to end.
+  const auto g = graph::rmat_sparse(960, 7);
+  const double exact = flow::push_relabel(g).flow_value;
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vflow = 10.0;
+  opt.quantization = analog::QuantizationMode::kRound;
+  const auto r = analog::AnalogMaxFlowSolver(opt).solve(g);
+  EXPECT_LT(r.relative_error(exact), 0.08);
+}

@@ -1,0 +1,189 @@
+// Transient integration: analytic RC / single-pole responses, the lagged
+// negative resistor, event handling, and the convergence-time metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/netlist.hpp"
+#include "sim/transient.hpp"
+
+namespace circuit = aflow::circuit;
+namespace sim = aflow::sim;
+
+TEST(ConvergenceTime, FindsBandEntry) {
+  // v(k) = 1 - 2^-k: enters the 0.1% band of v_final when |v-v10| small.
+  std::vector<double> t, v;
+  for (int k = 0; k <= 10; ++k) {
+    t.push_back(k);
+    v.push_back(1.0 - std::pow(2.0, -k));
+  }
+  const double tc = sim::convergence_time(t, v, 1e-3);
+  // final = 1 - 2^-10 ~ 0.99902, band ~ 9.99e-4; k = 9 is already inside
+  // (|v9 - v10| = 2^-10), k = 8 is outside (3 * 2^-10) -> entry at t = 9.
+  EXPECT_DOUBLE_EQ(tc, 9.0);
+  EXPECT_DOUBLE_EQ(sim::convergence_time(t, v, 0.5), 1.0);
+}
+
+TEST(ConvergenceTime, ConstantSignalConvergesImmediately) {
+  const std::vector<double> t = {0.0, 1.0, 2.0};
+  const std::vector<double> v = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(sim::convergence_time(t, v, 1e-3), 0.0);
+}
+
+TEST(Transient, RcStepMatchesAnalytic) {
+  // 1k * 1n = 1 us time constant; check v(t) = 1 - exp(-t/tau) at samples.
+  circuit::Netlist nl;
+  const auto in = nl.new_node(), out = nl.new_node();
+  nl.add_vsource(in, circuit::kGround, 1.0);
+  nl.add_resistor(in, out, 1e3);
+  nl.add_capacitor(out, circuit::kGround, 1e-9);
+
+  sim::TransientOptions opt;
+  opt.dt_initial = 1e-9;
+  opt.dt_max = 1e-8; // small fixed-ish steps for accuracy
+  opt.t_stop = 6e-6;
+  sim::TransientSolver solver(nl, opt);
+  circuit::DeviceState state = circuit::DeviceState::initial(nl);
+  const auto wf = solver.run(state, {sim::Probe::node(out, "v")});
+
+  const double tau = 1e-6;
+  for (size_t k = 0; k < wf.time.size(); k += 37) {
+    const double expect = 1.0 - std::exp(-wf.time[k] / tau);
+    EXPECT_NEAR(wf.samples[k][0], expect, 0.02);
+  }
+  EXPECT_NEAR(wf.samples.back()[0], 1.0, 1e-2);
+}
+
+TEST(Transient, OpAmpFollowerStepHasSinglePoleResponse) {
+  // Follower closed-loop bandwidth ~ GBW, so tau_cl ~ 1/(2 pi GBW).
+  circuit::Netlist nl;
+  const auto in = nl.new_node(), out = nl.new_node();
+  nl.add_vsource(in, circuit::kGround, 1.0);
+  circuit::OpAmpParams op;
+  op.gain = 1e4;
+  op.gbw = 1e9;
+  nl.add_opamp(in, out, out, op);
+  nl.add_resistor(out, circuit::kGround, 10e3);
+
+  sim::TransientOptions topt;
+  topt.dt_initial = 1e-12;
+  topt.dt_max = 1e-10;
+  topt.t_stop = 3e-9;
+  sim::TransientSolver solver(nl, topt);
+  circuit::DeviceState state = circuit::DeviceState::initial(nl);
+  const auto wf = solver.run(state, {sim::Probe::node(out, "v")});
+
+  EXPECT_NEAR(wf.samples.back()[0], 1.0, 2e-3);
+  const double tau_cl = 1.0 / (2.0 * std::numbers::pi * op.gbw);
+  const double tc = sim::convergence_time(wf.time, wf.series(0), 1e-2);
+  // 1% settling of a single pole takes ln(100) tau ~ 4.6 tau.
+  EXPECT_GT(tc, 2.0 * tau_cl);
+  EXPECT_LT(tc, 12.0 * tau_cl);
+}
+
+TEST(Transient, LaggedNegativeResistorSettlesToIdealValue) {
+  // Stable configuration (negative conductance weaker than the network
+  // conductance it faces: 20k > 10k): the lag element must settle onto the
+  // ideal DC solution V = Vin * (-2) = ... compute: V(1/r - 1/R) = Vin/r ->
+  // V = Vin * R / (R - r) = 1 * 20k / (20k - 10k)... with the negative
+  // resistor: V = -Vin * (1/r) / (1/R - 1/r) = 2.0 V for r=10k, R=20k.
+  circuit::Netlist nl;
+  const auto in = nl.new_node(), out = nl.new_node();
+  nl.add_vsource(in, circuit::kGround, 1.0);
+  nl.add_resistor(in, out, 10e3);
+  nl.add_negative_resistor(out, circuit::kGround, 20e3, /*tau=*/1e-8);
+  nl.add_capacitor(out, circuit::kGround, 20e-15);
+
+  sim::TransientOptions topt;
+  topt.dt_initial = 1e-10;
+  topt.dt_max = 1e-9;
+  topt.t_stop = 5e-7;
+  sim::TransientSolver solver(nl, topt);
+  circuit::DeviceState state = circuit::DeviceState::initial(nl);
+  const auto wf = solver.run(state, {sim::Probe::node(out, "v")});
+  EXPECT_NEAR(wf.samples.back()[0], 2.0, 2e-2);
+  // Early on, before the lag responds, the node divides passively upward
+  // but stays below the final overshoot target.
+  EXPECT_GT(wf.samples.front()[0], 0.0);
+  EXPECT_LT(wf.samples.front()[0], 1.0);
+}
+
+TEST(Transient, LaggedNegativeResistorSaddleDiverges) {
+  // The same divider with the negative conductance *stronger* than the
+  // network (5k < 10k) is a saddle — the classic NIC instability. The
+  // integrator must reproduce the divergence rather than hide it.
+  circuit::Netlist nl;
+  const auto in = nl.new_node(), out = nl.new_node();
+  nl.add_vsource(in, circuit::kGround, 1.0);
+  nl.add_resistor(in, out, 10e3);
+  nl.add_negative_resistor(out, circuit::kGround, 5e3, /*tau=*/1e-8);
+  nl.add_capacitor(out, circuit::kGround, 20e-15);
+
+  sim::TransientOptions topt;
+  topt.dt_initial = 1e-10;
+  topt.dt_max = 1e-9;
+  topt.t_stop = 3e-7;
+  sim::TransientSolver solver(nl, topt);
+  circuit::DeviceState state = circuit::DeviceState::initial(nl);
+  // The divergence guard must catch the blow-up and report it.
+  EXPECT_THROW(solver.run(state, {sim::Probe::node(out, "v")}),
+               sim::ConvergenceError);
+}
+
+TEST(Transient, DiodeEventIsHandledMidRun) {
+  // RC charging into a 1 V clamp: trajectory follows RC then flattens.
+  circuit::Netlist nl;
+  const auto in = nl.new_node(), out = nl.new_node(), lvl = nl.new_node();
+  nl.add_vsource(in, circuit::kGround, 3.0);
+  nl.add_vsource(lvl, circuit::kGround, 1.0);
+  nl.add_resistor(in, out, 1e3);
+  nl.add_capacitor(out, circuit::kGround, 1e-9);
+  nl.add_diode(out, lvl);
+
+  sim::TransientOptions topt;
+  topt.dt_initial = 1e-9;
+  topt.dt_max = 2e-8;
+  topt.t_stop = 8e-6;
+  sim::TransientSolver solver(nl, topt);
+  circuit::DeviceState state = circuit::DeviceState::initial(nl);
+  const auto wf = solver.run(state, {sim::Probe::node(out, "v")});
+  EXPECT_NEAR(wf.samples.back()[0], 1.0, 2e-2);
+  EXPECT_GE(solver.stats().diode_flips, 1);
+  // Never rises meaningfully above the clamp.
+  for (const auto& row : wf.samples) EXPECT_LT(row[0], 1.05);
+}
+
+TEST(Transient, SettleDetectionStopsEarly) {
+  circuit::Netlist nl;
+  const auto in = nl.new_node(), out = nl.new_node();
+  nl.add_vsource(in, circuit::kGround, 1.0);
+  nl.add_resistor(in, out, 1e3);
+  nl.add_capacitor(out, circuit::kGround, 1e-9);
+
+  sim::TransientOptions topt;
+  topt.dt_initial = 1e-9;
+  topt.dt_max = 1e-7;
+  topt.t_stop = 1.0; // far beyond settling; must stop early
+  topt.settle_tol = 1e-9;
+  sim::TransientSolver solver(nl, topt);
+  circuit::DeviceState state = circuit::DeviceState::initial(nl);
+  const auto wf = solver.run(state, {sim::Probe::node(out, "v")});
+  EXPECT_TRUE(solver.stats().settled);
+  EXPECT_LT(wf.time.back(), 1e-3);
+}
+
+TEST(Transient, SourceCurrentProbe) {
+  circuit::Netlist nl;
+  const auto top = nl.new_node();
+  const int src = nl.add_vsource(top, circuit::kGround, 10.0);
+  nl.add_resistor(top, circuit::kGround, 1e3);
+  nl.add_capacitor(top, circuit::kGround, 1e-12);
+
+  sim::TransientOptions topt;
+  topt.dt_initial = 1e-10;
+  topt.t_stop = 1e-7;
+  sim::TransientSolver solver(nl, topt);
+  circuit::DeviceState state = circuit::DeviceState::initial(nl);
+  const auto wf = solver.run(state, {sim::Probe::source_current(src, "i")});
+  EXPECT_NEAR(wf.samples.back()[0], 10.0 / 1e3, 1e-6);
+}

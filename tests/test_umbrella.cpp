@@ -1,0 +1,13 @@
+// The umbrella header must compile standalone and expose the public API.
+#include "aflow.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, EndToEndSmoke) {
+  const auto g = aflow::graph::paper_example_fig5();
+  const double exact = aflow::flow::dinic(g).flow_value;
+  aflow::analog::AnalogSolveOptions opt;
+  opt.config.vflow = 10.0;
+  const auto r = aflow::analog::AnalogMaxFlowSolver(opt).solve(g);
+  EXPECT_LT(r.relative_error(exact), 0.08);
+}
