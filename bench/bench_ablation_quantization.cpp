@@ -3,6 +3,7 @@
 // quantifies it, together with the worst-case bound e = C/N.
 #include "analog/solver.hpp"
 #include "bench_util.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/generators.hpp"
 
@@ -18,7 +19,7 @@ int main(int argc, char** argv) {
     double sum = 0.0, worst = 0.0, bound_rel = 0.0;
     for (int seed = 1; seed <= seeds; ++seed) {
       const auto g = graph::rmat(48, 220, {}, seed);
-      const double exact = flow::push_relabel(g).flow_value;
+      const double exact = core::solve("push_relabel", g).flow_value;
       analog::AnalogSolveOptions opt;
       opt.config.fidelity = analog::NegResFidelity::kIdeal;
       opt.config.parasitic_capacitance = 0.0;

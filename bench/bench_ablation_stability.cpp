@@ -9,6 +9,7 @@
 // that cliff — the central design tension this reproduction exposes.
 #include "analog/solver.hpp"
 #include "bench_util.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/generators.hpp"
 
@@ -17,7 +18,7 @@ int main() {
   bench::banner("Ablation — negative-resistor stability margin vs correctness");
 
   const auto g = graph::rmat(40, 170, {}, 5);
-  const double exact = flow::push_relabel(g).flow_value;
+  const double exact = core::solve("push_relabel", g).flow_value;
   std::printf("instance: %d vertices / %d edges, exact max flow %.0f\n\n",
               g.num_vertices(), g.num_edges(), exact);
   std::printf("%10s %12s %12s\n", "margin", "flow", "error");

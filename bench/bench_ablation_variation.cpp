@@ -5,6 +5,7 @@
 #include "analog/tuning.hpp"
 #include "analog/variation.hpp"
 #include "bench_util.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/generators.hpp"
 
@@ -16,7 +17,7 @@ int main(int argc, char** argv) {
 
   std::printf("[ratio invariance] die-level global scale, ideal substrate:\n");
   const auto g0 = graph::rmat(40, 170, {}, 5);
-  const double exact0 = flow::push_relabel(g0).flow_value;
+  const double exact0 = core::solve("push_relabel", g0).flow_value;
   for (double scale : {0.7, 1.0, 1.5, 2.0}) {
     analog::AnalogSolveOptions opt;
     opt.config.fidelity = analog::NegResFidelity::kIdeal;
@@ -48,7 +49,7 @@ int main(int argc, char** argv) {
       // Bounded-transient instance; R-MAT mismatch studies diverge (a
       // reproduction finding, see EXPERIMENTS.md).
       const auto g = graph::paper_example_fig5();
-      const double exact = flow::push_relabel(g).flow_value;
+      const double exact = core::solve("push_relabel", g).flow_value;
       analog::AnalogSolveOptions opt;
       opt.config.fidelity = analog::NegResFidelity::kOpAmpNic;
       opt.config.parasitics_on_internal_nodes = true;

@@ -2,6 +2,7 @@
 // two overlapping regions and iterate subproblem min-cuts to global
 // agreement.
 #include "bench_util.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/generators.hpp"
 #include "mincut/decomposition.hpp"
@@ -20,7 +21,7 @@ int main(int argc, char** argv) {
   for (int n : {200, 400, 800}) {
     for (int seed = 1; seed <= seeds / 2; ++seed) {
       const auto g = graph::rmat_sparse(n, seed);
-      const auto exact = flow::min_cut_from_flow(g, flow::push_relabel(g));
+      const auto exact = flow::min_cut_from_flow(g, core::solve("push_relabel", g));
       mincut::DecompositionOptions opt;
       opt.max_iterations = 80;
       const auto r = mincut::solve_by_decomposition(g, opt);

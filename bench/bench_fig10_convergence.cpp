@@ -14,6 +14,7 @@
 
 #include "analog/solver.hpp"
 #include "bench_util.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/generators.hpp"
 
@@ -53,9 +54,10 @@ Row run_instance(const graph::FlowNetwork& g, double vflow,
   row.vertices = g.num_vertices();
   row.edges = g.num_edges();
 
-  const auto pr = flow::push_relabel(g);
+  const auto solver = core::SolverRegistry::instance().create("push_relabel");
+  const auto pr = solver->solve(g);
   row.exact = pr.flow_value;
-  row.cpu_seconds = bench::time_median([&] { flow::push_relabel(g); });
+  row.cpu_seconds = bench::time_median([&] { solver->solve(g); });
 
   analog::AnalogSolveOptions dc;
   dc.config.fidelity = analog::NegResFidelity::kIdeal;
@@ -150,7 +152,8 @@ int main(int argc, char** argv) {
     dyn.emplace_back("layered-" + std::to_string(layers),
                      graph::layered_random(layers, 2, 2, 8, 5));
   for (auto& [name, g] : dyn) {
-    const double cpu = bench::time_median([&g = g] { flow::push_relabel(g); });
+    const auto solver = core::SolverRegistry::instance().create("push_relabel");
+    const double cpu = bench::time_median([&, &g = g] { solver->solve(g); });
     try {
       const double t10 = measure_tconv(g, 10e9, vflow);
       const double t50 = measure_tconv(g, 50e9, vflow);

@@ -3,6 +3,7 @@
 // plus the steady-state solution (Sec. 2.4).
 #include "analog/solver.hpp"
 #include "bench_util.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/network.hpp"
 
@@ -11,7 +12,7 @@ int main(int argc, char** argv) {
   bench::banner("Fig. 5 — solving the example instance; waveform of V(x1..x5)");
 
   const auto g = graph::paper_example_fig5();
-  const double exact = flow::push_relabel(g).flow_value;
+  const double exact = core::solve("push_relabel", g).flow_value;
 
   analog::AnalogSolveOptions opt;
   opt.config.fidelity = analog::NegResFidelity::kOpAmpNic;

@@ -5,6 +5,7 @@
 #include "analog/quantize.hpp"
 #include "analog/solver.hpp"
 #include "bench_util.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/network.hpp"
 
@@ -13,7 +14,7 @@ int main() {
   bench::banner("Fig. 8 — voltage level quantization (N = 20, Vdd = 1 V)");
 
   const auto g = graph::paper_example_fig5();
-  const double exact = flow::push_relabel(g).flow_value;
+  const double exact = core::solve("push_relabel", g).flow_value;
   const analog::Quantizer q(1.0, 20, g.max_capacity(),
                             analog::QuantizationMode::kRound);
 

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analog/solver.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/generators.hpp"
 #include "la/lu.hpp"
@@ -72,14 +73,16 @@ BENCHMARK(BM_AnalogDcSolve)->Arg(64)->Arg(128);
 
 void BM_PushRelabel(benchmark::State& state) {
   const auto g = graph::rmat_sparse(static_cast<int>(state.range(0)), 7);
+  const auto solver = core::SolverRegistry::instance().create("push_relabel");
   for (auto _ : state)
-    benchmark::DoNotOptimize(flow::push_relabel(g).flow_value);
+    benchmark::DoNotOptimize(solver->solve(g).flow_value);
 }
 BENCHMARK(BM_PushRelabel)->Arg(256)->Arg(512)->Arg(960);
 
 void BM_Dinic(benchmark::State& state) {
   const auto g = graph::rmat_sparse(static_cast<int>(state.range(0)), 7);
-  for (auto _ : state) benchmark::DoNotOptimize(flow::dinic(g).flow_value);
+  const auto solver = core::SolverRegistry::instance().create("dinic");
+  for (auto _ : state) benchmark::DoNotOptimize(solver->solve(g).flow_value);
 }
 BENCHMARK(BM_Dinic)->Arg(256)->Arg(512)->Arg(960);
 

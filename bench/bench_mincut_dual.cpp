@@ -3,6 +3,7 @@
 // thresholded-partition cut value, continuous objective, and the recovered
 // flow (dual variables).
 #include "bench_util.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/generators.hpp"
 #include "mincut/dual_circuit.hpp"
@@ -20,7 +21,7 @@ int main(int argc, char** argv) {
   int solved = 0;
   for (int seed = 1; seed <= seeds; ++seed) {
     const auto g = graph::rmat(24, 80, {}, seed);
-    const auto cut = flow::min_cut_from_flow(g, flow::push_relabel(g));
+    const auto cut = flow::min_cut_from_flow(g, core::solve("push_relabel", g));
     try {
       const auto r = mincut::solve_mincut_dual(g);
       double side_cut = 0.0;

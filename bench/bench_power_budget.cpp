@@ -4,6 +4,7 @@
 #include "analog/power.hpp"
 #include "analog/solver.hpp"
 #include "bench_util.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/generators.hpp"
 #include "sim/dc.hpp"
@@ -52,7 +53,8 @@ int main() {
 
   // Energy comparison on a mid-size instance.
   const auto g = graph::rmat_sparse(256, 7);
-  const double cpu_s = bench::time_median([&] { flow::push_relabel(g); });
+  const auto solver = core::SolverRegistry::instance().create("push_relabel");
+  const double cpu_s = bench::time_median([&] { solver->solve(g); });
   analog::AnalogSolveOptions topt;
   topt.config.fidelity = analog::NegResFidelity::kOpAmpNic;
   topt.config.parasitics_on_internal_nodes = true;

@@ -1,39 +1,22 @@
-// Shared helpers for the reproduction benches: tiny argv parsing, wall-clock
-// timing of the CPU baseline, and consistent table printing.
+// Shared helpers for the reproduction benches: wall-clock timing of the CPU
+// baseline and consistent table printing. Argv parsing lives in
+// util/args.hpp (shared with the aflow CLI) and is re-exported here.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "util/args.hpp"
+
 namespace aflow::bench {
 
-/// Returns the value following `--key` in argv, or `fallback`.
-inline std::string arg_string(int argc, char** argv, const char* key,
-                              std::string fallback) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], key) == 0) return argv[i + 1];
-  return fallback;
-}
-
-inline double arg_double(int argc, char** argv, const char* key, double fallback) {
-  const std::string s = arg_string(argc, argv, key, "");
-  return s.empty() ? fallback : std::stod(s);
-}
-
-inline int arg_int(int argc, char** argv, const char* key, int fallback) {
-  const std::string s = arg_string(argc, argv, key, "");
-  return s.empty() ? fallback : std::stoi(s);
-}
-
-inline bool arg_flag(int argc, char** argv, const char* key) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], key) == 0) return true;
-  return false;
-}
+using util::arg_double;
+using util::arg_flag;
+using util::arg_int;
+using util::arg_string;
 
 /// Median wall-clock seconds of `fn` over `reps` runs (after one warm-up).
 inline double time_median(const std::function<void()>& fn, int reps = 5) {

@@ -8,6 +8,7 @@
 #include "analog/crossbar.hpp"
 #include "analog/power.hpp"
 #include "analog/solver.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/generators.hpp"
 
@@ -15,7 +16,7 @@ int main() {
   using namespace aflow;
 
   const auto g = graph::rmat(64, 320, {}, 99);
-  const double exact = flow::push_relabel(g).flow_value;
+  const double exact = core::solve("push_relabel", g).flow_value;
   std::printf("instance: %d vertices, %d edges, exact max flow %.0f\n",
               g.num_vertices(), g.num_edges(), exact);
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analog/solver.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/generators.hpp"
 
@@ -59,7 +60,7 @@ int main() {
   std::printf("segmentation graph: %d vertices, %d edges\n", g.num_vertices(),
               g.num_edges());
 
-  const auto mf = flow::push_relabel(g);
+  const auto mf = core::solve("push_relabel", g);
   const auto cut = flow::min_cut_from_flow(g, mf);
   std::printf("energy (cut value) = %.2f, boundary edges = %zu\n\n",
               cut.cut_value, cut.cut_edges.size());
@@ -75,7 +76,7 @@ int main() {
     s_snk[p] = 6.0 * (1.0 - small[p]);
   }
   const auto gs = graph::grid_cut_graph(hs, ws, s_src, s_snk, lambda);
-  const double exact = flow::push_relabel(gs).flow_value;
+  const double exact = core::solve("push_relabel", gs).flow_value;
 
   analog::AnalogSolveOptions opt;
   opt.config.fidelity = analog::NegResFidelity::kIdeal;

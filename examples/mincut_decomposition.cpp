@@ -5,6 +5,7 @@
 //   $ ./examples/mincut_decomposition
 #include <cstdio>
 
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/generators.hpp"
 #include "mincut/decomposition.hpp"
@@ -16,7 +17,7 @@ int main() {
   // --- Analog min-cut on a substrate-sized instance (Sec. 6.3) ---------
   const auto g_small = graph::rmat(24, 90, {}, 7);
   const auto exact_small =
-      flow::min_cut_from_flow(g_small, flow::push_relabel(g_small));
+      flow::min_cut_from_flow(g_small, core::solve("push_relabel", g_small));
 
   const auto analog_cut = mincut::solve_mincut_dual(g_small);
   double partition_cut = 0.0;
@@ -34,7 +35,7 @@ int main() {
   // --- Dual decomposition for a graph 2x the substrate (Sec. 6.4) ------
   const auto g_large = graph::rmat_sparse(400, 11);
   const auto exact_large =
-      flow::min_cut_from_flow(g_large, flow::push_relabel(g_large));
+      flow::min_cut_from_flow(g_large, core::solve("push_relabel", g_large));
 
   mincut::DecompositionOptions opt;
   opt.max_iterations = 80;

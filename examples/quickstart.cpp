@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "analog/solver.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/network.hpp"
 
@@ -17,7 +18,7 @@ int main() {
               g.num_vertices(), g.num_edges(), g.source(), g.sink());
 
   // Exact CPU baseline.
-  const flow::MaxFlowResult exact = flow::push_relabel(g);
+  const flow::MaxFlowResult exact = core::solve("push_relabel", g);
   std::printf("push-relabel max flow:   %.4f\n", exact.flow_value);
 
   // Analog substrate, idealised devices, 20 quantization levels (Table 1).

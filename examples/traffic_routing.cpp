@@ -12,6 +12,7 @@
 
 #include "analog/power.hpp"
 #include "analog/solver.hpp"
+#include "core/registry.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/network.hpp"
 
@@ -63,9 +64,9 @@ int main() {
   std::printf("road network: %d intersections, %d directed segments\n",
               city.num_vertices(), city.num_edges());
 
-  const auto ek = flow::edmonds_karp(city);
-  const auto di = flow::dinic(city);
-  const auto pr = flow::push_relabel(city);
+  const auto ek = core::solve("edmonds_karp", city);
+  const auto di = core::solve("dinic", city);
+  const auto pr = core::solve("push_relabel", city);
   std::printf("max throughput west->east: edmonds-karp %.0f, dinic %.0f, "
               "push-relabel %.0f vehicles/min\n",
               ek.flow_value, di.flow_value, pr.flow_value);

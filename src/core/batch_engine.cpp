@@ -1,0 +1,89 @@
+#include "core/batch_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "core/registry.hpp"
+
+namespace aflow::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+} // namespace
+
+BatchEngine::BatchEngine(BatchOptions options) : options_(std::move(options)) {}
+
+int BatchEngine::resolve_threads(int n) const {
+  if (options_.deterministic) return 1;
+  int threads = options_.num_threads;
+  if (threads <= 0)
+    threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  return std::max(1, std::min(threads, std::max(1, n)));
+}
+
+BatchReport BatchEngine::run(
+    const std::vector<graph::FlowNetwork>& instances) const {
+  // Fail fast on an unknown solver before spinning up workers.
+  SolverRegistry::instance().create(options_.solver);
+
+  BatchReport report;
+  const int n = static_cast<int>(instances.size());
+  report.outcomes.resize(n);
+  report.threads_used = resolve_threads(n);
+
+  const auto batch_t0 = Clock::now();
+
+  // Each worker owns a solver instance, so backends never share state; work
+  // is claimed from a shared atomic counter, and every worker writes only
+  // its claimed slots of the pre-sized outcome vector.
+  std::atomic<int> next{0};
+  const auto worker = [&] {
+    const SolverPtr solver = SolverRegistry::instance().create(options_.solver);
+    for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      InstanceOutcome& out = report.outcomes[i];
+      out.index = i;
+      const auto t0 = Clock::now();
+      try {
+        instances[i].validate();
+        out.result = solver->solve(instances[i]);
+        if (options_.validate) {
+          const std::string err = flow::check_flow(instances[i], out.result);
+          if (!err.empty()) throw std::runtime_error("infeasible flow: " + err);
+        }
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.ok = false;
+        out.error = e.what();
+      }
+      out.seconds = seconds_since(t0);
+    }
+  };
+
+  if (report.threads_used <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(report.threads_used);
+    for (int t = 0; t < report.threads_used; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  report.wall_seconds = seconds_since(batch_t0);
+  for (const InstanceOutcome& out : report.outcomes) {
+    if (out.ok)
+      report.total_flow += out.result.flow_value;
+    else
+      ++report.failed;
+  }
+  return report;
+}
+
+} // namespace aflow::core

@@ -1,0 +1,66 @@
+// BatchEngine: executes a batch of max-flow instances across a fixed pool of
+// worker threads with per-instance timing and failure isolation. This is the
+// serving seam of the roadmap: everything that needs "many instances, fast"
+// (benches, the CLI, future sharding/async layers) goes through here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "graph/network.hpp"
+
+namespace aflow::core {
+
+struct BatchOptions {
+  /// Registry name of the backend to run.
+  std::string solver = "dinic";
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  int num_threads = 0;
+  /// Run everything in-order on the calling thread (implies num_threads = 1).
+  /// Results are identical either way — this exists so tests and debugging
+  /// sessions get reproducible scheduling and clean stack traces.
+  bool deterministic = false;
+  /// Run flow::check_flow on every solution; a violation marks the instance
+  /// failed instead of silently returning an infeasible flow.
+  bool validate = false;
+};
+
+/// Outcome of one instance within a batch.
+struct InstanceOutcome {
+  int index = -1;      // position in the input batch
+  bool ok = false;
+  std::string error;   // set when !ok (exception text or validation failure)
+  flow::MaxFlowResult result;
+  double seconds = 0.0; // solve wall-clock for this instance
+};
+
+struct BatchReport {
+  /// One entry per input instance, in input order.
+  std::vector<InstanceOutcome> outcomes;
+  double wall_seconds = 0.0;
+  int threads_used = 1;
+  int failed = 0;
+  /// Sum of flow values over successful instances.
+  double total_flow = 0.0;
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(BatchOptions options = {});
+
+  /// Solves every instance; never throws on per-instance failure (malformed
+  /// instance, solver exception) — those surface as `ok == false` outcomes.
+  /// Throws std::invalid_argument when the solver name is unknown.
+  BatchReport run(const std::vector<graph::FlowNetwork>& instances) const;
+
+  const BatchOptions& options() const { return options_; }
+
+  /// The thread count `run` will actually use for `n` instances.
+  int resolve_threads(int n) const;
+
+ private:
+  BatchOptions options_;
+};
+
+} // namespace aflow::core

@@ -1,0 +1,153 @@
+#include "core/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace aflow::core {
+
+namespace {
+
+/// Adapts a `flow::` free function to the ISolver interface.
+class ClassicalSolver final : public ISolver {
+ public:
+  using Fn = flow::MaxFlowResult (*)(const graph::FlowNetwork&);
+
+  ClassicalSolver(std::string name, Fn fn) : name_(std::move(name)), fn_(fn) {}
+
+  const std::string& name() const override { return name_; }
+  SolverCapabilities capabilities() const override { return {}; }
+  flow::MaxFlowResult solve(const graph::FlowNetwork& net) const override {
+    return fn_(net);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+class AnalogSolverAdapter final : public ISolver {
+ public:
+  AnalogSolverAdapter(std::string name, analog::AnalogSolveOptions options)
+      : name_(std::move(name)), solver_(std::move(options)) {}
+
+  const std::string& name() const override { return name_; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps;
+    caps.exact = false;
+    caps.analog = true;
+    caps.reports_operations = true; // linear-system solve count
+    return caps;
+  }
+
+  flow::MaxFlowResult solve(const graph::FlowNetwork& net) const override {
+    const analog::AnalogFlowResult r = solver_.solve(net);
+    flow::MaxFlowResult out;
+    out.flow_value = r.flow_value;
+    out.edge_flow = r.edge_flow;
+    out.operations = r.solves;
+    return out;
+  }
+
+ private:
+  std::string name_;
+  analog::AnalogMaxFlowSolver solver_;
+};
+
+/// Near-ideal substrate options: the analog registry entries should track
+/// the exact solvers up to quantization, not confound users with op-amp lag
+/// or parasitic dynamics (those stay available through make_analog_solver).
+analog::AnalogSolveOptions default_analog_options(analog::SolveMethod method) {
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vflow = 10.0;
+  opt.method = method;
+  if (method == analog::SolveMethod::kTransient) {
+    // The transient entry exists to measure convergence time, which needs
+    // some dynamics: keep the default parasitics on the crossbar wires.
+    opt.config.parasitic_capacitance = 20e-15;
+  }
+  return opt;
+}
+
+void register_builtins(SolverRegistry& reg) {
+  reg.add("edmonds_karp", [] {
+    return std::make_shared<ClassicalSolver>("edmonds_karp",
+                                             &flow::edmonds_karp);
+  });
+  reg.add("dinic",
+          [] { return std::make_shared<ClassicalSolver>("dinic", &flow::dinic); });
+  reg.add("push_relabel", [] {
+    return std::make_shared<ClassicalSolver>("push_relabel",
+                                             &flow::push_relabel);
+  });
+  reg.add("analog_dc", [] {
+    return make_analog_solver(
+        "analog_dc", default_analog_options(analog::SolveMethod::kSteadyState));
+  });
+  reg.add("analog_transient", [] {
+    return make_analog_solver(
+        "analog_transient",
+        default_analog_options(analog::SolveMethod::kTransient));
+  });
+}
+
+} // namespace
+
+SolverRegistry& SolverRegistry::instance() {
+  static SolverRegistry* reg = [] {
+    auto* r = new SolverRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void SolverRegistry::add(const std::string& name, Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  factories_[name] = std::move(factory);
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) > 0;
+}
+
+SolverPtr SolverRegistry::create(const std::string& name) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::ostringstream msg;
+      msg << "unknown solver '" << name << "'; known solvers:";
+      for (const auto& [known, unused] : factories_) msg << ' ' << known;
+      throw std::invalid_argument(msg.str());
+    }
+    factory = it->second;
+  }
+  return factory();
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, unused] : factories_) out.push_back(name);
+  return out;
+}
+
+flow::MaxFlowResult solve(const std::string& solver,
+                          const graph::FlowNetwork& net) {
+  return SolverRegistry::instance().create(solver)->solve(net);
+}
+
+SolverPtr make_analog_solver(std::string name,
+                             analog::AnalogSolveOptions options) {
+  return std::make_shared<AnalogSolverAdapter>(std::move(name),
+                                               std::move(options));
+}
+
+} // namespace aflow::core

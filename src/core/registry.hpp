@@ -1,0 +1,54 @@
+// Name -> solver registry. The built-in backends (edmonds_karp, dinic,
+// push_relabel, analog_dc, analog_transient) are registered on first use;
+// callers can add their own factories for experiments.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analog/solver.hpp"
+#include "core/solver.hpp"
+
+namespace aflow::core {
+
+class SolverRegistry {
+ public:
+  using Factory = std::function<SolverPtr()>;
+
+  /// The process-wide registry, with the built-in backends pre-registered.
+  static SolverRegistry& instance();
+
+  /// Registers (or replaces) a named factory. Thread-safe.
+  void add(const std::string& name, Factory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Instantiates the named solver. Throws std::invalid_argument with the
+  /// list of known names when `name` is not registered.
+  SolverPtr create(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  SolverRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Convenience: `SolverRegistry::instance().create(solver)->solve(net)`.
+flow::MaxFlowResult solve(const std::string& solver,
+                          const graph::FlowNetwork& net);
+
+/// Wraps an AnalogMaxFlowSolver with explicit options as an ISolver, for
+/// experiments that sweep substrate parameters. The registry's built-in
+/// analog entries use near-ideal defaults (ideal negative resistors, no
+/// parasitics, vflow = 10 V) so their flow values track the exact solvers.
+SolverPtr make_analog_solver(std::string name,
+                             analog::AnalogSolveOptions options);
+
+} // namespace aflow::core

@@ -1,0 +1,44 @@
+// The unified solver interface of the engine layer: every max-flow backend
+// (classical CPU algorithms and the analog substrate model) is exposed as an
+// ISolver so that benches, examples, the CLI, and the batch engine can pick
+// backends by name instead of hard-wiring call sites.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "flow/maxflow.hpp"
+#include "graph/network.hpp"
+
+namespace aflow::core {
+
+/// Static properties a caller can dispatch on without knowing the backend.
+struct SolverCapabilities {
+  /// Produces the exact (integral-capacity) maximum flow, as opposed to the
+  /// analog substrate's approximation.
+  bool exact = true;
+  /// Models the paper's analog substrate (quantization, device physics).
+  bool analog = false;
+  /// Same input always yields the same result (all current backends qualify;
+  /// future stochastic backends may not).
+  bool deterministic = true;
+  /// MaxFlowResult::operations carries a meaningful work counter.
+  bool reports_operations = true;
+};
+
+class ISolver {
+ public:
+  virtual ~ISolver() = default;
+
+  /// Registry name, e.g. "dinic" or "analog_dc".
+  virtual const std::string& name() const = 0;
+  virtual SolverCapabilities capabilities() const = 0;
+
+  /// Solves one instance. Must be safe to call concurrently from multiple
+  /// threads on distinct instances (all built-in backends are stateless).
+  virtual flow::MaxFlowResult solve(const graph::FlowNetwork& net) const = 0;
+};
+
+using SolverPtr = std::shared_ptr<const ISolver>;
+
+} // namespace aflow::core

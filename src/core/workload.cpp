@@ -1,0 +1,193 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/dimacs.hpp"
+#include "graph/generators.hpp"
+
+namespace aflow::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct SourceSpec {
+  std::string kind;
+  std::map<std::string, double> params;
+
+  double get(const std::string& key, double fallback) const {
+    const auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  }
+  int get_int(const std::string& key, int fallback) const {
+    return static_cast<int>(get(key, fallback));
+  }
+
+  /// Typos must not silently fall back to defaults: every key has to be one
+  /// the kind actually reads.
+  void require_keys(std::initializer_list<const char*> allowed) const {
+    for (const auto& [key, unused] : params) {
+      bool known = key == "count" || key == "seed";
+      for (const char* a : allowed) known = known || key == a;
+      if (!known)
+        throw std::invalid_argument("unknown key '" + key + "' for workload '" +
+                                    kind + "'");
+    }
+  }
+};
+
+int positive(int value, const char* what) {
+  if (value <= 0)
+    throw std::invalid_argument(std::string(what) +
+                                " must be positive, got " +
+                                std::to_string(value));
+  return value;
+}
+
+SourceSpec parse_source(const std::string& text) {
+  SourceSpec spec;
+  const auto colon = text.find(':');
+  spec.kind = text.substr(0, colon);
+  if (colon == std::string::npos) return spec;
+
+  std::istringstream rest(text.substr(colon + 1));
+  std::string item;
+  while (std::getline(rest, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("bad spec item '" + item + "' in '" + text +
+                                  "' (expected key=value)");
+    try {
+      spec.params[item.substr(0, eq)] = std::stod(item.substr(eq + 1));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad numeric value in spec item '" + item +
+                                  "'");
+    }
+  }
+  return spec;
+}
+
+/// A segmentation-style grid instance: random terminal capacities in
+/// [0, cap] per pixel, constant lattice capacity.
+graph::FlowNetwork random_grid(int height, int width, double cap,
+                               double neighbor, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, cap);
+  const int pixels = height * width;
+  std::vector<double> to_source(pixels), to_sink(pixels);
+  for (int p = 0; p < pixels; ++p) {
+    // Integral capacities, as everywhere else in the repo's generators.
+    to_source[p] = std::floor(u(rng));
+    to_sink[p] = std::floor(u(rng));
+  }
+  return graph::grid_cut_graph(height, width, to_source, to_sink, neighbor);
+}
+
+std::vector<graph::FlowNetwork> expand(const SourceSpec& spec) {
+  const int count = positive(spec.get_int("count", 1), "count");
+  const auto seed0 = static_cast<std::uint64_t>(spec.get("seed", 1));
+
+  std::vector<graph::FlowNetwork> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
+    if (spec.kind == "grid") {
+      spec.require_keys({"side", "height", "width", "cap", "neighbor"});
+      const int side = spec.get_int("side", 8);
+      out.push_back(
+          random_grid(positive(spec.get_int("height", side), "height"),
+                      positive(spec.get_int("width", side), "width"),
+                      spec.get("cap", 16.0), spec.get("neighbor", 4.0), seed));
+    } else if (spec.kind == "rmat_sparse") {
+      spec.require_keys({"n", "degree"});
+      out.push_back(graph::rmat_sparse(positive(spec.get_int("n", 500), "n"),
+                                       seed, spec.get("degree", 8.0)));
+    } else if (spec.kind == "rmat_dense") {
+      spec.require_keys({"n"});
+      out.push_back(
+          graph::rmat_dense(positive(spec.get_int("n", 480), "n"), seed));
+    } else if (spec.kind == "layered") {
+      spec.require_keys({"layers", "width", "fanout", "cap"});
+      out.push_back(graph::layered_random(
+          positive(spec.get_int("layers", 6), "layers"),
+          positive(spec.get_int("width", 16), "width"),
+          positive(spec.get_int("fanout", 4), "fanout"),
+          positive(spec.get_int("cap", 32), "cap"), seed));
+    } else if (spec.kind == "uniform") {
+      spec.require_keys({"n", "m", "cap"});
+      out.push_back(
+          graph::uniform_random(positive(spec.get_int("n", 500), "n"),
+                                positive(spec.get_int("m", 2500), "m"),
+                                positive(spec.get_int("cap", 64), "cap"), seed));
+    } else {
+      throw std::invalid_argument(
+          "unknown workload kind '" + spec.kind +
+          "' (known: grid, rmat_sparse, rmat_dense, layered, uniform; or pass "
+          "a DIMACS file / directory path)");
+    }
+  }
+  return out;
+}
+
+bool has_dimacs_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".dimacs" || ext == ".max";
+}
+
+} // namespace
+
+std::vector<graph::FlowNetwork> load_dimacs_dir(const std::string& dir) {
+  if (!fs::is_directory(dir))
+    throw std::runtime_error("not a directory: " + dir);
+
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.is_regular_file() && has_dimacs_extension(entry.path()))
+      paths.push_back(entry.path());
+  std::sort(paths.begin(), paths.end());
+
+  if (paths.empty())
+    throw std::runtime_error("no *.dimacs / *.max instances in " + dir);
+
+  std::vector<graph::FlowNetwork> out;
+  out.reserve(paths.size());
+  for (const fs::path& p : paths)
+    out.push_back(graph::read_dimacs_file(p.string()));
+  return out;
+}
+
+std::vector<graph::FlowNetwork> generate_batch(const std::string& spec) {
+  std::vector<graph::FlowNetwork> out;
+  std::istringstream in(spec);
+  std::string source;
+  while (std::getline(in, source, ';')) {
+    if (source.empty()) continue;
+    // Each source may independently be a DIMACS file, a directory of
+    // instances, or a generator spec, so batches can mix recorded and
+    // synthetic workloads.
+    std::vector<graph::FlowNetwork> part;
+    if (fs::is_regular_file(source))
+      part.push_back(graph::read_dimacs_file(source));
+    else if (fs::is_directory(source))
+      part = load_dimacs_dir(source);
+    else
+      part = expand(parse_source(source));
+    for (auto& net : part) out.push_back(std::move(net));
+  }
+  if (out.empty())
+    throw std::invalid_argument("empty workload spec: '" + spec + "'");
+  return out;
+}
+
+std::vector<graph::FlowNetwork> load_batch(const std::string& spec_or_path) {
+  return generate_batch(spec_or_path);
+}
+
+} // namespace aflow::core

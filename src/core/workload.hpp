@@ -1,0 +1,39 @@
+// Batch workload construction: turn a DIMACS file / directory or a compact
+// generator spec string into a vector of FlowNetwork instances for the
+// BatchEngine. Shared by aflow_cli, the batch bench, and the tests.
+//
+// Spec grammar (';'-separated sources, each `kind:key=val,key=val,...`):
+//   grid:side=31,count=32,seed=1,cap=16,neighbor=4
+//   grid:height=24,width=40,count=8,seed=9
+//   rmat_sparse:n=1000,degree=8,count=32,seed=7
+//   rmat_dense:n=480,count=4,seed=7
+//   layered:layers=6,width=20,fanout=4,cap=32,count=4,seed=5
+//   uniform:n=500,m=2500,cap=64,count=4,seed=11
+// `count` (default 1) emits that many instances with seeds seed, seed+1, ...
+// A source that names an existing file is read as one DIMACS instance; a
+// directory contributes every *.dimacs / *.max file in it, sorted by name.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/network.hpp"
+
+namespace aflow::core {
+
+/// Reads every DIMACS instance (*.dimacs, *.max) in `dir`, sorted by
+/// filename. Throws std::runtime_error when the directory does not exist or
+/// contains no instances.
+std::vector<graph::FlowNetwork> load_dimacs_dir(const std::string& dir);
+
+/// Expands a workload spec (grammar above): each ';'-separated source is a
+/// DIMACS file, a directory of instances, or a generator spec. Throws
+/// std::invalid_argument on unknown kinds, unknown keys, or malformed
+/// key=value lists.
+std::vector<graph::FlowNetwork> generate_batch(const std::string& spec);
+
+/// Synonym for generate_batch, kept as the entry-point name used by callers
+/// that may pass either a bare path or a spec.
+std::vector<graph::FlowNetwork> load_batch(const std::string& spec_or_path);
+
+} // namespace aflow::core

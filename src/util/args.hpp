@@ -1,0 +1,34 @@
+// Tiny `--key value` / `--flag` argv parsing, shared by the aflow CLI and
+// the benches.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+namespace aflow::util {
+
+/// Returns the value following `--key` in argv, or `fallback`.
+inline std::string arg_string(int argc, char** argv, const char* key,
+                              std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], key) == 0) return argv[i + 1];
+  return fallback;
+}
+
+inline double arg_double(int argc, char** argv, const char* key, double fallback) {
+  const std::string s = arg_string(argc, argv, key, "");
+  return s.empty() ? fallback : std::stod(s);
+}
+
+inline int arg_int(int argc, char** argv, const char* key, int fallback) {
+  const std::string s = arg_string(argc, argv, key, "");
+  return s.empty() ? fallback : std::stoi(s);
+}
+
+inline bool arg_flag(int argc, char** argv, const char* key) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], key) == 0) return true;
+  return false;
+}
+
+} // namespace aflow::util

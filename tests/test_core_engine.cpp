@@ -1,0 +1,227 @@
+// The engine layer: solver registry round-trips, batch execution with
+// thread-count-independent results, failure isolation, and workload specs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+
+#include "core/batch_engine.hpp"
+#include "core/registry.hpp"
+#include "core/workload.hpp"
+#include "graph/dimacs.hpp"
+#include "graph/generators.hpp"
+
+namespace core = aflow::core;
+namespace graph = aflow::graph;
+namespace flow = aflow::flow;
+
+namespace {
+
+/// 50 mixed instances (grid + layered + uniform random), a few hundred
+/// vertices each, so the determinism test exercises real scheduling.
+std::vector<graph::FlowNetwork> mixed_batch() {
+  return core::generate_batch(
+      "grid:side=12,count=20,seed=1;"
+      "layered:layers=5,width=12,fanout=4,cap=32,count=15,seed=100;"
+      "uniform:n=200,m=900,cap=64,count=15,seed=200");
+}
+
+} // namespace
+
+TEST(SolverRegistry, RoundTripsAllBuiltinNames) {
+  auto& reg = core::SolverRegistry::instance();
+  const auto names = reg.names();
+  const std::set<std::string> name_set(names.begin(), names.end());
+  for (const char* expected :
+       {"edmonds_karp", "dinic", "push_relabel", "analog_dc",
+        "analog_transient"}) {
+    EXPECT_TRUE(name_set.count(expected)) << expected;
+  }
+  for (const std::string& name : names) {
+    ASSERT_TRUE(reg.contains(name));
+    const core::SolverPtr solver = reg.create(name);
+    ASSERT_NE(solver, nullptr);
+    EXPECT_EQ(solver->name(), name);
+  }
+}
+
+TEST(SolverRegistry, CapabilitiesDistinguishExactFromAnalog) {
+  auto& reg = core::SolverRegistry::instance();
+  EXPECT_TRUE(reg.create("dinic")->capabilities().exact);
+  EXPECT_FALSE(reg.create("dinic")->capabilities().analog);
+  EXPECT_FALSE(reg.create("analog_dc")->capabilities().exact);
+  EXPECT_TRUE(reg.create("analog_dc")->capabilities().analog);
+}
+
+TEST(SolverRegistry, UnknownNameThrowsWithKnownNames) {
+  try {
+    core::SolverRegistry::instance().create("simplex");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("dinic"), std::string::npos);
+  }
+}
+
+TEST(SolverRegistry, SolveHelperMatchesDirectCall) {
+  const auto g = graph::paper_example_fig5();
+  EXPECT_DOUBLE_EQ(core::solve("dinic", g).flow_value, 2.0);
+  EXPECT_DOUBLE_EQ(core::solve("push_relabel", g).flow_value, 2.0);
+  EXPECT_DOUBLE_EQ(core::solve("edmonds_karp", g).flow_value, 2.0);
+  EXPECT_NEAR(core::solve("analog_dc", g).flow_value, 2.0, 0.15);
+}
+
+TEST(BatchEngine, SingleAndMultiThreadResultsAreBitIdentical) {
+  const auto instances = mixed_batch();
+  ASSERT_EQ(instances.size(), 50u);
+
+  core::BatchOptions base;
+  base.solver = "dinic";
+  base.validate = true;
+
+  core::BatchOptions single = base;
+  single.deterministic = true;
+  core::BatchOptions multi = base;
+  multi.num_threads = 8;
+
+  const auto r1 = core::BatchEngine(single).run(instances);
+  const auto rn = core::BatchEngine(multi).run(instances);
+
+  ASSERT_EQ(r1.outcomes.size(), instances.size());
+  ASSERT_EQ(rn.outcomes.size(), instances.size());
+  EXPECT_EQ(r1.threads_used, 1);
+  EXPECT_EQ(r1.failed, 0);
+  EXPECT_EQ(rn.failed, 0);
+
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const auto& a = r1.outcomes[i];
+    const auto& b = rn.outcomes[i];
+    ASSERT_TRUE(a.ok && b.ok) << "instance " << i;
+    EXPECT_EQ(a.index, static_cast<int>(i));
+    // Bit-identical, not approximately equal: the engine must not let the
+    // schedule leak into results.
+    EXPECT_EQ(a.result.flow_value, b.result.flow_value) << "instance " << i;
+    EXPECT_EQ(a.result.operations, b.result.operations) << "instance " << i;
+    ASSERT_EQ(a.result.edge_flow.size(), b.result.edge_flow.size());
+    for (size_t e = 0; e < a.result.edge_flow.size(); ++e)
+      EXPECT_EQ(a.result.edge_flow[e], b.result.edge_flow[e])
+          << "instance " << i << " edge " << e;
+  }
+}
+
+namespace {
+
+/// Test-only backend: delegates to dinic but throws on tiny instances, so
+/// batches can contain deliberate failures. (FlowNetwork construction
+/// rejects malformed graphs outright, so a solver-side fault is the way to
+/// exercise isolation.)
+class FaultInjectingSolver final : public core::ISolver {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "fault_injecting";
+    return n;
+  }
+  core::SolverCapabilities capabilities() const override { return {}; }
+  flow::MaxFlowResult solve(const graph::FlowNetwork& net) const override {
+    if (net.num_edges() < 3)
+      throw std::runtime_error("injected fault: instance too small");
+    return flow::dinic(net);
+  }
+};
+
+} // namespace
+
+TEST(BatchEngine, IsolatesPerInstanceFailures) {
+  core::SolverRegistry::instance().add("fault_injecting", [] {
+    return std::make_shared<FaultInjectingSolver>();
+  });
+
+  std::vector<graph::FlowNetwork> instances;
+  instances.push_back(graph::paper_example_fig5());
+  graph::FlowNetwork tiny(2, 0, 1);
+  tiny.add_edge(0, 1, 1.0);
+  instances.push_back(tiny); // < 3 edges: the injected fault fires
+  instances.push_back(graph::paper_example_fig5());
+
+  core::BatchOptions options;
+  options.solver = "fault_injecting";
+  const auto report = core::BatchEngine(options).run(instances);
+
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  EXPECT_EQ(report.failed, 1);
+  EXPECT_TRUE(report.outcomes[0].ok);
+  EXPECT_FALSE(report.outcomes[1].ok);
+  EXPECT_FALSE(report.outcomes[1].error.empty());
+  EXPECT_TRUE(report.outcomes[2].ok);
+  EXPECT_DOUBLE_EQ(report.total_flow, 4.0);
+}
+
+TEST(BatchEngine, UnknownSolverThrowsBeforeRunning) {
+  core::BatchOptions options;
+  options.solver = "no_such_solver";
+  EXPECT_THROW(core::BatchEngine(options).run({graph::paper_example_fig5()}),
+               std::invalid_argument);
+}
+
+TEST(Workload, GeneratorSpecCountsAndDeterminism) {
+  const auto a = core::generate_batch("uniform:n=60,m=200,count=3,seed=5");
+  const auto b = core::generate_batch("uniform:n=60,m=200,count=3,seed=5");
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(b.size(), 3u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].num_edges(), b[i].num_edges());
+    EXPECT_EQ(core::solve("dinic", a[i]).flow_value,
+              core::solve("dinic", b[i]).flow_value);
+  }
+  // Distinct seeds within the batch: consecutive instances should differ
+  // structurally (some edge endpoint or capacity).
+  bool differs = a[0].num_edges() != a[1].num_edges();
+  for (int e = 0; !differs && e < a[0].num_edges(); ++e) {
+    const auto& e0 = a[0].edge(e);
+    const auto& e1 = a[1].edge(e);
+    differs = e0.from != e1.from || e0.to != e1.to ||
+              e0.capacity != e1.capacity;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, RejectsUnknownKindAndEmptySpec) {
+  EXPECT_THROW(core::generate_batch("mesh:n=10"), std::invalid_argument);
+  EXPECT_THROW(core::generate_batch(";;"), std::invalid_argument);
+  EXPECT_THROW(core::generate_batch("grid:side"), std::invalid_argument);
+}
+
+TEST(Workload, RejectsTyposAndDegenerateDimensions) {
+  // Misspelled keys must not silently fall back to defaults.
+  EXPECT_THROW(core::generate_batch("grid:hieght=8,width=8"),
+               std::invalid_argument);
+  EXPECT_THROW(core::generate_batch("uniform:nodes=10"), std::invalid_argument);
+  // Non-positive sizes must not build degenerate "successful" instances.
+  EXPECT_THROW(core::generate_batch("grid:side=-3"), std::invalid_argument);
+  EXPECT_THROW(core::generate_batch("grid:height=-3,width=3"),
+               std::invalid_argument);
+  EXPECT_THROW(core::generate_batch("uniform:n=0"), std::invalid_argument);
+  EXPECT_THROW(core::generate_batch("grid:side=4,count=0"),
+               std::invalid_argument);
+}
+
+TEST(Workload, LoadBatchFallsThroughToSpec) {
+  const auto nets = core::load_batch("grid:side=4,count=2,seed=3");
+  ASSERT_EQ(nets.size(), 2u);
+  for (const auto& net : nets) EXPECT_NO_THROW(net.validate());
+}
+
+TEST(Workload, SpecSourcesCanMixGeneratorsAndDimacsFiles) {
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "aflow_test_core_engine_fig5.dimacs")
+                        .string();
+  graph::write_dimacs_file(path, graph::paper_example_fig5());
+
+  const auto nets =
+      core::generate_batch("grid:side=4,count=2,seed=1;" + path);
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(nets.size(), 3u);
+  EXPECT_EQ(nets[2].num_vertices(), 5);
+  EXPECT_DOUBLE_EQ(core::solve("dinic", nets[2]).flow_value, 2.0);
+}

@@ -90,7 +90,9 @@ TEST_P(DecompositionParam, AgreesWithGlobalMinCut) {
   EXPECT_FALSE(r.side[g.sink()]);
   // The merged labelling is a valid cut; on agreement it is optimal.
   EXPECT_GE(r.cut_value, exact.cut_value - 1e-9);
-  if (r.agreed) EXPECT_NEAR(r.cut_value, exact.cut_value, 1e-9);
+  if (r.agreed) {
+    EXPECT_NEAR(r.cut_value, exact.cut_value, 1e-9);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DecompositionParam, ::testing::Range(1, 9));
@@ -116,9 +118,7 @@ TEST(Decomposition, AnalogOracleCanDriveSubproblems) {
     const auto analog = mincut::solve_mincut_dual(sub);
     flow::MinCutResult cut;
     cut.side = analog.side;
-    for (const auto& e : sub.edges()) {
-      // Recompute the cut value from the labelling.
-    }
+    // Recompute the cut value from the labelling.
     for (int e = 0; e < sub.num_edges(); ++e) {
       const auto& edge = sub.edge(e);
       if (cut.side[edge.from] && !cut.side[edge.to]) {

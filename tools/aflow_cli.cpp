@@ -1,0 +1,143 @@
+// aflow — command-line front end for the solver engine.
+//
+//   aflow solvers
+//   aflow solve --solver dinic --input x.dimacs [--check] [--expect-flow V]
+//   aflow bench --solver push_relabel --batch "grid:side=31,count=64,seed=1"
+//               [--threads N] [--deterministic] [--check] [--per-instance]
+//
+// `--batch` accepts a DIMACS file, a directory of *.dimacs / *.max files, or
+// a generator spec (see src/core/workload.hpp for the grammar).
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/batch_engine.hpp"
+#include "core/registry.hpp"
+#include "core/workload.hpp"
+#include "graph/dimacs.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace aflow;
+using util::arg_flag;
+using util::arg_int;
+using util::arg_string;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  aflow solvers\n"
+      "  aflow solve --solver NAME --input FILE.dimacs [--check] "
+      "[--expect-flow V]\n"
+      "  aflow bench --solver NAME --batch SPEC_OR_PATH [--threads N]\n"
+      "              [--deterministic] [--check] [--per-instance]\n");
+  return 2;
+}
+
+int cmd_solvers() {
+  for (const std::string& name : core::SolverRegistry::instance().names()) {
+    const auto solver = core::SolverRegistry::instance().create(name);
+    const auto caps = solver->capabilities();
+    std::printf("%-18s %s%s\n", name.c_str(),
+                caps.exact ? "exact" : "approximate",
+                caps.analog ? ", analog substrate model" : "");
+  }
+  return 0;
+}
+
+int cmd_solve(int argc, char** argv) {
+  const std::string input = arg_string(argc, argv, "--input", "");
+  if (input.empty()) return usage();
+  const std::string solver_name = arg_string(argc, argv, "--solver", "dinic");
+
+  const graph::FlowNetwork net = graph::read_dimacs_file(input);
+  const auto solver = core::SolverRegistry::instance().create(solver_name);
+  const flow::MaxFlowResult result = solver->solve(net);
+
+  std::printf("instance: %s (%d vertices, %d edges)\n", input.c_str(),
+              net.num_vertices(), net.num_edges());
+  std::printf("solver:   %s\n", solver->name().c_str());
+  std::printf("flow:     %.10g\n", result.flow_value);
+  std::printf("ops:      %lld\n", result.operations);
+
+  if (arg_flag(argc, argv, "--check")) {
+    const std::string err = flow::check_flow(net, result);
+    if (!err.empty()) {
+      std::fprintf(stderr, "FAIL: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("check:    feasible\n");
+  }
+
+  const std::string expect = arg_string(argc, argv, "--expect-flow", "");
+  if (!expect.empty()) {
+    const double want = std::stod(expect);
+    if (std::abs(result.flow_value - want) > 1e-6 * std::max(1.0, want)) {
+      std::fprintf(stderr, "FAIL: expected flow %.10g, got %.10g\n", want,
+                   result.flow_value);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_bench(int argc, char** argv) {
+  const std::string batch = arg_string(argc, argv, "--batch", "");
+  if (batch.empty()) return usage();
+
+  core::BatchOptions options;
+  options.solver = arg_string(argc, argv, "--solver", "dinic");
+  options.num_threads = arg_int(argc, argv, "--threads", 0);
+  options.deterministic = arg_flag(argc, argv, "--deterministic");
+  options.validate = arg_flag(argc, argv, "--check");
+
+  const auto instances = core::load_batch(batch);
+  const core::BatchReport report = core::BatchEngine(options).run(instances);
+
+  if (arg_flag(argc, argv, "--per-instance")) {
+    for (const core::InstanceOutcome& out : report.outcomes) {
+      if (out.ok)
+        std::printf("[%4d] flow %.10g  (%.3f ms)\n", out.index,
+                    out.result.flow_value, out.seconds * 1e3);
+      else
+        std::printf("[%4d] FAILED: %s\n", out.index, out.error.c_str());
+    }
+  }
+
+  double solve_seconds = 0.0;
+  for (const core::InstanceOutcome& out : report.outcomes)
+    solve_seconds += out.seconds;
+  std::printf("batch:      %s\n", batch.c_str());
+  std::printf("solver:     %s\n", options.solver.c_str());
+  std::printf("instances:  %zu (%d failed)\n", report.outcomes.size(),
+              report.failed);
+  std::printf("threads:    %d\n", report.threads_used);
+  std::printf("total flow: %.10g\n", report.total_flow);
+  std::printf("wall:       %.3f ms  (sum of per-instance solves: %.3f ms)\n",
+              report.wall_seconds * 1e3, solve_seconds * 1e3);
+  if (report.wall_seconds > 0.0)
+    std::printf("throughput: %.1f instances/s\n",
+                static_cast<double>(report.outcomes.size()) /
+                    report.wall_seconds);
+  return report.failed == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "solvers") return cmd_solvers();
+    if (cmd == "solve") return cmd_solve(argc, argv);
+    if (cmd == "bench") return cmd_bench(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
