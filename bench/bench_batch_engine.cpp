@@ -4,7 +4,12 @@
 // flow values are identical across thread counts.
 //
 //   bench_batch_engine [--solver dinic] [--threads 8] [--reps 3]
-//                      [--batch SPEC]
+//                      [--batch SPEC] [--min-speedup X]
+//
+// --min-speedup X fails the run (exit 1) when the N-thread speedup over the
+// single-thread baseline is below X — the acceptance gate for scaling
+// regressions. Default 0 (report only), because shared CI runners are too
+// noisy for a hard wall-clock gate.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +24,7 @@ int main(int argc, char** argv) {
   const std::string solver = bench::arg_string(argc, argv, "--solver", "dinic");
   const int threads = bench::arg_int(argc, argv, "--threads", 8);
   const int reps = bench::arg_int(argc, argv, "--reps", 3);
+  const double min_speedup = bench::arg_double(argc, argv, "--min-speedup", 0.0);
   // 31x31 grid-cut graphs have 963 vertices; the random instances are sized
   // to match (~1k nodes each), 64 instances total.
   const std::string spec = bench::arg_string(
@@ -77,6 +83,13 @@ int main(int argc, char** argv) {
               (std::to_string(threads) + " threads").c_str(), tn * 1e3,
               instances.size() / tn);
   bench::rule();
-  std::printf("speedup: %.2fx\n", speedup);
+  std::printf("speedup: %.2fx", speedup);
+  if (min_speedup > 0.0) std::printf("  (gate: %.2fx)", min_speedup);
+  std::printf("\n");
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below gate %.2fx\n", speedup,
+                 min_speedup);
+    return 1;
+  }
   return 0;
 }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 
 #include "sim/dc.hpp"
 
@@ -66,37 +65,44 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
   // Source-ramp homotopy: walking Vflow up from zero mirrors the physical
   // turn-on and keeps each diode-state solve a small perturbation of the
   // previous one — a cold solve at full drive can cycle on large graphs.
+  // One DcSolver serves the whole ramp: the MNA pattern is independent of
+  // the source value, so every step after the first rides the numeric
+  // refactor fast path.
+  sim::DcOptions dc_opt;
+  dc_opt.reuse_factorization = options_.reuse_factorization;
+  dc_opt.ordering_cache = options_.ordering_cache;
+  sim::DcSolver solver(c.netlist, dc_opt);
+
   const double v_target = options_.config.vflow;
   AnalogFlowResult out;
   std::vector<double> x;
   double v_done = 0.0;
   double step = v_target / 4.0;
-  int iterations = 0;
-  sim::DcSolver* last_solver = nullptr;
-  std::unique_ptr<sim::DcSolver> solver;
   while (v_done < v_target) {
     const double v_try = std::min(v_target, v_done + step);
     c.netlist.set_vsource_value(c.vflow_source, v_try);
     circuit::DeviceState attempt = state;
-    solver = std::make_unique<sim::DcSolver>(c.netlist);
     try {
-      x = solver->solve(attempt);
+      x = solver.solve(attempt);
     } catch (const sim::ConvergenceError&) {
+      out.dc_iterations += solver.stats().iterations;
+      out.full_factors += solver.stats().full_factors;
+      out.refactors += solver.stats().refactors;
       step *= 0.5;
       if (step < v_target / 4096.0) throw;
       continue;
     }
-    iterations += solver->stats().iterations;
+    out.dc_iterations += solver.stats().iterations;
+    out.full_factors += solver.stats().full_factors;
+    out.refactors += solver.stats().refactors;
     state = std::move(attempt);
     v_done = v_try;
     step *= 2.0;
-    last_solver = solver.get();
   }
 
-  fill_common(c, last_solver->assembler(), x, net, out);
-  out.dc_iterations = iterations;
-  out.solves = iterations;
-  out.factorizations = iterations;
+  fill_common(c, solver.assembler(), x, net, out);
+  out.solves = out.dc_iterations;
+  out.factorizations = out.full_factors + out.refactors;
   return out;
 }
 
@@ -117,6 +123,8 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_transient(
   topt.dt_max = options_.dt_max.value_or(tau * 4096.0);
   topt.t_stop = options_.t_stop;
   topt.settle_tol = options_.settle_tol;
+  topt.reuse_factorization = options_.reuse_factorization;
+  topt.ordering_cache = options_.ordering_cache;
 
   std::vector<sim::Probe> probes;
   probes.push_back(sim::Probe::source_current(c.vflow_source, "Iflow"));
@@ -143,6 +151,8 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_transient(
   out.convergence_time = sim::convergence_time(
       wf.time, wf.series(0), options_.convergence_band);
   out.factorizations = solver.stats().factorizations;
+  out.full_factors = solver.stats().full_factors;
+  out.refactors = solver.stats().refactors;
   out.solves = solver.stats().solves;
   out.waveform = std::move(wf);
   return out;

@@ -10,6 +10,7 @@
 //    final value) — the quantity plotted in Fig. 10.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "analog/mapper.hpp"
@@ -36,6 +37,16 @@ struct AnalogSolveOptions {
   double convergence_band = 1e-3; // 0.1% band of Sec. 5.1
   /// Record V(x_e) for every edge (small circuits; Fig. 5c waveforms).
   bool record_edge_waveforms = false;
+
+  /// Factorisation-reuse fast path through the DC / transient engines
+  /// (see sim::DcOptions::reuse_factorization). Disable for the
+  /// rebuild-every-iteration baseline.
+  bool reuse_factorization = true;
+  /// Optional cross-instance symbolic-analysis share: same-shape circuits
+  /// (one crossbar topology, different programmed conductances) skip the
+  /// fill-reducing ordering after the first instance. Thread-safe; give
+  /// each batch worker its own cache (see core::BatchEngine).
+  std::shared_ptr<la::OrderingCache> ordering_cache;
 };
 
 struct AnalogFlowResult {
@@ -54,7 +65,9 @@ struct AnalogFlowResult {
 
   MapperCounts counts;
   double steady_iflow = 0.0; // amps delivered by the Vflow source
-  long long factorizations = 0;
+  long long factorizations = 0; // total = full_factors + refactors
+  long long full_factors = 0;   // factorisations incl. symbolic analysis
+  long long refactors = 0;      // numeric-only fast-path factorisations
   long long solves = 0;
   int dc_iterations = 0;
 

@@ -45,10 +45,15 @@ int MnaAssembler::vsource_unknown(int src) const {
   return (net_->num_nodes() - 1) + src;
 }
 
+// The stamp sequence below must be state-independent: PatternAssembly maps
+// the i-th emitted triplet to a fixed CSC slot, so every DeviceState (and
+// every gmin value) has to emit the same (row, col) sequence. Devices whose
+// linearisation drops a coupling term (railed op-amps) stamp an explicit
+// zero instead of skipping the entry.
 void MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
                             la::Triplets& a, std::vector<double>& rhs) const {
   const int n = num_unknowns();
-  a = la::Triplets(n, n);
+  a.reset(n, n);
   rhs.assign(n, 0.0);
 
   auto stamp_conductance = [&](NodeId na, NodeId nb, double g) {
@@ -67,10 +72,10 @@ void MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
   };
 
   // gmin to ground on every node keeps otherwise-floating nodes pinned.
-  if (opt.gmin > 0.0) {
-    for (NodeId node = 1; node < net_->num_nodes(); ++node)
-      a.add(node_unknown(node), node_unknown(node), opt.gmin);
-  }
+  // Stamped unconditionally (an explicit zero when gmin == 0) so the
+  // pattern survives gmin stepping.
+  for (NodeId node = 1; node < net_->num_nodes(); ++node)
+    a.add(node_unknown(node), node_unknown(node), opt.gmin);
 
   for (const auto& r : net_->resistors())
     stamp_conductance(r.a, r.b, 1.0 / r.resistance);
@@ -152,10 +157,15 @@ void MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
     const int io = node_unknown(op.out);
     assert(io >= 0 && "op-amp output must not be ground");
 
+    const int ip_rail = node_unknown(op.in_plus);
+    const int im_rail = node_unknown(op.in_minus);
     if (state.opamp_sat[i] != 0 && op.params.v_rail > 0.0) {
       // Railed: the output stage is a stiff source at +-v_rail with no
-      // dependence on the inputs.
+      // dependence on the inputs. The input couplings are stamped as
+      // explicit zeros to keep the pattern identical to the linear branch.
       a.add(io, io, g_out);
+      if (ip_rail >= 0) a.add(io, ip_rail, 0.0);
+      if (im_rail >= 0) a.add(io, im_rail, 0.0);
       rhs[io] += state.opamp_sat[i] * op.params.v_rail * g_out;
       continue;
     }
@@ -176,6 +186,20 @@ void MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
     if (im >= 0) a.add(io, im, alpha * a_gain * g_out);
     rhs[io] += hist * g_out;
   }
+}
+
+bool MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
+                            PatternAssembly& pa) const {
+  assemble(state, opt, pa.triplets_, pa.rhs_);
+  if (pa.ready_ &&
+      pa.triplets_.entries().size() == pa.slot_.size() &&
+      pa.triplets_.rows() == pa.matrix_.rows()) {
+    pa.matrix_.update_values(pa.triplets_.entries(), pa.slot_);
+    return true;
+  }
+  pa.matrix_ = la::SparseMatrix::from_triplets(pa.triplets_, &pa.slot_);
+  pa.ready_ = true;
+  return false;
 }
 
 int MnaAssembler::update_pwl_diode_states(std::span<const double> x,

@@ -34,6 +34,31 @@ struct StampOptions {
   double gmin = 1e-12;    // Siemens to ground on every node, for robustness
 };
 
+/// Pattern-stable assembly target: the CSC pattern of the MNA matrix is
+/// fixed on the first assemble (the stamp sequence is state-independent —
+/// diode flips, op-amp rail changes, and gmin stepping only change values),
+/// and every later assemble is a numeric-only in-place update. This is what
+/// lets the solvers run SparseLU::refactor instead of rebuilding the matrix
+/// and its symbolic analysis each Newton iteration / time step.
+class PatternAssembly {
+ public:
+  /// True once a pattern has been captured.
+  bool ready() const { return ready_; }
+  /// The assembled matrix (values of the most recent assemble call).
+  const la::SparseMatrix& matrix() const { return matrix_; }
+  const std::vector<double>& rhs() const { return rhs_; }
+  /// Drops the captured pattern; the next assemble rebuilds it.
+  void reset() { ready_ = false; }
+
+ private:
+  friend class MnaAssembler;
+  la::Triplets triplets_; // reused stamp buffer
+  std::vector<int> slot_; // triplet entry -> CSC value slot
+  la::SparseMatrix matrix_;
+  std::vector<double> rhs_;
+  bool ready_ = false;
+};
+
 class MnaAssembler {
  public:
   explicit MnaAssembler(const Netlist& net) : net_(&net) {}
@@ -56,6 +81,14 @@ class MnaAssembler {
   /// `a` / `rhs` are discarded.
   void assemble(const DeviceState& state, const StampOptions& opt,
                 la::Triplets& a, std::vector<double>& rhs) const;
+
+  /// Pattern-stable assembly: captures the CSC pattern on the first call
+  /// and performs numeric-only in-place updates afterwards. Returns true
+  /// when the existing pattern was reused, false when it was (re)built —
+  /// callers use this to decide between SparseLU::refactor and factor.
+  /// `opt.transient` must not change across calls on the same `pa`.
+  bool assemble(const DeviceState& state, const StampOptions& opt,
+                PatternAssembly& pa) const;
 
   /// How inconsistent PWL diodes are flipped after a solve.
   enum class FlipPolicy {

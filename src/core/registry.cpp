@@ -29,7 +29,8 @@ class ClassicalSolver final : public ISolver {
 class AnalogSolverAdapter final : public ISolver {
  public:
   AnalogSolverAdapter(std::string name, analog::AnalogSolveOptions options)
-      : name_(std::move(name)), solver_(std::move(options)) {}
+      : name_(std::move(name)),
+        solver_(with_ordering_cache(std::move(options))) {}
 
   const std::string& name() const override { return name_; }
 
@@ -51,6 +52,19 @@ class AnalogSolverAdapter final : public ISolver {
   }
 
  private:
+  // Each adapter instance owns an ordering cache, so same-shape instances
+  // solved through one adapter share their symbolic analysis. BatchEngine
+  // creates one solver per worker thread, which makes this exactly the
+  // per-worker sharing of the reconfiguration scenario (one crossbar
+  // topology, many programmed conductance sets); the cache itself is
+  // thread-safe, so the ISolver concurrency contract still holds.
+  static analog::AnalogSolveOptions with_ordering_cache(
+      analog::AnalogSolveOptions options) {
+    if (!options.ordering_cache)
+      options.ordering_cache = std::make_shared<la::OrderingCache>();
+    return options;
+  }
+
   std::string name_;
   analog::AnalogMaxFlowSolver solver_;
 };

@@ -1,6 +1,8 @@
 #include "core/workload.hpp"
 
 #include <algorithm>
+#include <climits>
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -25,8 +27,18 @@ struct SourceSpec {
     const auto it = params.find(key);
     return it == params.end() ? fallback : it->second;
   }
+  /// Integer parameters must be integral: silently truncating (side=7.9
+  /// becoming 7) would hand the caller a different instance than asked for.
   int get_int(const std::string& key, int fallback) const {
-    return static_cast<int>(get(key, fallback));
+    const auto it = params.find(key);
+    if (it == params.end()) return fallback;
+    const double v = it->second;
+    if (!(std::floor(v) == v) || v < static_cast<double>(INT_MIN) ||
+        v > static_cast<double>(INT_MAX))
+      throw std::invalid_argument(
+          "workload '" + kind + "': parameter '" + key +
+          "' must be an integer, got " + std::to_string(v));
+    return static_cast<int>(v);
   }
 
   /// Typos must not silently fall back to defaults: every key has to be one
@@ -50,25 +62,42 @@ int positive(int value, const char* what) {
   return value;
 }
 
+/// Strips leading/trailing whitespace, so "grid: side = 8, cap = 16" and
+/// shell-wrapped specs with stray spaces parse the same as the tight form.
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
 SourceSpec parse_source(const std::string& text) {
   SourceSpec spec;
   const auto colon = text.find(':');
-  spec.kind = text.substr(0, colon);
+  spec.kind = trim(text.substr(0, colon));
   if (colon == std::string::npos) return spec;
 
   std::istringstream rest(text.substr(colon + 1));
   std::string item;
   while (std::getline(rest, item, ',')) {
-    if (item.empty()) continue;
+    if (trim(item).empty()) continue;
     const auto eq = item.find('=');
     if (eq == std::string::npos)
-      throw std::invalid_argument("bad spec item '" + item + "' in '" + text +
-                                  "' (expected key=value)");
+      throw std::invalid_argument("bad spec item '" + trim(item) + "' in '" +
+                                  text + "' (expected key=value)");
+    const std::string key = trim(item.substr(0, eq));
+    const std::string value = trim(item.substr(eq + 1));
+    if (key.empty())
+      throw std::invalid_argument("empty key in spec item '" + trim(item) +
+                                  "' in '" + text + "'");
     try {
-      spec.params[item.substr(0, eq)] = std::stod(item.substr(eq + 1));
+      size_t used = 0;
+      const double parsed = std::stod(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+      spec.params[key] = parsed;
     } catch (const std::exception&) {
-      throw std::invalid_argument("bad numeric value in spec item '" + item +
-                                  "'");
+      throw std::invalid_argument("bad numeric value in spec item '" +
+                                  trim(item) + "'");
     }
   }
   return spec;
@@ -168,6 +197,7 @@ std::vector<graph::FlowNetwork> generate_batch(const std::string& spec) {
   std::istringstream in(spec);
   std::string source;
   while (std::getline(in, source, ';')) {
+    source = trim(source);
     if (source.empty()) continue;
     // Each source may independently be a DIMACS file, a directory of
     // instances, or a generator spec, so batches can mix recorded and

@@ -112,6 +112,11 @@ class PushRelabelSolver {
       if (current_arc_[v] == static_cast<int>(r_.adj[v].size())) {
         relabel(v);
         current_arc_[v] = 0;
+        // Defensive bound only: a vertex with excess always has a residual
+        // path back to the source (its inflow came from s), which caps its
+        // valid height at h(s) + n - 1 = 2n - 1, so this break can never
+        // strand excess — the excess-return phase completes inside the
+        // main loop. test_flow's conservation audit enforces this.
         if (height_[v] > 2 * n_) break; // disconnected from both terminals
         continue;
       }

@@ -1,6 +1,7 @@
 #include "graph/dimacs.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -24,10 +25,16 @@ FlowNetwork read_dimacs(std::istream& in) {
     switch (kind) {
       case 'c': break; // comment
       case 'p': {
+        if (n != -1)
+          throw std::runtime_error(
+              "read_dimacs: duplicate problem line ('p' may appear once)");
         std::string tag;
         ls >> tag >> n >> m;
         if (!ls || tag != "max")
           throw std::runtime_error("read_dimacs: expected 'p max N M'");
+        if (n < 0 || m < 0)
+          throw std::runtime_error(
+              "read_dimacs: negative node or arc count in problem line");
         break;
       }
       case 'n': {
@@ -61,6 +68,14 @@ FlowNetwork read_dimacs(std::istream& in) {
   if (n < 2) throw std::runtime_error("read_dimacs: missing problem line");
   if (source < 0 || sink < 0)
     throw std::runtime_error("read_dimacs: missing source or sink designator");
+  if (source == sink)
+    throw std::runtime_error(
+        "read_dimacs: source and sink designate the same node " +
+        std::to_string(source + 1));
+  if (static_cast<long long>(arcs.size()) != m)
+    throw std::runtime_error(
+        "read_dimacs: problem line declares " + std::to_string(m) +
+        " arcs but the file contains " + std::to_string(arcs.size()));
 
   FlowNetwork net(n, source, sink);
   for (const auto& a : arcs) {
@@ -80,12 +95,18 @@ FlowNetwork read_dimacs_file(const std::string& path) {
 }
 
 void write_dimacs(std::ostream& out, const FlowNetwork& net) {
+  // Capacities are doubles: max_digits10 keeps a write -> read round trip
+  // bit-exact (the default 6 significant digits corrupt anything >= 1e6 or
+  // with a fine fractional part).
+  const auto old_precision =
+      out.precision(std::numeric_limits<double>::max_digits10);
   out << "c analogflow DIMACS max-flow export\n";
   out << "p max " << net.num_vertices() << ' ' << net.num_edges() << '\n';
   out << "n " << net.source() + 1 << " s\n";
   out << "n " << net.sink() + 1 << " t\n";
   for (const Edge& e : net.edges())
     out << "a " << e.from + 1 << ' ' << e.to + 1 << ' ' << e.capacity << '\n';
+  out.precision(old_precision);
 }
 
 void write_dimacs_file(const std::string& path, const FlowNetwork& net) {

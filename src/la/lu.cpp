@@ -49,19 +49,41 @@ int reach(int n, std::span<const int> lp, std::span<const int> li,
   return top;
 }
 
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 0x100000001b3ULL;
+}
+
 } // namespace
 
-void SparseLU::factor(const SparseMatrix& a) { factor_with_order(a, false); }
+void SparseLU::factor(const SparseMatrix& a) {
+  const bool seeded =
+      order_seeded_ && static_cast<int>(colperm_.size()) == a.rows();
+  order_seeded_ = false;
+  factor_with_order(a, seeded);
+}
 
-void SparseLU::refactor(const SparseMatrix& a) {
-  const int n = a.rows();
-  factor_with_order(a, n == static_cast<int>(colperm_.size()));
+bool SparseLU::refactor(const SparseMatrix& a) {
+  if (factored() && try_numeric_refactor(a)) return true;
+  // Numeric regime (or pattern) changed: redo the pivoting, but still reuse
+  // the column ordering when the dimension matches — it depends only on the
+  // pattern.
+  factor_with_order(a, a.rows() == static_cast<int>(colperm_.size()));
+  return false;
+}
+
+void SparseLU::seed_column_order(std::vector<int> order) {
+  colperm_ = std::move(order);
+  order_seeded_ = true;
+  n_ = 0; // the seed invalidates any previous factorisation
 }
 
 void SparseLU::factor_with_order(const SparseMatrix& a, bool reuse_order) {
   if (a.rows() != a.cols())
     throw std::invalid_argument("SparseLU: matrix must be square");
   const int n = a.rows();
+  n_ = 0; // invalid until the factorisation completes (exception safety)
+  order_seeded_ = false;
 
   if (!reuse_order) {
     switch (options_.ordering) {
@@ -79,8 +101,8 @@ void SparseLU::factor_with_order(const SparseMatrix& a, bool reuse_order) {
   ux_.clear();
   udiag_.assign(n, 0.0);
   rowperm_.assign(n, -1);
+  pinv_.assign(n, -1); // original row -> pivot step
 
-  std::vector<int> pinv(n, -1); // original row -> pivot step
   std::vector<double> x(n, 0.0);
   std::vector<char> marked(n, 0);
   std::vector<int> stack_out(n), work_stack(n), path_pos(n);
@@ -94,7 +116,7 @@ void SparseLU::factor_with_order(const SparseMatrix& a, bool reuse_order) {
     std::span<const int> b_rows(ari.data() + acp[col],
                                 static_cast<size_t>(acp[col + 1] - acp[col]));
     const int top =
-        reach(n, lp_, li_, pinv, b_rows, work_stack, path_pos, marked, stack_out);
+        reach(n, lp_, li_, pinv_, b_rows, work_stack, path_pos, marked, stack_out);
 
     // Scatter numeric values of A(:, col).
     for (int p = acp[col]; p < acp[col + 1]; ++p) x[ari[p]] = avx[p];
@@ -102,7 +124,7 @@ void SparseLU::factor_with_order(const SparseMatrix& a, bool reuse_order) {
     // Sparse forward solve with the unit-diagonal L computed so far.
     for (int s = top; s < n; ++s) {
       const int i = stack_out[s];
-      const int j = pinv[i];
+      const int j = pinv_[i];
       if (j < 0) continue;
       const double xj = x[i];
       if (xj != 0.0) {
@@ -116,7 +138,7 @@ void SparseLU::factor_with_order(const SparseMatrix& a, bool reuse_order) {
     double maxabs = 0.0;
     for (int s = top; s < n; ++s) {
       const int i = stack_out[s];
-      if (pinv[i] >= 0) continue;
+      if (pinv_[i] >= 0) continue;
       const double v = std::abs(x[i]);
       if (v > maxabs) { maxabs = v; ipiv = i; }
     }
@@ -125,25 +147,30 @@ void SparseLU::factor_with_order(const SparseMatrix& a, bool reuse_order) {
       for (int s = top; s < n; ++s) { marked[stack_out[s]] = 0; x[stack_out[s]] = 0.0; }
       throw SingularMatrixError(k);
     }
-    if (pinv[col] < 0 && std::abs(x[col]) >= options_.pivot_threshold * maxabs)
+    if (pinv_[col] < 0 && std::abs(x[col]) >= options_.pivot_threshold * maxabs)
       ipiv = col;
 
     const double pivot = x[ipiv];
     udiag_[k] = pivot;
-    pinv[ipiv] = k;
+    pinv_[ipiv] = k;
     rowperm_[k] = ipiv;
 
-    // Split the reach into U entries (pivotal rows) and L entries (the rest).
+    // Split the reach into U entries (pivotal rows) and L entries (the
+    // rest). Numerically-zero entries are kept: the stored pattern must be
+    // the full symbolic reach so a later numeric-only refactor (with
+    // different values at the same positions) stays correct.
     for (int s = top; s < n; ++s) {
       const int i = stack_out[s];
       marked[i] = 0;
       const double v = x[i];
       x[i] = 0.0;
       if (i == ipiv) continue;
-      if (pinv[i] >= 0) {
-        if (v != 0.0) { ui_.push_back(pinv[i]); ux_.push_back(v); }
+      if (pinv_[i] >= 0) {
+        ui_.push_back(pinv_[i]);
+        ux_.push_back(v);
       } else {
-        if (v != 0.0) { li_.push_back(i); lx_.push_back(v / pivot); }
+        li_.push_back(i);
+        lx_.push_back(v / pivot);
       }
     }
     lp_.push_back(static_cast<int>(li_.size()));
@@ -153,10 +180,80 @@ void SparseLU::factor_with_order(const SparseMatrix& a, bool reuse_order) {
   // Remap L row indices from original rows to pivot steps; by construction
   // every remaining row eventually became pivotal.
   for (auto& i : li_) {
-    assert(pinv[i] >= 0);
-    i = pinv[i];
+    assert(pinv_[i] >= 0);
+    i = pinv_[i];
   }
+
+  // Sort each U column by pivot step. Dependencies in the elimination only
+  // run from lower to higher pivot steps, so ascending order is the
+  // topological replay order the numeric refactor needs.
+  {
+    std::vector<std::pair<int, double>> col;
+    for (int k = 0; k < n; ++k) {
+      const int begin = up_[k], end = up_[k + 1];
+      col.clear();
+      for (int p = begin; p < end; ++p) col.emplace_back(ui_[p], ux_[p]);
+      std::sort(col.begin(), col.end());
+      for (int p = begin; p < end; ++p) {
+        ui_[p] = col[static_cast<size_t>(p - begin)].first;
+        ux_[p] = col[static_cast<size_t>(p - begin)].second;
+      }
+    }
+  }
+
+  pattern_key_ = OrderingCache::pattern_key(a);
   n_ = n;
+}
+
+bool SparseLU::try_numeric_refactor(const SparseMatrix& a) {
+  if (a.rows() != n_ || a.cols() != n_) return false;
+  if (OrderingCache::pattern_key(a) != pattern_key_) return false;
+
+  work_.assign(n_, 0.0);
+  const auto acp = a.col_ptr();
+  const auto ari = a.row_idx();
+  const auto avx = a.values();
+
+  for (int k = 0; k < n_; ++k) {
+    const int col = colperm_[k];
+    // Scatter A(:, col) in pivot coordinates; the pattern match guarantees
+    // every position lies inside the frozen U / pivot / L structure.
+    for (int p = acp[col]; p < acp[col + 1]; ++p)
+      work_[pinv_[ari[p]]] = avx[p];
+
+    // Replay the forward elimination over the frozen U pattern (ascending
+    // pivot steps = topological order).
+    for (int p = up_[k]; p < up_[k + 1]; ++p) {
+      const int j = ui_[p];
+      const double v = work_[j];
+      ux_[p] = v;
+      work_[j] = 0.0;
+      if (v != 0.0) {
+        for (int q = lp_[j]; q < lp_[j + 1]; ++q) work_[li_[q]] -= lx_[q] * v;
+      }
+    }
+
+    const double pivot = work_[k];
+    work_[k] = 0.0;
+    double colmax = std::abs(pivot);
+    for (int q = lp_[k]; q < lp_[k + 1]; ++q)
+      colmax = std::max(colmax, std::abs(work_[li_[q]]));
+
+    // Pivot degraded (or singular, or NaN): clean up and hand control back
+    // to the full factorisation.
+    if (pivot == 0.0 ||
+        !(std::abs(pivot) >= options_.refactor_pivot_threshold * colmax)) {
+      for (int q = lp_[k]; q < lp_[k + 1]; ++q) work_[li_[q]] = 0.0;
+      return false;
+    }
+
+    udiag_[k] = pivot;
+    for (int q = lp_[k]; q < lp_[k + 1]; ++q) {
+      lx_[q] = work_[li_[q]] / pivot;
+      work_[li_[q]] = 0.0;
+    }
+  }
+  return true;
 }
 
 void SparseLU::solve(std::span<const double> b, std::span<double> x) const {
@@ -182,6 +279,45 @@ void SparseLU::solve(std::span<const double> b, std::span<double> x) const {
 
 long long SparseLU::factor_nnz() const {
   return static_cast<long long>(li_.size()) + static_cast<long long>(ui_.size()) + n_;
+}
+
+std::uint64_t OrderingCache::pattern_key(const SparseMatrix& a) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, static_cast<std::uint64_t>(a.rows()));
+  h = fnv1a(h, static_cast<std::uint64_t>(a.cols()));
+  for (int p : a.col_ptr()) h = fnv1a(h, static_cast<std::uint64_t>(p));
+  for (int r : a.row_idx()) h = fnv1a(h, static_cast<std::uint64_t>(r));
+  return h;
+}
+
+std::optional<std::vector<int>> OrderingCache::find(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = orders_.find(key);
+  if (it == orders_.end()) return std::nullopt;
+  return it->second;
+}
+
+void OrderingCache::store(std::uint64_t key, std::vector<int> order) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  orders_[key] = std::move(order);
+}
+
+size_t OrderingCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return orders_.size();
+}
+
+void factor_with_cache(SparseLU& lu, const SparseMatrix& a,
+                       OrderingCache* cache) {
+  if (!cache) {
+    lu.factor(a);
+    return;
+  }
+  const std::uint64_t key = OrderingCache::pattern_key(a);
+  auto order = cache->find(key);
+  if (order) lu.seed_column_order(std::move(*order));
+  lu.factor(a);
+  if (!order) cache->store(key, lu.column_order());
 }
 
 } // namespace aflow::la

@@ -5,15 +5,25 @@
 //   SparseLU lu;
 //   lu.factor(A);          // throws SingularMatrixError on failure
 //   lu.solve(b, x);        // x = A^-1 b, any number of times
+//   lu.refactor(A2);       // same pattern, new values: numeric-only fast path
 //
-// A fill-reducing column ordering is chosen once per pattern; the row
-// ordering comes from numerical pivoting. `refactor` re-runs the numeric
-// factorisation for a matrix with the same pattern (diode state flips and
-// time-step changes in transient analysis) while reusing the ordering.
+// `factor` chooses a fill-reducing column ordering, runs the symbolic reach
+// DFS, and pivots numerically. `refactor` replays the numeric elimination
+// over the frozen symbolic structure (same column ordering, same pivot rows,
+// same L/U patterns) with no graph traversal at all — the per-iteration fast
+// path for diode state flips, time-step changes, and reprogrammed
+// conductances. When the saved pivot order degrades numerically (a pivot
+// falls below `refactor_pivot_threshold` of its column magnitude) refactor
+// transparently falls back to a full factorisation and reports it through
+// its return value, so callers can keep full-factor vs refactor statistics.
 #pragma once
 
+#include <cstdint>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "la/ordering.hpp"
@@ -43,20 +53,40 @@ class SparseLU {
     /// `pivot_threshold` times the largest magnitude in its column; this
     /// keeps the elimination close to the fill-reducing order.
     double pivot_threshold = 0.1;
+    /// Numeric-only refactorisation keeps the saved pivot order only while
+    /// every pivot stays at least this fraction of its column's magnitude
+    /// (element growth <= 1/threshold per column); below it the refactor
+    /// falls back to a full factorisation with fresh pivoting.
+    double refactor_pivot_threshold = 0.01;
   };
 
   SparseLU() = default;
   explicit SparseLU(Options options) : options_(options) {}
 
-  /// Factors `a`. Computes a fresh column ordering.
+  /// Factors `a`. Computes a fresh column ordering unless one was installed
+  /// via `seed_column_order`.
   void factor(const SparseMatrix& a);
 
-  /// Factors `a`, reusing the previous column ordering if the dimension
-  /// matches (callers guarantee an unchanged pattern).
-  void refactor(const SparseMatrix& a);
+  /// Factors `a`, which must have the same sparsity pattern as the last
+  /// fully-factored matrix. Returns true when the numeric-only fast path
+  /// (frozen pivot order and fill pattern, no symbolic work) was used;
+  /// returns false when it fell back to a full factorisation (pattern or
+  /// dimension mismatch, or a pivot degraded past
+  /// Options::refactor_pivot_threshold).
+  bool refactor(const SparseMatrix& a);
 
   /// Solves A x = b using the current factors.
   void solve(std::span<const double> b, std::span<double> x) const;
+
+  /// Installs a column ordering for the next `factor` call, skipping the
+  /// fill-reducing analysis — for batches of same-pattern systems solved by
+  /// different SparseLU instances. Ignored (and cleared) if the next
+  /// factored matrix dimension does not match. Any valid permutation is
+  /// safe: a mismatched ordering costs fill, never correctness.
+  void seed_column_order(std::vector<int> order);
+  /// The column ordering of the current factorisation (perm[k] = original
+  /// column eliminated at step k).
+  const std::vector<int>& column_order() const { return colperm_; }
 
   bool factored() const { return n_ > 0; }
   int dimension() const { return n_; }
@@ -65,18 +95,51 @@ class SparseLU {
 
  private:
   void factor_with_order(const SparseMatrix& a, bool reuse_order);
+  bool try_numeric_refactor(const SparseMatrix& a);
 
   Options options_;
   int n_ = 0;
+  bool order_seeded_ = false;
+  std::uint64_t pattern_key_ = 0; // fingerprint of the factored pattern
   std::vector<int> colperm_;  // colperm_[k] = original column of pivot step k
   std::vector<int> rowperm_;  // rowperm_[k] = original row chosen at step k
+  std::vector<int> pinv_;     // original row -> pivot step (rowperm_ inverse)
 
   // L (unit diagonal implied) and U stored column-wise in pivot coordinates.
+  // U columns are sorted by pivot row so a refactor can replay the
+  // elimination in dependency order without the reach DFS.
   std::vector<int> lp_, li_;
   std::vector<double> lx_;
   std::vector<int> up_, ui_;
   std::vector<double> ux_;
   std::vector<double> udiag_;
+  std::vector<double> work_;  // dense scatter column for refactor
 };
+
+/// Thread-safe cache of fill-reducing column orderings keyed by sparsity
+/// pattern, for sharing symbolic analysis across same-shape instances of a
+/// batch (the paper's reconfiguration scenario: one crossbar topology,
+/// many programmed conductance sets). A 64-bit key collision is harmless:
+/// any permutation of the right size is a correct — at worst slower —
+/// elimination order, and wrong-size seeds are rejected by SparseLU.
+class OrderingCache {
+ public:
+  /// Fingerprint of the matrix dimensions and nonzero positions.
+  static std::uint64_t pattern_key(const SparseMatrix& a);
+
+  std::optional<std::vector<int>> find(std::uint64_t key) const;
+  void store(std::uint64_t key, std::vector<int> order);
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<int>> orders_;
+};
+
+/// Full factorisation through an optional ordering cache: seeds the column
+/// ordering on a pattern hit, publishes it on a miss. With a null cache
+/// this is plain `lu.factor(a)`. Throws SingularMatrixError like factor().
+void factor_with_cache(SparseLU& lu, const SparseMatrix& a,
+                       OrderingCache* cache);
 
 } // namespace aflow::la

@@ -14,48 +14,64 @@ void Triplets::add(int row, int col, double value) {
   entries_.push_back({row, col, value});
 }
 
-SparseMatrix SparseMatrix::from_triplets(const Triplets& t) {
+SparseMatrix SparseMatrix::from_triplets(const Triplets& t,
+                                         std::vector<int>* slot_out) {
   SparseMatrix m;
   m.rows_ = t.rows();
   m.cols_ = t.cols();
   const auto entries = t.entries();
+  if (slot_out) slot_out->assign(entries.size(), -1);
 
   std::vector<int> count(static_cast<size_t>(m.cols_) + 1, 0);
   for (const auto& e : entries) count[static_cast<size_t>(e.col) + 1]++;
   for (int c = 0; c < m.cols_; ++c) count[static_cast<size_t>(c) + 1] += count[c];
 
-  std::vector<int> rows(entries.size());
-  std::vector<double> vals(entries.size());
+  // Bucket the original entry indices by column so duplicate merging can
+  // map each input entry to its final value slot.
+  std::vector<int> origin(entries.size());
   {
     std::vector<int> next(count.begin(), count.end() - 1);
-    for (const auto& e : entries) {
-      const int slot = next[e.col]++;
-      rows[slot] = e.row;
-      vals[slot] = e.value;
-    }
+    for (size_t i = 0; i < entries.size(); ++i)
+      origin[next[entries[i].col]++] = static_cast<int>(i);
   }
 
   // Sort within each column and merge duplicates.
   m.col_ptr_.assign(static_cast<size_t>(m.cols_) + 1, 0);
   m.row_idx_.reserve(entries.size());
   m.values_.reserve(entries.size());
-  std::vector<std::pair<int, double>> scratch;
+  std::vector<std::pair<int, int>> scratch; // (row, original entry index)
   for (int c = 0; c < m.cols_; ++c) {
     scratch.clear();
     for (int k = count[c]; k < count[static_cast<size_t>(c) + 1]; ++k)
-      scratch.emplace_back(rows[k], vals[k]);
-    std::sort(scratch.begin(), scratch.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+      scratch.emplace_back(entries[origin[k]].row, origin[k]);
+    std::sort(scratch.begin(), scratch.end());
     for (size_t k = 0; k < scratch.size();) {
       const int r = scratch[k].first;
+      const int slot = static_cast<int>(m.row_idx_.size());
       double v = 0.0;
-      while (k < scratch.size() && scratch[k].first == r) v += scratch[k++].second;
+      while (k < scratch.size() && scratch[k].first == r) {
+        v += entries[scratch[k].second].value;
+        if (slot_out) (*slot_out)[scratch[k].second] = slot;
+        ++k;
+      }
       m.row_idx_.push_back(r);
       m.values_.push_back(v);
     }
     m.col_ptr_[static_cast<size_t>(c) + 1] = static_cast<int>(m.row_idx_.size());
   }
   return m;
+}
+
+void SparseMatrix::update_values(std::span<const Triplet> entries,
+                                 std::span<const int> slots) {
+  assert(entries.size() == slots.size());
+  std::fill(values_.begin(), values_.end(), 0.0);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const int slot = slots[i];
+    assert(slot >= 0 && slot < static_cast<int>(values_.size()));
+    assert(row_idx_[slot] == entries[i].row);
+    values_[slot] += entries[i].value;
+  }
 }
 
 void SparseMatrix::multiply(std::span<const double> x, std::span<double> y) const {

@@ -31,6 +31,14 @@ class Triplets {
   /// Removes all entries but keeps the logical dimensions.
   void clear() { entries_.clear(); }
 
+  /// Clears entries and resets the logical dimensions, keeping the entry
+  /// buffer's capacity (for repeated same-shape assembly).
+  void reset(int rows, int cols) {
+    entries_.clear();
+    rows_ = rows;
+    cols_ = cols;
+  }
+
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   std::span<const Triplet> entries() const { return entries_; }
@@ -47,7 +55,18 @@ class SparseMatrix {
   SparseMatrix() = default;
 
   /// Compresses a triplet list; duplicate (row, col) entries are summed.
-  static SparseMatrix from_triplets(const Triplets& t);
+  /// When `slot_out` is non-null it receives, per input entry, the index in
+  /// values() the entry was summed into — the scatter map that lets
+  /// `update_values` refresh a fixed pattern without re-compressing.
+  static SparseMatrix from_triplets(const Triplets& t,
+                                    std::vector<int>* slot_out = nullptr);
+
+  /// Numeric-only in-place update: overwrites values() by scattering
+  /// `entries` through the `slots` map produced by from_triplets. The entry
+  /// list must have the same length and (row, col) sequence as the one the
+  /// pattern was built from.
+  void update_values(std::span<const Triplet> entries,
+                     std::span<const int> slots);
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }

@@ -2,27 +2,53 @@
 
 #include <random>
 #include <set>
+#include <utility>
 
 namespace aflow::sim {
 
+void DcSolver::factor_full(const la::SparseMatrix& m) {
+  la::factor_with_cache(lu_, m, options_.ordering_cache.get());
+  stats_.full_factors++;
+}
+
 std::vector<double> DcSolver::solve_linear(const circuit::DeviceState& state,
-                                           double gmin) {
+                                           double gmin, bool force_full) {
   circuit::StampOptions opt;
   opt.transient = false;
   opt.gmin = gmin;
 
-  la::Triplets a;
-  std::vector<double> rhs;
-  assembler_.assemble(state, opt, a, rhs);
+  if (!options_.reuse_factorization) {
+    // Legacy path: rebuild the matrix and all symbolic analysis from
+    // scratch (the baseline bench_lu_reuse measures against).
+    la::Triplets a;
+    std::vector<double> rhs;
+    assembler_.assemble(state, opt, a, rhs);
 
-  la::SparseLU::Options lu_opt;
-  lu_opt.ordering = options_.ordering;
-  la::SparseLU lu(lu_opt);
-  lu.factor(la::SparseMatrix::from_triplets(a));
-  stats_.factor_nnz = lu.factor_nnz();
+    la::SparseLU::Options lu_opt;
+    lu_opt.ordering = options_.ordering;
+    la::SparseLU lu(lu_opt);
+    lu.factor(la::SparseMatrix::from_triplets(a));
+    stats_.full_factors++;
+    stats_.factor_nnz = lu.factor_nnz();
 
-  std::vector<double> x(rhs.size());
-  lu.solve(rhs, x);
+    std::vector<double> x(rhs.size());
+    lu.solve(rhs, x);
+    return x;
+  }
+
+  const bool pattern_reused = assembler_.assemble(state, opt, pattern_);
+  const la::SparseMatrix& m = pattern_.matrix();
+  if (!pattern_reused || !lu_.factored() || force_full) {
+    factor_full(m);
+  } else if (lu_.refactor(m)) {
+    stats_.refactors++;
+  } else {
+    stats_.full_factors++; // refactor fell back to a full factorisation
+  }
+  stats_.factor_nnz = lu_.factor_nnz();
+
+  std::vector<double> x(pattern_.rhs().size());
+  lu_.solve(pattern_.rhs(), x);
   return x;
 }
 
@@ -37,14 +63,17 @@ std::vector<double> DcSolver::solve(circuit::DeviceState& state) {
     stats_.iterations = iter + 1;
 
     // gmin stepping: if the system is singular at the nominal gmin, retry
-    // with progressively larger leakage.
+    // with progressively larger leakage. The retries change the numeric
+    // regime, so they force a full factorisation.
     double gmin = options_.gmin;
+    bool force_full = false;
     for (;;) {
       try {
-        x = solve_linear(state, gmin);
+        x = solve_linear(state, gmin, force_full);
         break;
       } catch (const la::SingularMatrixError&) {
         gmin = (gmin == 0.0) ? 1e-12 : gmin * 100.0;
+        force_full = true;
         if (gmin > 1e-4) throw;
       }
     }

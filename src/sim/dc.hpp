@@ -8,8 +8,17 @@
 //  - Shockley diodes, by damped Newton with junction-voltage limiting.
 //
 // A gmin-stepping fallback handles nearly-singular systems.
+//
+// The linear-algebra work is reused aggressively: the MNA pattern is fixed
+// across diode/op-amp state flips, so the solver assembles numeric-only
+// in-place updates (circuit::PatternAssembly) and holds one persistent
+// SparseLU that is fully factored once per pattern and numerically
+// refactored on every subsequent iteration — and across successive solve()
+// calls (quasi-static sweeps, source-ramp homotopy). Gmin stepping and
+// pivot failures fall back to a full factorisation.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -28,34 +37,56 @@ struct DcOptions {
   double shockley_tol = 1e-6; // volts, junction update convergence
   double gmin = 1e-12;
   la::SparseLU::Ordering ordering = la::SparseLU::Ordering::kMinDegree;
+  /// Factorisation-reuse fast path (pattern-stable assembly + numeric-only
+  /// refactor). Disable to force the legacy rebuild-everything-per-iteration
+  /// behaviour (the baseline in bench_lu_reuse; results match to solver
+  /// tolerance either way).
+  bool reuse_factorization = true;
+  /// Optional cross-instance ordering share: same-pattern systems (e.g. a
+  /// batch of reprogrammed crossbars of one topology) skip the
+  /// fill-reducing analysis after the first instance. The cache is
+  /// thread-safe; share one per batch worker.
+  std::shared_ptr<la::OrderingCache> ordering_cache;
 };
 
 struct DcStats {
   int iterations = 0;
   int diode_flips = 0;
   long long factor_nnz = 0;
+  long long full_factors = 0; // factorisations incl. symbolic analysis
+  long long refactors = 0;    // numeric-only fast-path factorisations
 };
 
 class DcSolver {
  public:
   explicit DcSolver(const circuit::Netlist& net, DcOptions options = {})
-      : assembler_(net), options_(options) {}
+      : assembler_(net), options_(std::move(options)) {
+    la::SparseLU::Options lu_opt;
+    lu_opt.ordering = options_.ordering;
+    lu_ = la::SparseLU(lu_opt);
+  }
 
   /// Solves for the operating point, iterating diode states / Newton to
   /// consistency. `state` is used as the starting point and updated.
   /// Throws ConvergenceError if no consistent state is found.
+  /// Repeated calls on the same solver (with updated source values or
+  /// device states) reuse the captured pattern and factorisation.
   std::vector<double> solve(circuit::DeviceState& state);
 
   const circuit::MnaAssembler& assembler() const { return assembler_; }
+  /// Statistics of the most recent solve() call.
   const DcStats& stats() const { return stats_; }
 
  private:
   std::vector<double> solve_linear(const circuit::DeviceState& state,
-                                   double gmin);
+                                   double gmin, bool force_full);
+  void factor_full(const la::SparseMatrix& m);
 
   circuit::MnaAssembler assembler_;
   DcOptions options_;
   DcStats stats_;
+  circuit::PatternAssembly pattern_;
+  la::SparseLU lu_;
 };
 
 } // namespace aflow::sim

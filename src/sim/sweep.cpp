@@ -7,10 +7,12 @@ SweepResult QuasiStaticSweep::run(const std::vector<double>& values,
   SweepResult result;
   circuit::DeviceState state = circuit::DeviceState::initial(*net_);
 
+  // One solver across the sweep: each point is a small perturbation of the
+  // previous one, so the factorisation-reuse fast path carries over.
+  DcSolver solver(*net_, options_);
   std::vector<char> prev_diodes = state.diode_on;
   for (double v : values) {
     net_->set_vsource_value(source_, v);
-    DcSolver solver(*net_, options_);
     const std::vector<double> x = solver.solve(state);
 
     int flips = 0;

@@ -44,11 +44,16 @@ Waveform TransientSolver::run(circuit::DeviceState& state,
     wf.labels.push_back(p.label.empty() ? std::string("probe") : p.label);
 
   const int n = assembler_.num_unknowns();
-  std::vector<double> x(n, 0.0), rhs;
-  la::Triplets a;
+  std::vector<double> x(n, 0.0);
   la::SparseLU::Options lu_opt;
   lu_opt.ordering = options_.ordering;
   la::SparseLU lu(lu_opt);
+
+  const bool reuse = options_.reuse_factorization;
+  circuit::PatternAssembly pattern;
+  la::Triplets trip_legacy;
+  std::vector<double> rhs_legacy;
+  la::SparseMatrix m_legacy;
 
   circuit::StampOptions opt;
   opt.transient = true;
@@ -56,19 +61,42 @@ Waveform TransientSolver::run(circuit::DeviceState& state,
   opt.dt = options_.dt_initial;
 
   bool need_factor = true;
-  bool have_pattern = false;
   double t = 0.0;
   int steps_at_dt = 0;
   int settled_run = 0;
 
-  auto refactor = [&]() {
-    assembler_.assemble(state, opt, a, rhs);
-    const auto m = la::SparseMatrix::from_triplets(a);
-    if (have_pattern)
-      lu.refactor(m);
-    else
-      lu.factor(m);
-    have_pattern = true;
+  // Refreshes the matrix values and history RHS for the current state/dt.
+  // In reuse mode this is a numeric-only in-place update against the fixed
+  // pattern; returns whether the pattern was reused.
+  auto assemble_current = [&]() -> bool {
+    if (reuse) return assembler_.assemble(state, opt, pattern);
+    assembler_.assemble(state, opt, trip_legacy, rhs_legacy);
+    if (need_factor) m_legacy = la::SparseMatrix::from_triplets(trip_legacy);
+    return false;
+  };
+  auto current_rhs = [&]() -> const std::vector<double>& {
+    return reuse ? pattern.rhs() : rhs_legacy;
+  };
+
+  // Factorises the current matrix: numeric-only refactor when the pattern
+  // is unchanged, full factorisation (seeded from the ordering cache, if
+  // any) otherwise. The legacy baseline always factors from scratch.
+  auto factorize = [&](bool pattern_reused) {
+    if (!reuse) {
+      lu.factor(m_legacy);
+      stats_.full_factors++;
+    } else if (pattern_reused && lu.factored()) {
+      if (lu.refactor(pattern.matrix()))
+        stats_.refactors++;
+      else
+        stats_.full_factors++; // pivot degraded: fell back internally
+    } else {
+      // First factorisation for this pattern: seed the column ordering
+      // from the shared cache when available, publish it otherwise.
+      la::factor_with_cache(lu, pattern.matrix(),
+                            options_.ordering_cache.get());
+      stats_.full_factors++;
+    }
     stats_.factorizations++;
     need_factor = false;
   };
@@ -87,9 +115,11 @@ Waveform TransientSolver::run(circuit::DeviceState& state,
       bool settled_events = false;
       for (int event_iter = 0; event_iter <= options_.max_event_iterations;
            ++event_iter) {
-        if (need_factor) refactor();
-        else assembler_.assemble(state, opt, a, rhs); // refresh history RHS only
-        lu.solve(rhs, x);
+        // Dynamic-state history enters through the RHS, so assembly runs
+        // every solve; the matrix is only (re)factorised on events.
+        const bool pattern_reused = assemble_current();
+        if (need_factor) factorize(pattern_reused);
+        lu.solve(current_rhs(), x);
         stats_.solves++;
         const double shockley_dv = assembler_.update_shockley_points(x, state);
         const int sat_flips = assembler_.update_opamp_saturation(x, opt, state);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -61,6 +62,12 @@ struct TransientOptions {
   double gmin = 1e-12;
   int max_event_iterations = 60; // diode-flip resolution within one step
   la::SparseLU::Ordering ordering = la::SparseLU::Ordering::kMinDegree;
+  /// Factorisation-reuse fast path (pattern-stable assembly + numeric-only
+  /// refactor on diode flips and dt changes). Disable for the
+  /// full-factor-per-event baseline; results match either way.
+  bool reuse_factorization = true;
+  /// Optional cross-instance ordering share (see sim::DcOptions).
+  std::shared_ptr<la::OrderingCache> ordering_cache;
 
   /// If set, the run stops early once every probe has been stable to within
   /// `settle_tol` (relative) for `settle_window` consecutive samples.
@@ -73,7 +80,9 @@ struct TransientOptions {
 
 struct TransientStats {
   long long steps = 0;
-  long long factorizations = 0;
+  long long factorizations = 0; // total = full_factors + refactors
+  long long full_factors = 0;   // factorisations incl. symbolic analysis
+  long long refactors = 0;      // numeric-only fast-path factorisations
   long long solves = 0;
   long long step_rejections = 0; // step-size halvings due to clamp chatter
   int diode_flips = 0;

@@ -205,6 +205,59 @@ TEST(Workload, RejectsTyposAndDegenerateDimensions) {
                std::invalid_argument);
 }
 
+TEST(Workload, RejectsNonIntegralIntegerParams) {
+  // grid:side=7.9 must not silently become a 7x7 grid.
+  EXPECT_THROW(core::generate_batch("grid:side=7.9"), std::invalid_argument);
+  EXPECT_THROW(core::generate_batch("uniform:n=50,m=200.5"),
+               std::invalid_argument);
+  EXPECT_THROW(core::generate_batch("layered:layers=2.5,width=4"),
+               std::invalid_argument);
+  EXPECT_THROW(core::generate_batch("grid:side=4,count=1.5"),
+               std::invalid_argument);
+  // Real-valued parameters still accept fractions.
+  EXPECT_NO_THROW(core::generate_batch("grid:side=4,cap=12.5,neighbor=3.5"));
+}
+
+TEST(Workload, TrimsWhitespaceAroundKeysAndValues) {
+  const auto tight = core::generate_batch("grid:side=5,count=2,seed=9");
+  const auto spaced =
+      core::generate_batch("  grid : side = 5 , count = 2 , seed = 9  ");
+  ASSERT_EQ(spaced.size(), tight.size());
+  for (size_t i = 0; i < tight.size(); ++i) {
+    ASSERT_EQ(spaced[i].num_edges(), tight[i].num_edges());
+    for (int e = 0; e < tight[i].num_edges(); ++e) {
+      EXPECT_EQ(spaced[i].edge(e).from, tight[i].edge(e).from);
+      EXPECT_EQ(spaced[i].edge(e).to, tight[i].edge(e).to);
+      EXPECT_EQ(spaced[i].edge(e).capacity, tight[i].edge(e).capacity);
+    }
+  }
+  // Trailing junk after a numeric value is still rejected.
+  EXPECT_THROW(core::generate_batch("grid:side=5x"), std::invalid_argument);
+}
+
+TEST(BatchEngine, AnalogSolverIsThreadCountInvariant) {
+  // Same-shape instances share symbolic analysis through the adapter's
+  // ordering cache; the ordering is a pure function of the pattern, so
+  // results must stay bit-identical across thread counts and schedules.
+  const auto instances = core::load_batch("grid:side=4,count=6,seed=21");
+
+  core::BatchOptions det;
+  det.solver = "analog_dc";
+  det.deterministic = true;
+  core::BatchOptions multi;
+  multi.solver = "analog_dc";
+  multi.num_threads = 3;
+
+  const auto r1 = core::BatchEngine(det).run(instances);
+  const auto rn = core::BatchEngine(multi).run(instances);
+  ASSERT_EQ(r1.failed, 0);
+  ASSERT_EQ(rn.failed, 0);
+  for (size_t i = 0; i < instances.size(); ++i)
+    EXPECT_EQ(r1.outcomes[i].result.flow_value,
+              rn.outcomes[i].result.flow_value)
+        << "instance " << i;
+}
+
 TEST(Workload, LoadBatchFallsThroughToSpec) {
   const auto nets = core::load_batch("grid:side=4,count=2,seed=3");
   ASSERT_EQ(nets.size(), 2u);

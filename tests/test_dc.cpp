@@ -5,6 +5,8 @@
 //  - the NIC's effective resistance degrades as ~1/A (Sec. 4.2).
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "circuit/netlist.hpp"
 #include "sim/dc.hpp"
 
@@ -231,6 +233,122 @@ TEST(Dc, GminSteppingRecoversFloatingNode) {
   nl.add_capacitor(a, b, 1e-12);
   const auto x = solve(nl);
   EXPECT_NEAR(v(nl, b, x), 0.0, 1e-6);
+}
+
+namespace {
+
+/// A PWL-heavy clamp ladder: chained dividers with competing diode clamps,
+/// forcing several diode-state iterations from a cold start.
+circuit::Netlist clamp_ladder(int stages) {
+  circuit::Netlist nl;
+  auto prev = nl.new_node();
+  nl.add_vsource(prev, circuit::kGround, 8.0);
+  for (int i = 0; i < stages; ++i) {
+    const auto node = nl.new_node();
+    const auto lvl = nl.new_node();
+    nl.add_resistor(prev, node, 1e3);
+    nl.add_resistor(node, circuit::kGround, 4e3);
+    nl.add_vsource(lvl, circuit::kGround, 3.0 - 0.4 * i);
+    nl.add_diode(node, lvl);              // upper clamp
+    nl.add_diode(circuit::kGround, node); // lower clamp
+    prev = node;
+  }
+  return nl;
+}
+
+} // namespace
+
+TEST(Dc, ReusePathMatchesRebuildPath) {
+  // The factorisation-reuse fast path must be numerically indistinguishable
+  // from rebuilding the matrix and factors every iteration.
+  circuit::Netlist nl = clamp_ladder(8);
+
+  sim::DcOptions rebuild_opt;
+  rebuild_opt.reuse_factorization = false;
+  sim::DcSolver rebuild(nl, rebuild_opt);
+  circuit::DeviceState s1 = circuit::DeviceState::initial(nl);
+  const auto x1 = rebuild.solve(s1);
+
+  sim::DcSolver reuse(nl); // reuse_factorization defaults on
+  circuit::DeviceState s2 = circuit::DeviceState::initial(nl);
+  const auto x2 = reuse.solve(s2);
+
+  ASSERT_EQ(x1.size(), x2.size());
+  for (size_t i = 0; i < x1.size(); ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+  EXPECT_EQ(s1.diode_on, s2.diode_on);
+
+  // Same number of Newton/PWL iterations, but the reuse path performs
+  // exactly one full factorisation and refactors everything else.
+  EXPECT_EQ(rebuild.stats().iterations, reuse.stats().iterations);
+  EXPECT_GT(reuse.stats().iterations, 1);
+  EXPECT_EQ(reuse.stats().full_factors, 1);
+  EXPECT_EQ(reuse.stats().refactors, reuse.stats().iterations - 1);
+  EXPECT_EQ(rebuild.stats().refactors, 0);
+  EXPECT_EQ(rebuild.stats().full_factors, rebuild.stats().iterations);
+}
+
+TEST(Dc, RepeatSolvesReuseTheFactorisationAcrossCalls) {
+  // Sweeping the source on one solver (the quasi-static / homotopy usage)
+  // must not pay for any further symbolic analysis.
+  circuit::Netlist nl = clamp_ladder(4);
+  sim::DcSolver solver(nl);
+  circuit::DeviceState state = circuit::DeviceState::initial(nl);
+  (void)solver.solve(state);
+
+  nl.set_vsource_value(0, 5.0);
+  (void)solver.solve(state);
+  EXPECT_EQ(solver.stats().full_factors, 0);
+  EXPECT_EQ(solver.stats().refactors, solver.stats().iterations);
+
+  nl.set_vsource_value(0, 2.0);
+  (void)solver.solve(state);
+  EXPECT_EQ(solver.stats().full_factors, 0);
+  EXPECT_EQ(solver.stats().refactors, solver.stats().iterations);
+}
+
+TEST(Dc, OrderingCacheIsSeededAndHit) {
+  circuit::Netlist nl = clamp_ladder(4);
+  auto cache = std::make_shared<aflow::la::OrderingCache>();
+
+  sim::DcOptions opt;
+  opt.ordering_cache = cache;
+  {
+    sim::DcSolver solver(nl, opt);
+    circuit::DeviceState state = circuit::DeviceState::initial(nl);
+    (void)solver.solve(state);
+  }
+  EXPECT_EQ(cache->size(), 1u);
+
+  // A second solver over the same topology consumes the cached ordering
+  // (no new entry) and must reproduce the identical solution: the ordering
+  // is a pure function of the pattern, so seeding is bit-exact.
+  sim::DcSolver fresh(nl, opt);
+  circuit::DeviceState s_fresh = circuit::DeviceState::initial(nl);
+  const auto x_cached = fresh.solve(s_fresh);
+  EXPECT_EQ(cache->size(), 1u);
+
+  sim::DcSolver uncached(nl);
+  circuit::DeviceState s_un = circuit::DeviceState::initial(nl);
+  const auto x_un = uncached.solve(s_un);
+  ASSERT_EQ(x_cached.size(), x_un.size());
+  for (size_t i = 0; i < x_un.size(); ++i)
+    EXPECT_DOUBLE_EQ(x_cached[i], x_un[i]);
+}
+
+TEST(Dc, GminSteppingStillWorksWithReuse) {
+  // The floating-node instance forces the singular -> gmin ladder inside
+  // the reuse path (full refactorisations, not crashes).
+  circuit::Netlist nl;
+  const auto a = nl.new_node(), b = nl.new_node();
+  nl.add_vsource(a, circuit::kGround, 1.0);
+  nl.add_capacitor(a, b, 1e-12);
+  sim::DcOptions opt;
+  opt.gmin = 0.0; // start singular
+  sim::DcSolver solver(nl, opt);
+  circuit::DeviceState state = circuit::DeviceState::initial(nl);
+  const auto x = solver.solve(state);
+  EXPECT_NEAR(circuit::MnaAssembler(nl).node_voltage(b, x), 0.0, 1e-6);
+  EXPECT_GE(solver.stats().full_factors, 1);
 }
 
 TEST(Dc, DiodeStateCyclingFallsBackToSingleFlip) {

@@ -125,6 +125,35 @@ TEST_P(MinCutDuality, CutValueEqualsFlowValue) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MinCutDuality, ::testing::Range(1, 9));
 
+TEST(PushRelabel, ConservationAuditOnRandomInstances) {
+  // Push-relabel terminates with a preflow; the returned edge_flow is only
+  // a flow if every unit of stranded excess has been pushed back to the
+  // source. This audit sweeps ~100 random instances — including sparse
+  // ones with large source-side regions that cannot reach the sink, where
+  // the gap heuristic lifts whole height levels past n — and asserts true
+  // conservation at every non-terminal vertex plus value agreement with
+  // Dinic's independent implementation.
+  int audited = 0;
+  for (int seed = 1; seed <= 25; ++seed) {
+    const graph::FlowNetwork nets[] = {
+        graph::rmat_sparse(120, seed, 5.0), // stranded-excess-prone
+        graph::rmat_dense(60, seed),
+        graph::layered_random(6, 10, 3, 16, seed),
+        graph::uniform_random(90, 360, 32, seed),
+    };
+    for (const auto& net : nets) {
+      ++audited;
+      const auto pr = flow::push_relabel(net);
+      const auto dn = flow::dinic(net);
+      EXPECT_EQ(flow::check_flow(net, pr), "")
+          << "seed " << seed << ": push-relabel left a preflow (stranded "
+             "excess) or violated a capacity";
+      EXPECT_DOUBLE_EQ(pr.flow_value, dn.flow_value) << "seed " << seed;
+    }
+  }
+  EXPECT_EQ(audited, 100);
+}
+
 TEST(CheckFlow, DetectsViolations) {
   const auto g = graph::paper_example_fig5();
   auto r = flow::dinic(g);

@@ -173,3 +173,52 @@ TEST(Dimacs, RejectsMalformedInput) {
     EXPECT_THROW(graph::read_dimacs(ss), std::runtime_error); // range
   }
 }
+
+TEST(Dimacs, RejectsDuplicateProblemLine) {
+  // A second 'p' line silently overwriting n/m would reinterpret every
+  // following arc; it must be an error.
+  std::stringstream ss(
+      "p max 3 2\n"
+      "p max 5 2\n"
+      "n 1 s\nn 3 t\n"
+      "a 1 2 7\na 2 3 4\n");
+  EXPECT_THROW(graph::read_dimacs(ss), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsSourceEqualsSink) {
+  std::stringstream ss(
+      "p max 3 1\n"
+      "n 2 s\nn 2 t\n"
+      "a 1 2 7\n");
+  EXPECT_THROW(graph::read_dimacs(ss), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsArcCountMismatch) {
+  { // fewer arcs than declared (truncated file)
+    std::stringstream ss("p max 3 2\nn 1 s\nn 3 t\na 1 2 7\n");
+    EXPECT_THROW(graph::read_dimacs(ss), std::runtime_error);
+  }
+  { // more arcs than declared
+    std::stringstream ss(
+        "p max 3 1\nn 1 s\nn 3 t\na 1 2 7\na 2 3 4\n");
+    EXPECT_THROW(graph::read_dimacs(ss), std::runtime_error);
+  }
+}
+
+TEST(Dimacs, RoundTripPreservesFullCapacityPrecision) {
+  // Capacities >= 1e6 and with fine fractional parts lose digits at the
+  // default 6-significant-digit stream precision; the writer must emit
+  // max_digits10 so a write -> read round trip is bit-exact.
+  graph::FlowNetwork g(4, 0, 3);
+  g.add_edge(0, 1, 1234567.0);
+  g.add_edge(1, 2, 16777216.125);
+  g.add_edge(2, 3, 0.30000000000000004); // 0.1 + 0.2: needs all 17 digits
+  g.add_edge(0, 2, 9007199254740992.0);  // 2^53
+  std::stringstream ss;
+  graph::write_dimacs(ss, g);
+  const auto g2 = graph::read_dimacs(ss);
+  ASSERT_EQ(g2.num_edges(), g.num_edges());
+  for (int e = 0; e < g.num_edges(); ++e)
+    EXPECT_EQ(g2.edge(e).capacity, g.edge(e).capacity)
+        << "capacity corrupted on edge " << e;
+}

@@ -136,16 +136,203 @@ TEST(SparseLU, RefactorReusesOrdering) {
   la::SparseLU lu;
   lu.factor(a);
 
-  // Same pattern, scaled values.
+  // Same pattern, scaled values: the numeric-only fast path must engage.
   la::Triplets t2(60, 60);
   for (const auto& e : t.entries()) t2.add(e.row, e.col, e.value * 2.0);
   const auto a2 = la::SparseMatrix::from_triplets(t2);
-  lu.refactor(a2);
+  EXPECT_TRUE(lu.refactor(a2));
 
   std::vector<double> x_true(60, 1.0), b(60), x(60);
   a2.multiply(x_true, b);
   lu.solve(b, x);
   for (int i = 0; i < 60; ++i) EXPECT_NEAR(x[i], 1.0, 1e-8);
+}
+
+TEST(SparseLU, NumericRefactorMatchesFullFactor) {
+  // Randomly re-valued same-pattern systems must solve identically through
+  // refactor and through a fresh factor (to LU round-off).
+  std::mt19937_64 rng(11);
+  la::Triplets t;
+  const auto a = random_system(120, 0.05, rng, &t);
+  la::SparseLU reused;
+  reused.factor(a);
+
+  std::uniform_real_distribution<double> val(0.5, 2.0);
+  for (int round = 0; round < 5; ++round) {
+    la::Triplets t2(120, 120);
+    for (const auto& e : t.entries()) t2.add(e.row, e.col, e.value * val(rng));
+    const auto a2 = la::SparseMatrix::from_triplets(t2);
+    ASSERT_TRUE(reused.refactor(a2)) << "round " << round;
+
+    la::SparseLU fresh;
+    fresh.factor(a2);
+
+    std::vector<double> x_true(120), b(120), x_re(120), x_full(120);
+    for (auto& v : x_true) v = val(rng);
+    a2.multiply(x_true, b);
+    reused.solve(b, x_re);
+    fresh.solve(b, x_full);
+    for (int i = 0; i < 120; ++i) {
+      EXPECT_NEAR(x_re[i], x_true[i], 1e-9);
+      EXPECT_NEAR(x_re[i], x_full[i], 1e-10);
+    }
+  }
+}
+
+TEST(SparseLU, RefactorFallsBackOnPatternChange) {
+  std::mt19937_64 rng(13);
+  const auto a = random_system(40, 0.1, rng);
+  la::SparseLU lu;
+  lu.factor(a);
+
+  // Different pattern: refactor must take the full-factorisation path and
+  // still produce a valid solve.
+  std::mt19937_64 rng2(14);
+  const auto b_mat = random_system(40, 0.2, rng2);
+  EXPECT_FALSE(lu.refactor(b_mat));
+
+  std::vector<double> x_true(40, 2.0), b(40), x(40);
+  b_mat.multiply(x_true, b);
+  lu.solve(b, x);
+  for (int i = 0; i < 40; ++i) EXPECT_NEAR(x[i], 2.0, 1e-8);
+}
+
+TEST(SparseLU, RefactorFallsBackOnPivotDegradation) {
+  // Factor a diagonally dominant system, then refactor with the dominance
+  // inverted so the frozen pivot order would be numerically disastrous: the
+  // fast path must decline and re-pivot.
+  la::Triplets t(2, 2);
+  t.add(0, 0, 10.0);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  t.add(1, 1, 10.0);
+  la::SparseLU lu;
+  lu.factor(la::SparseMatrix::from_triplets(t));
+
+  la::Triplets t2(2, 2);
+  t2.add(0, 0, 1e-14);
+  t2.add(0, 1, 1.0);
+  t2.add(1, 0, 1.0);
+  t2.add(1, 1, 1e-14);
+  const auto a2 = la::SparseMatrix::from_triplets(t2);
+  EXPECT_FALSE(lu.refactor(a2));
+
+  std::vector<double> b = {1.0, 2.0}, x(2);
+  lu.solve(b, x);
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], 1.0, 1e-9);
+}
+
+TEST(SparseLU, RefactorWithoutFactorBehavesLikeFactor) {
+  std::mt19937_64 rng(17);
+  const auto a = random_system(30, 0.1, rng);
+  la::SparseLU lu;
+  EXPECT_FALSE(lu.refactor(a)); // nothing to reuse yet
+  EXPECT_TRUE(lu.factored());
+}
+
+TEST(SparseLU, SeededColumnOrderSkipsAnalysisAndStaysCorrect) {
+  std::mt19937_64 rng(19);
+  la::Triplets t;
+  const auto a = random_system(50, 0.1, rng, &t);
+
+  la::SparseLU first;
+  first.factor(a);
+  const std::vector<int> order = first.column_order();
+
+  la::SparseLU seeded;
+  seeded.seed_column_order(order);
+  seeded.factor(a);
+  EXPECT_EQ(seeded.column_order(), order);
+
+  std::vector<double> x_true(50, -1.5), b(50), x(50);
+  a.multiply(x_true, b);
+  seeded.solve(b, x);
+  for (int i = 0; i < 50; ++i) EXPECT_NEAR(x[i], -1.5, 1e-8);
+}
+
+TEST(SparseLU, SingularRefactorLeavesSolverReusable) {
+  la::Triplets good(2, 2);
+  good.add(0, 0, 2.0);
+  good.add(1, 1, 3.0);
+  good.add(0, 1, 1.0);
+  la::SparseLU lu;
+  lu.factor(la::SparseMatrix::from_triplets(good));
+
+  la::Triplets bad(2, 2);
+  bad.add(0, 0, 0.0);
+  bad.add(1, 1, 0.0);
+  bad.add(0, 1, 0.0);
+  EXPECT_THROW(lu.refactor(la::SparseMatrix::from_triplets(bad)),
+               la::SingularMatrixError);
+  EXPECT_FALSE(lu.factored()); // invalidated, not corrupted
+
+  lu.factor(la::SparseMatrix::from_triplets(good));
+  std::vector<double> b = {2.0, 3.0}, x(2);
+  lu.solve(b, x);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[0], 0.5, 1e-12);
+}
+
+TEST(OrderingCache, SharesOrderingsByPattern) {
+  std::mt19937_64 rng(23);
+  la::Triplets t;
+  const auto a = random_system(40, 0.1, rng, &t);
+  const auto key = la::OrderingCache::pattern_key(a);
+
+  la::OrderingCache cache;
+  EXPECT_FALSE(cache.find(key).has_value());
+
+  la::SparseLU lu;
+  lu.factor(a);
+  cache.store(key, lu.column_order());
+  ASSERT_TRUE(cache.find(key).has_value());
+  EXPECT_EQ(*cache.find(key), lu.column_order());
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Same pattern, different values -> same key; different pattern -> not.
+  la::Triplets t2(40, 40);
+  for (const auto& e : t.entries()) t2.add(e.row, e.col, e.value * 3.0);
+  EXPECT_EQ(la::OrderingCache::pattern_key(la::SparseMatrix::from_triplets(t2)),
+            key);
+  std::mt19937_64 rng2(24);
+  EXPECT_NE(la::OrderingCache::pattern_key(random_system(40, 0.2, rng2)), key);
+}
+
+TEST(SparseMatrix, SlotMapUpdateMatchesRecompression) {
+  la::Triplets t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.0); // duplicate: summed into one slot
+  t.add(2, 1, -4.0);
+  t.add(1, 2, 9.0);
+  std::vector<int> slots;
+  auto m = la::SparseMatrix::from_triplets(t, &slots);
+  ASSERT_EQ(slots.size(), 4u);
+  EXPECT_EQ(slots[0], slots[1]);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+
+  // Re-stamp the same sequence with new values; in-place update must agree
+  // with a fresh compression.
+  la::Triplets t2(3, 3);
+  t2.add(0, 0, -1.0);
+  t2.add(0, 0, 0.5);
+  t2.add(2, 1, 7.0);
+  t2.add(1, 2, 0.0);
+  m.update_values(t2.entries(), slots);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), -0.5);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+  EXPECT_EQ(m.nnz(), 3); // pattern unchanged
+}
+
+TEST(Triplets, ResetKeepsDimensionsAndClearsEntries) {
+  la::Triplets t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 2.0);
+  t.reset(3, 3);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_TRUE(t.entries().empty());
 }
 
 TEST(SparseLU, SingularMatrixThrows) {

@@ -153,6 +153,51 @@ TEST(Transient, DiodeEventIsHandledMidRun) {
   for (const auto& row : wf.samples) EXPECT_LT(row[0], 1.05);
 }
 
+TEST(Transient, ReusePathMatchesFullFactorBaseline) {
+  // The RC-into-clamp instance exercises diode flips and dt doubling; the
+  // pattern-reuse fast path and the full-factor-per-event baseline must
+  // produce the same trajectory to solver tolerance.
+  auto build = [] {
+    circuit::Netlist nl;
+    const auto in = nl.new_node(), out = nl.new_node(), lvl = nl.new_node();
+    nl.add_vsource(in, circuit::kGround, 3.0);
+    nl.add_vsource(lvl, circuit::kGround, 1.0);
+    nl.add_resistor(in, out, 1e3);
+    nl.add_capacitor(out, circuit::kGround, 1e-9);
+    nl.add_diode(out, lvl);
+    return nl;
+  };
+  sim::TransientOptions topt;
+  topt.dt_initial = 1e-9;
+  topt.dt_max = 2e-8;
+  topt.t_stop = 8e-6;
+
+  auto nl_reuse = build();
+  sim::TransientSolver reuse(nl_reuse, topt);
+  circuit::DeviceState s1 = circuit::DeviceState::initial(nl_reuse);
+  const auto wf1 = reuse.run(s1, {sim::Probe::node(2, "v")});
+
+  topt.reuse_factorization = false;
+  auto nl_base = build();
+  sim::TransientSolver baseline(nl_base, topt);
+  circuit::DeviceState s2 = circuit::DeviceState::initial(nl_base);
+  const auto wf2 = baseline.run(s2, {sim::Probe::node(2, "v")});
+
+  ASSERT_EQ(wf1.samples.size(), wf2.samples.size());
+  for (size_t k = 0; k < wf1.samples.size(); ++k)
+    EXPECT_NEAR(wf1.samples[k][0], wf2.samples[k][0], 1e-9) << "step " << k;
+
+  // Stats are consistent, and the reuse path rode the numeric fast path
+  // for every factorisation after the first (diode flips + dt changes).
+  EXPECT_EQ(reuse.stats().factorizations,
+            reuse.stats().full_factors + reuse.stats().refactors);
+  EXPECT_EQ(reuse.stats().full_factors, 1);
+  EXPECT_GT(reuse.stats().refactors, 0);
+  EXPECT_EQ(baseline.stats().refactors, 0);
+  EXPECT_EQ(baseline.stats().full_factors, baseline.stats().factorizations);
+  EXPECT_EQ(reuse.stats().factorizations, baseline.stats().factorizations);
+}
+
 TEST(Transient, SettleDetectionStopsEarly) {
   circuit::Netlist nl;
   const auto in = nl.new_node(), out = nl.new_node();
