@@ -8,10 +8,13 @@
 //   (c) the measured speedup clears the gate (default 1.5x).
 //
 //   bench_lu_reuse [--batch SPEC] [--reps 3] [--min-speedup 1.5] [--smoke]
+//                  [--json FILE]
 //
 // --smoke shrinks the workload and drops the timing gate (CI machines are
 // too noisy for wall-clock assertions) while keeping the correctness and
-// refactor-share assertions.
+// refactor-share assertions. --json writes an aflow-bench-v1 report for
+// perf-trend tracking.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -21,6 +24,7 @@
 #include "analog/solver.hpp"
 #include "bench_util.hpp"
 #include "core/workload.hpp"
+#include "util/json.hpp"
 
 using namespace aflow;
 
@@ -140,6 +144,33 @@ int main(int argc, char** argv) {
   std::printf("%-36s %12.2f\n", "pattern + refactor reuse", t_fast * 1e3);
   bench::rule();
   std::printf("speedup: %.2fx  (gate: %.2fx)\n", speedup, min_speedup);
+
+  const std::string json_path = bench::arg_string(argc, argv, "--json", "");
+  if (!json_path.empty()) {
+    aflow::util::JsonWriter j;
+    j.begin_object();
+    j.field("schema", "aflow-bench-v1");
+    j.field("bench", "lu_reuse");
+    j.field("smoke", smoke);
+    j.field("batch", spec);
+    j.field("instances", instances.size());
+    j.field("solves", fast.solves);
+    j.field("full_factors", fast.full_factors);
+    j.field("refactors", fast.refactors);
+    j.field("refactor_share",
+            static_cast<double>(fast.refactors) /
+                static_cast<double>(
+                    std::max(1LL, fast.full_factors + fast.refactors)));
+    j.field("wall_ms_baseline", t_base * 1e3);
+    j.field("wall_ms_reuse", t_fast * 1e3);
+    j.key("gates").begin_array();
+    bench::json_gate(j, "dc_reuse_vs_rebuild", /*timed=*/min_speedup > 0.0,
+                     speedup, min_speedup);
+    j.end_array();
+    j.end_object();
+    aflow::util::write_json_file(json_path, j.str());
+    std::printf("json: %s\n", json_path.c_str());
+  }
 
   if (min_speedup > 0.0 && speedup < min_speedup) {
     std::fprintf(stderr, "FAIL: speedup %.2fx below gate %.2fx\n", speedup,

@@ -7,9 +7,11 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/args.hpp"
+#include "util/json.hpp"
 
 namespace aflow::bench {
 
@@ -17,6 +19,21 @@ using util::arg_double;
 using util::arg_flag;
 using util::arg_int;
 using util::arg_string;
+
+/// Appends one aflow-bench-v1 gate record — the single definition of the
+/// {name, timed, speedup, threshold, pass} shape shared by the gated
+/// benches, so JSON consumers see one schema. An untimed gate (smoke mode)
+/// or a threshold <= 0 passes by definition.
+inline void json_gate(util::JsonWriter& j, std::string_view name, bool timed,
+                      double speedup, double threshold) {
+  j.begin_object();
+  j.field("name", name);
+  j.field("timed", timed);
+  j.field("speedup", speedup);
+  j.field("threshold", threshold);
+  j.field("pass", !timed || threshold <= 0.0 || speedup >= threshold);
+  j.end_object();
+}
 
 /// Median wall-clock seconds of `fn` over `reps` runs (after one warm-up).
 inline double time_median(const std::function<void()>& fn, int reps = 5) {

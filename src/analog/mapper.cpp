@@ -205,8 +205,18 @@ class CircuitBuilder {
   }
 
   /// One shared voltage source per distinct level (Sec. 4.1: "one voltage
-  /// source will be used for multiple edges").
+  /// source will be used for multiple edges") — or, with
+  /// dedicated_level_sources, one source per clamp so the netlist shape is
+  /// independent of the programmed levels (reconfiguration batches).
   circuit::NodeId level_rail(double volts) {
+    if (config_.dedicated_level_sources) {
+      // No dedupe, and a 0 V level still gets a real source: the pattern
+      // must not change when a reprogrammed capacity quantizes to zero.
+      const circuit::NodeId node =
+          out_.netlist.new_node("lvl" + std::to_string(num_dedicated_rails_++));
+      out_.netlist.add_vsource(node, circuit::kGround, volts);
+      return node;
+    }
     if (volts == 0.0) return circuit::kGround;
     const long long key = std::llround(volts * 1e9); // dedupe to 1 nV
     const auto it = level_nodes_.find(key);
@@ -224,6 +234,7 @@ class CircuitBuilder {
   double r_;
   MaxFlowCircuit out_;
   std::map<long long, circuit::NodeId> level_nodes_;
+  int num_dedicated_rails_ = 0;
 };
 
 } // namespace

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 
 #include "sim/dc.hpp"
 
@@ -19,6 +21,22 @@ double reference_tau(const SubstrateConfig& config) {
     tau = tau > 0.0 ? std::min(tau, rc) : rc;
   }
   return tau;
+}
+
+/// Shape check before adopting a pooled device state: a 64-bit pattern-key
+/// collision (or a stale pool) must degrade to a cold start, never to an
+/// out-of-bounds read.
+bool warm_shapes_match(const core::ReuseEntry& warm, const circuit::Netlist& net,
+                       int num_unknowns) {
+  if (!warm.state || !warm.x) return false;
+  const circuit::DeviceState& s = *warm.state;
+  return s.diode_on.size() == net.diodes().size() &&
+         s.diode_v.size() == net.diodes().size() &&
+         s.opamp_ve.size() == net.opamps().size() &&
+         s.opamp_sat.size() == net.opamps().size() &&
+         s.negres_i.size() == net.negative_resistors().size() &&
+         s.cap_v.size() == net.capacitors().size() &&
+         warm.x->size() == static_cast<size_t>(num_unknowns);
 }
 
 void fill_common(const MaxFlowCircuit& c, const circuit::MnaAssembler& mna,
@@ -62,12 +80,9 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
   MaxFlowCircuit c = map(net);
   circuit::DeviceState state = circuit::DeviceState::initial(c.netlist);
 
-  // Source-ramp homotopy: walking Vflow up from zero mirrors the physical
-  // turn-on and keeps each diode-state solve a small perturbation of the
-  // previous one — a cold solve at full drive can cycle on large graphs.
-  // One DcSolver serves the whole ramp: the MNA pattern is independent of
-  // the source value, so every step after the first rides the numeric
-  // refactor fast path.
+  // One DcSolver serves the warm attempt and the whole homotopy ramp: the
+  // MNA pattern is independent of the source value, so every solve after
+  // the first factorisation rides the numeric refactor fast path.
   sim::DcOptions dc_opt;
   dc_opt.reuse_factorization = options_.reuse_factorization;
   dc_opt.ordering_cache = options_.ordering_cache;
@@ -76,28 +91,86 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
   const double v_target = options_.config.vflow;
   AnalogFlowResult out;
   std::vector<double> x;
+
+  auto accumulate = [&](const sim::DcStats& s) {
+    out.dc_iterations += s.iterations;
+    out.warm_iterations += s.warm_iterations;
+    out.cold_iterations += s.cold_iterations;
+    out.full_factors += s.full_factors;
+    out.refactors += s.refactors;
+    out.prototype_refactors += s.prototype_refactors;
+  };
+
+  // Cross-instance warm start: fetch the previous same-pattern instance's
+  // factored LU prototype and converged state from the pool and try to
+  // converge directly at full drive, skipping the homotopy ramp entirely.
+  // Any failure falls back to the cold ramp below.
+  core::ReusePool* pool =
+      options_.reuse_factorization ? options_.reuse_pool.get() : nullptr;
+  std::uint64_t pool_key = 0;
+  bool solved = false;
+  if (pool) {
+    pool_key = solver.pattern_key();
+    const std::shared_ptr<const core::ReuseEntry> warm = pool->find(pool_key);
+    if (warm && warm->lu) solver.set_lu_prototype(warm->lu);
+    if (warm &&
+        warm_shapes_match(*warm, c.netlist,
+                          solver.assembler().num_unknowns())) {
+      c.netlist.set_vsource_value(c.vflow_source, v_target);
+      circuit::DeviceState attempt = *warm->state;
+      auto warm_failed = [&] {
+        // Warm residual not below the continuation threshold within the
+        // budget (or the carried state stamps a singular system even
+        // through gmin stepping): pay for the attempt and run the ramp
+        // from a cold state.
+        accumulate(solver.stats());
+        state = circuit::DeviceState::initial(c.netlist);
+      };
+      try {
+        x = solver.solve_warm(attempt, *warm->x,
+                              options_.warm_iteration_budget);
+        accumulate(solver.stats());
+        state = std::move(attempt);
+        solved = true;
+        out.warm_started = true;
+      } catch (const sim::ConvergenceError&) {
+        warm_failed();
+      } catch (const la::SingularMatrixError&) {
+        warm_failed();
+      }
+    }
+  }
+
+  // Source-ramp homotopy (cold path): walking Vflow up from zero mirrors
+  // the physical turn-on and keeps each diode-state solve a small
+  // perturbation of the previous one — a cold solve at full drive can
+  // cycle on large graphs.
   double v_done = 0.0;
   double step = v_target / 4.0;
-  while (v_done < v_target) {
+  while (!solved && v_done < v_target) {
     const double v_try = std::min(v_target, v_done + step);
     c.netlist.set_vsource_value(c.vflow_source, v_try);
     circuit::DeviceState attempt = state;
     try {
       x = solver.solve(attempt);
     } catch (const sim::ConvergenceError&) {
-      out.dc_iterations += solver.stats().iterations;
-      out.full_factors += solver.stats().full_factors;
-      out.refactors += solver.stats().refactors;
+      accumulate(solver.stats());
       step *= 0.5;
       if (step < v_target / 4096.0) throw;
       continue;
     }
-    out.dc_iterations += solver.stats().iterations;
-    out.full_factors += solver.stats().full_factors;
-    out.refactors += solver.stats().refactors;
+    accumulate(solver.stats());
     state = std::move(attempt);
     v_done = v_try;
     step *= 2.0;
+  }
+
+  if (pool) {
+    core::ReuseEntry entry;
+    entry.lu = solver.share_factorization();
+    entry.state = std::make_shared<const circuit::DeviceState>(state);
+    entry.x = std::make_shared<const std::vector<double>>(x);
+    pool->store(pool_key, std::move(entry));
   }
 
   fill_common(c, solver.assembler(), x, net, out);
@@ -137,8 +210,28 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_transient(
   }
 
   sim::TransientSolver solver(c.netlist, topt);
+
+  // Cross-instance prototype: enter the first factorisation through the
+  // previous same-pattern instance's factors. (No device-state carry for
+  // transient: the run must start from rest — the convergence time IS the
+  // measured quantity.)
+  core::ReusePool* pool =
+      options_.reuse_factorization ? options_.reuse_pool.get() : nullptr;
+  std::uint64_t pool_key = 0;
+  if (pool) {
+    pool_key = solver.pattern_key();
+    const std::shared_ptr<const core::ReuseEntry> entry = pool->find(pool_key);
+    if (entry && entry->lu) solver.set_lu_prototype(entry->lu);
+  }
+
   circuit::DeviceState state = circuit::DeviceState::initial(c.netlist);
   sim::Waveform wf = solver.run(state, probes);
+
+  if (pool) {
+    core::ReuseEntry entry;
+    entry.lu = solver.share_factorization();
+    pool->store(pool_key, std::move(entry));
+  }
 
   // Convert the Iflow series into the flow value J(t) (volts, Eq. 7a).
   for (auto& row : wf.samples) row[0] = c.flow_value_volts_from_iflow(row[0]);
@@ -153,6 +246,8 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_transient(
   out.factorizations = solver.stats().factorizations;
   out.full_factors = solver.stats().full_factors;
   out.refactors = solver.stats().refactors;
+  out.prototype_refactors = solver.stats().prototype_refactors;
+  out.rhs_refreshes = solver.stats().rhs_refreshes;
   out.solves = solver.stats().solves;
   out.waveform = std::move(wf);
   return out;

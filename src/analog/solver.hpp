@@ -15,6 +15,7 @@
 
 #include "analog/mapper.hpp"
 #include "analog/substrate_config.hpp"
+#include "core/reuse_pool.hpp"
 #include "flow/maxflow.hpp"
 #include "sim/transient.hpp"
 
@@ -47,6 +48,18 @@ struct AnalogSolveOptions {
   /// fill-reducing ordering after the first instance. Thread-safe; give
   /// each batch worker its own cache (see core::BatchEngine).
   std::shared_ptr<la::OrderingCache> ordering_cache;
+  /// Optional cross-instance warm-start pool (see core::ReusePool): shares
+  /// factored SparseLU prototypes and, for steady-state solves, seeds
+  /// Newton from the previous same-shape instance's converged device state,
+  /// skipping the Vflow homotopy when the warm attempt converges at full
+  /// drive. Same per-worker sharing discipline as the ordering cache; note
+  /// that warm-started results depend on the order instances flow through
+  /// the pool (reproducible in deterministic batches, not bit-stable across
+  /// arbitrary schedules). Requires reuse_factorization.
+  std::shared_ptr<core::ReusePool> reuse_pool;
+  /// Iteration cap for the warm full-drive attempt before falling back to
+  /// the cold homotopy ramp (bounds the cost of a failed warm start).
+  int warm_iteration_budget = 48;
 };
 
 struct AnalogFlowResult {
@@ -68,8 +81,16 @@ struct AnalogFlowResult {
   long long factorizations = 0; // total = full_factors + refactors
   long long full_factors = 0;   // factorisations incl. symbolic analysis
   long long refactors = 0;      // numeric-only fast-path factorisations
+  long long prototype_refactors = 0; // refactors via a cross-instance prototype
   long long solves = 0;
+  long long rhs_refreshes = 0;  // transient RHS-only incremental updates
   int dc_iterations = 0;
+  /// Warm-start telemetry: true when the result came from a warm-started
+  /// solve (cross-instance device state, homotopy skipped); the iteration
+  /// split always satisfies warm + cold == dc_iterations.
+  bool warm_started = false;
+  int warm_iterations = 0;
+  int cold_iterations = 0;
 
   /// Relative error against an exact flow value.
   double relative_error(double exact) const {

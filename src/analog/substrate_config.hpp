@@ -60,6 +60,19 @@ struct SubstrateConfig {
   /// conservation error. 0 reproduces the paper's exact (marginal) design;
   /// the ablation bench quantifies the error/stability trade.
   double stability_margin = 0.0;
+  /// Level-source sharing. The hardware shares one DAC voltage source per
+  /// distinct capacity level (Sec. 4.1), which is what the default models —
+  /// but it makes the netlist *shape* depend on the programmed capacities
+  /// (which levels are in use, which edges share a rail). `true` gives
+  /// every capacity clamp its own level source: electrically identical
+  /// (same node voltages, same flows; source currents just stop being
+  /// aggregated), a few extra branch unknowns, and an MNA pattern that
+  /// depends only on the graph topology. That pattern stability is what
+  /// lets reconfiguration batches — one topology, reprogrammed capacities —
+  /// share factored-LU prototypes and warm-start state across instances
+  /// (see core::ReusePool), exactly like the physical substrate, where
+  /// reprogramming changes DAC codes, never the wiring.
+  bool dedicated_level_sources = false;
 
   /// Lag time constant for NegResFidelity::kLag. The Fig. 9a NIC runs at a
   /// closed-loop feedback factor of ~1/2, so its bandwidth is ~GBW/2 and

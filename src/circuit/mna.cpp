@@ -24,6 +24,41 @@ double limit_junction(double v_new, double v_old, double vt, double vcrit) {
   return v_new;
 }
 
+// History-term arithmetic shared between the full stamp loop and the
+// RHS-only tape replay (refresh_history_rhs). Each term has exactly one
+// definition so both paths round identically — that is what makes the
+// incremental refresh bit-identical to a full assemble.
+
+double negres_history(const NegativeResistor& nr, double i_state, double dt) {
+  const double k = dt / nr.tau;
+  const double beta = 1.0 / (1.0 + k);
+  return beta * i_state; // current leaving terminal a
+}
+
+double cap_history(const Capacitor& c, double v_state, double dt) {
+  const double g = c.capacitance / dt;
+  return g * v_state;
+}
+
+double opamp_history(const OpAmp& op, double ve_state, double dt) {
+  const double k = dt / op.tau();
+  const double hist = ve_state / (1.0 + k);
+  return hist * (1.0 / op.params.r_out);
+}
+
+struct ShockleyLin {
+  double gd = 0.0;  // companion conductance
+  double ieq = 0.0; // companion current at the linearisation point
+};
+
+ShockleyLin shockley_linearization(const Diode& d, double v0) {
+  const double nvt = d.params.emission * kThermalVoltage;
+  const double e = std::exp(std::min(v0 / nvt, 200.0));
+  const double gd = d.params.i_sat / nvt * e;
+  const double id = d.params.i_sat * (e - 1.0);
+  return {gd, id - gd * v0};
+}
+
 } // namespace
 
 DeviceState DeviceState::initial(const Netlist& net) {
@@ -52,6 +87,14 @@ int MnaAssembler::vsource_unknown(int src) const {
 // zero instead of skipping the entry.
 void MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
                             la::Triplets& a, std::vector<double>& rhs) const {
+  assemble_impl(state, opt, a, rhs, nullptr);
+}
+
+void MnaAssembler::assemble_impl(
+    const DeviceState& state, const StampOptions& opt, la::Triplets& a,
+    std::vector<double>& rhs,
+    std::vector<PatternAssembly::RhsSlot>* tape) const {
+  using RhsSlot = PatternAssembly::RhsSlot;
   const int n = num_unknowns();
   a.reset(n, n);
   rhs.assign(n, 0.0);
@@ -68,7 +111,19 @@ void MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
   };
   auto stamp_current_into = [&](NodeId node, double amps) {
     const int i = node_unknown(node);
-    if (i >= 0) rhs[i] += amps;
+    if (i < 0) return;
+    rhs[i] += amps;
+    if (tape) tape->push_back({i, -1, amps, RhsSlot::Kind::kStatic});
+  };
+  // History contribution: `amps` must equal `sign * <history helper>` so the
+  // tape replay — which recomputes the helper and applies `sign` — lands on
+  // the same bits.
+  auto stamp_history_into = [&](NodeId node, double amps,
+                                RhsSlot::Kind kind, int device, double sign) {
+    const int i = node_unknown(node);
+    if (i < 0) return;
+    rhs[i] += amps;
+    if (tape) tape->push_back({i, device, sign, kind});
   };
 
   // gmin to ground on every node keeps otherwise-floating nodes pinned.
@@ -92,11 +147,12 @@ void MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
       // Backward Euler on tau dI/dt = -g V - I.
       const double k = opt.dt / nr.tau;
       const double alpha = k / (1.0 + k);
-      const double beta = 1.0 / (1.0 + k);
       stamp_conductance(nr.a, nr.b, -alpha * g);
-      const double hist = beta * state.negres_i[i]; // current leaving a
-      stamp_current_into(nr.a, -hist);
-      stamp_current_into(nr.b, hist);
+      const double hist = negres_history(nr, state.negres_i[i], opt.dt);
+      stamp_history_into(nr.a, -hist, PatternAssembly::RhsSlot::Kind::kNegRes,
+                         static_cast<int>(i), -1.0);
+      stamp_history_into(nr.b, hist, PatternAssembly::RhsSlot::Kind::kNegRes,
+                         static_cast<int>(i), 1.0);
     }
   }
 
@@ -105,8 +161,11 @@ void MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
     if (!opt.transient) continue; // open in DC
     const double g = c.capacitance / opt.dt;
     stamp_conductance(c.a, c.b, g);
-    stamp_current_into(c.a, g * state.cap_v[i]);
-    stamp_current_into(c.b, -g * state.cap_v[i]);
+    const double hist = cap_history(c, state.cap_v[i], opt.dt);
+    stamp_history_into(c.a, hist, PatternAssembly::RhsSlot::Kind::kCap,
+                       static_cast<int>(i), 1.0);
+    stamp_history_into(c.b, -hist, PatternAssembly::RhsSlot::Kind::kCap,
+                       static_cast<int>(i), -1.0);
   }
 
   for (const auto& cs : net_->isources()) {
@@ -121,7 +180,10 @@ void MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
     const int in = node_unknown(vs.neg);
     if (ip >= 0) { a.add(ip, j, 1.0); a.add(j, ip, 1.0); }
     if (in >= 0) { a.add(in, j, -1.0); a.add(j, in, -1.0); }
-    rhs[j] = vs.value;
+    rhs[j] = vs.value; // branch row j receives no other contribution
+    if (tape)
+      tape->push_back(
+          {j, -1, vs.value, PatternAssembly::RhsSlot::Kind::kStatic});
   }
 
   for (size_t i = 0; i < net_->diodes().size(); ++i) {
@@ -138,15 +200,17 @@ void MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
         stamp_conductance(d.anode, d.cathode, 1.0 / d.params.r_off);
       }
     } else {
-      const double nvt = d.params.emission * kThermalVoltage;
-      const double v0 = state.diode_v[i];
-      const double e = std::exp(std::min(v0 / nvt, 200.0));
-      const double gd = d.params.i_sat / nvt * e;
-      const double id = d.params.i_sat * (e - 1.0);
-      const double ieq = id - gd * v0;
-      stamp_conductance(d.anode, d.cathode, gd);
-      stamp_current_into(d.anode, -ieq);
-      stamp_current_into(d.cathode, ieq);
+      // The linearisation point drifts by < the Newton tolerance without
+      // forcing a refactorisation, so the companion current is a history
+      // term: the tape replay recomputes it from the current diode_v.
+      const ShockleyLin lin = shockley_linearization(d, state.diode_v[i]);
+      stamp_conductance(d.anode, d.cathode, lin.gd);
+      stamp_history_into(d.anode, -lin.ieq,
+                         PatternAssembly::RhsSlot::Kind::kShockley,
+                         static_cast<int>(i), -1.0);
+      stamp_history_into(d.cathode, lin.ieq,
+                         PatternAssembly::RhsSlot::Kind::kShockley,
+                         static_cast<int>(i), 1.0);
     }
   }
 
@@ -163,19 +227,19 @@ void MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
       // Railed: the output stage is a stiff source at +-v_rail with no
       // dependence on the inputs. The input couplings are stamped as
       // explicit zeros to keep the pattern identical to the linear branch.
+      // A rail-state change forces a refactorisation, so the drive is
+      // static from the tape's point of view.
       a.add(io, io, g_out);
       if (ip_rail >= 0) a.add(io, ip_rail, 0.0);
       if (im_rail >= 0) a.add(io, im_rail, 0.0);
-      rhs[io] += state.opamp_sat[i] * op.params.v_rail * g_out;
+      stamp_current_into(op.out, state.opamp_sat[i] * op.params.v_rail * g_out);
       continue;
     }
 
     double alpha = 1.0;
-    double hist = 0.0;
     if (opt.transient) {
       const double k = opt.dt / op.tau();
       alpha = k / (1.0 + k);
-      hist = state.opamp_ve[i] / (1.0 + k);
     }
     // I(out -> element) = (Vout - Ve)/Rout with
     // Ve = hist + alpha * A * (Vp - Vm).
@@ -184,13 +248,22 @@ void MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
     a.add(io, io, g_out);
     if (ip >= 0) a.add(io, ip, -alpha * a_gain * g_out);
     if (im >= 0) a.add(io, im, alpha * a_gain * g_out);
-    rhs[io] += hist * g_out;
+    if (opt.transient)
+      stamp_history_into(op.out, opamp_history(op, state.opamp_ve[i], opt.dt),
+                         PatternAssembly::RhsSlot::Kind::kOpAmp,
+                         static_cast<int>(i), 1.0);
   }
 }
 
 bool MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
                             PatternAssembly& pa) const {
-  assemble(state, opt, pa.triplets_, pa.rhs_);
+  // Record the RHS tape only for transient assembles: the DC engines never
+  // replay it, and the recording has a (small) per-stamp cost.
+  std::vector<PatternAssembly::RhsSlot>* tape =
+      opt.transient ? &pa.rhs_tape_ : nullptr;
+  if (tape) tape->clear();
+  assemble_impl(state, opt, pa.triplets_, pa.rhs_, tape);
+  pa.history_ready_ = opt.transient;
   if (pa.ready_ &&
       pa.triplets_.entries().size() == pa.slot_.size() &&
       pa.triplets_.rows() == pa.matrix_.rows()) {
@@ -200,6 +273,51 @@ bool MnaAssembler::assemble(const DeviceState& state, const StampOptions& opt,
   pa.matrix_ = la::SparseMatrix::from_triplets(pa.triplets_, &pa.slot_);
   pa.ready_ = true;
   return false;
+}
+
+void MnaAssembler::refresh_history_rhs(const DeviceState& state,
+                                       const StampOptions& opt,
+                                       PatternAssembly& pa) const {
+  assert(pa.history_ready_ && opt.transient);
+  using Kind = PatternAssembly::RhsSlot::Kind;
+  auto& rhs = pa.rhs_;
+  std::fill(rhs.begin(), rhs.end(), 0.0);
+  // A diode's anode/cathode slots are adjacent in stamp order; memoise the
+  // exp()-based companion current so each diode pays for it once per
+  // refresh, as in the full stamp loop.
+  int last_shockley_device = -1;
+  double last_shockley_ieq = 0.0;
+  for (const PatternAssembly::RhsSlot& s : pa.rhs_tape_) {
+    double v = 0.0;
+    switch (s.kind) {
+      case Kind::kStatic:
+        v = s.value;
+        break;
+      case Kind::kNegRes:
+        v = s.value * negres_history(net_->negative_resistors()[s.device],
+                                     state.negres_i[s.device], opt.dt);
+        break;
+      case Kind::kCap:
+        v = s.value * cap_history(net_->capacitors()[s.device],
+                                  state.cap_v[s.device], opt.dt);
+        break;
+      case Kind::kOpAmp:
+        v = s.value * opamp_history(net_->opamps()[s.device],
+                                    state.opamp_ve[s.device], opt.dt);
+        break;
+      case Kind::kShockley:
+        if (s.device != last_shockley_device) {
+          last_shockley_ieq =
+              shockley_linearization(net_->diodes()[s.device],
+                                     state.diode_v[s.device])
+                  .ieq;
+          last_shockley_device = s.device;
+        }
+        v = s.value * last_shockley_ieq;
+        break;
+    }
+    rhs[s.row] += v;
+  }
 }
 
 int MnaAssembler::update_pwl_diode_states(std::span<const double> x,

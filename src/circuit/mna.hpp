@@ -40,15 +40,48 @@ struct StampOptions {
 /// and every later assemble is a numeric-only in-place update. This is what
 /// lets the solvers run SparseLU::refactor instead of rebuilding the matrix
 /// and its symbolic analysis each Newton iteration / time step.
+///
+/// Transient assembles additionally record an RHS "tape": every right-hand
+/// side contribution, in stamp order, tagged as either a static value or a
+/// per-device history term (capacitor charge, negative-resistor lag, op-amp
+/// pole, Shockley linearisation current). RHS-only steps — no diode flips,
+/// no dt change, no source change — replay the tape through
+/// MnaAssembler::refresh_history_rhs, recomputing only the history terms,
+/// instead of re-running the full stamp loop. The replay preserves the
+/// stamp-order accumulation, so the refreshed RHS is bit-identical to the
+/// one a full assemble would produce.
 class PatternAssembly {
  public:
+  /// One recorded RHS contribution. For history kinds, `value` is the
+  /// stamp's sign (+-1.0) applied to the recomputed history term; for
+  /// kStatic it is the contribution itself.
+  struct RhsSlot {
+    enum class Kind : unsigned char {
+      kStatic,   // state-independent (sources, PWL diode offsets, ...)
+      kNegRes,   // lagged negative-resistor history current
+      kCap,      // capacitor backward-Euler history current
+      kOpAmp,    // op-amp single-pole history drive
+      kShockley, // Shockley companion-model current at the linearisation point
+    };
+    int row = 0;
+    int device = -1; // index into the netlist's device vector (history kinds)
+    double value = 0.0;
+    Kind kind = Kind::kStatic;
+  };
+
   /// True once a pattern has been captured.
   bool ready() const { return ready_; }
+  /// True once a transient assemble has recorded the RHS tape, i.e.
+  /// refresh_history_rhs is available.
+  bool history_ready() const { return history_ready_; }
   /// The assembled matrix (values of the most recent assemble call).
   const la::SparseMatrix& matrix() const { return matrix_; }
   const std::vector<double>& rhs() const { return rhs_; }
-  /// Drops the captured pattern; the next assemble rebuilds it.
-  void reset() { ready_ = false; }
+  /// Drops the captured pattern and tape; the next assemble rebuilds them.
+  void reset() {
+    ready_ = false;
+    history_ready_ = false;
+  }
 
  private:
   friend class MnaAssembler;
@@ -56,7 +89,9 @@ class PatternAssembly {
   std::vector<int> slot_; // triplet entry -> CSC value slot
   la::SparseMatrix matrix_;
   std::vector<double> rhs_;
+  std::vector<RhsSlot> rhs_tape_; // transient assembles only
   bool ready_ = false;
+  bool history_ready_ = false;
 };
 
 class MnaAssembler {
@@ -87,8 +122,21 @@ class MnaAssembler {
   /// when the existing pattern was reused, false when it was (re)built —
   /// callers use this to decide between SparseLU::refactor and factor.
   /// `opt.transient` must not change across calls on the same `pa`.
+  /// Transient assembles also (re)record the RHS tape consumed by
+  /// refresh_history_rhs.
   bool assemble(const DeviceState& state, const StampOptions& opt,
                 PatternAssembly& pa) const;
+
+  /// RHS-only incremental update for transient steps: replays the RHS tape
+  /// recorded by the last transient assemble, recomputing per-device history
+  /// terms from `state` and static entries from the recording. The result is
+  /// bit-identical to a full assemble *provided* everything that feeds the
+  /// matrix or the static RHS is unchanged since the tape was recorded: same
+  /// dt, same gmin, same PWL diode / op-amp rail states, same source values.
+  /// The caller (TransientSolver) guarantees this by refreshing only while
+  /// no event forced a refactorisation. Requires `pa.history_ready()`.
+  void refresh_history_rhs(const DeviceState& state, const StampOptions& opt,
+                           PatternAssembly& pa) const;
 
   /// How inconsistent PWL diodes are flipped after a solve.
   enum class FlipPolicy {
@@ -128,6 +176,12 @@ class MnaAssembler {
   double branch_voltage(NodeId a, NodeId b, std::span<const double> x) const {
     return node_voltage(a, x) - node_voltage(b, x);
   }
+
+  /// Shared stamp loop; when `tape` is non-null every RHS contribution is
+  /// recorded (in stamp order) for later history-only replay.
+  void assemble_impl(const DeviceState& state, const StampOptions& opt,
+                     la::Triplets& a, std::vector<double>& rhs,
+                     std::vector<PatternAssembly::RhsSlot>* tape) const;
 
   const Netlist* net_;
 };

@@ -78,10 +78,23 @@ BatchReport BatchEngine::run(
 
   report.wall_seconds = seconds_since(batch_t0);
   for (const InstanceOutcome& out : report.outcomes) {
-    if (out.ok)
+    if (out.ok) {
       report.total_flow += out.result.flow_value;
-    else
+      const flow::SolveMetrics& m = out.result.metrics;
+      report.metrics.iterations += m.iterations;
+      report.metrics.full_factors += m.full_factors;
+      report.metrics.refactors += m.refactors;
+      report.metrics.prototype_refactors += m.prototype_refactors;
+      report.metrics.rhs_refreshes += m.rhs_refreshes;
+      report.metrics.warm_iterations += m.warm_iterations;
+      report.metrics.cold_iterations += m.cold_iterations;
+      if (m.warm_started) {
+        report.metrics.warm_started = true;
+        ++report.warm_started_instances;
+      }
+    } else {
       ++report.failed;
+    }
   }
   return report;
 }

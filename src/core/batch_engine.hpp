@@ -43,6 +43,11 @@ struct BatchReport {
   int failed = 0;
   /// Sum of flow values over successful instances.
   double total_flow = 0.0;
+  /// Backend telemetry summed over successful instances (zeros for
+  /// backends that do not report it). metrics.warm_started is true when
+  /// any instance warm-started; warm_started_instances counts them.
+  flow::SolveMetrics metrics;
+  int warm_started_instances = 0;
 };
 
 class BatchEngine {

@@ -48,6 +48,14 @@ class AnalogSolverAdapter final : public ISolver {
     out.flow_value = r.flow_value;
     out.edge_flow = r.edge_flow;
     out.operations = r.solves;
+    out.metrics.iterations = r.solves;
+    out.metrics.full_factors = r.full_factors;
+    out.metrics.refactors = r.refactors;
+    out.metrics.prototype_refactors = r.prototype_refactors;
+    out.metrics.rhs_refreshes = r.rhs_refreshes;
+    out.metrics.warm_iterations = r.warm_iterations;
+    out.metrics.cold_iterations = r.cold_iterations;
+    out.metrics.warm_started = r.warm_started;
     return out;
   }
 
@@ -105,6 +113,27 @@ void register_builtins(SolverRegistry& reg) {
     return make_analog_solver(
         "analog_transient",
         default_analog_options(analog::SolveMethod::kTransient));
+  });
+  // Warm variants: same substrate model plus a per-adapter core::ReusePool,
+  // so same-shape instances flowing through one adapter (= one BatchEngine
+  // worker) share factored LU prototypes and seed Newton from the previous
+  // converged state. Kept separate from the plain adapters because warm
+  // results depend on the order instances reach the pool: deterministic
+  // batches are fully reproducible, but arbitrary multi-thread schedules
+  // are only tolerance-identical, not bit-identical, to a cold run.
+  // Dedicated level sources keep the MNA pattern a function of the graph
+  // topology alone, so reprogrammed-capacity batches actually hit the pool.
+  reg.add("analog_dc_warm", [] {
+    auto opt = default_analog_options(analog::SolveMethod::kSteadyState);
+    opt.config.dedicated_level_sources = true;
+    opt.reuse_pool = std::make_shared<ReusePool>();
+    return make_analog_solver("analog_dc_warm", std::move(opt));
+  });
+  reg.add("analog_transient_warm", [] {
+    auto opt = default_analog_options(analog::SolveMethod::kTransient);
+    opt.config.dedicated_level_sources = true;
+    opt.reuse_pool = std::make_shared<ReusePool>();
+    return make_analog_solver("analog_transient_warm", std::move(opt));
   });
 }
 

@@ -1,0 +1,44 @@
+#include "core/reuse_pool.hpp"
+
+#include <utility>
+
+namespace aflow::core {
+
+std::shared_ptr<const ReuseEntry> ReusePool::find(std::uint64_t pattern_key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(pattern_key);
+  if (it == entries_.end()) {
+    stats_.misses++;
+    return nullptr;
+  }
+  stats_.hits++;
+  return it->second;
+}
+
+void ReusePool::store(std::uint64_t pattern_key, ReuseEntry entry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = entries_[pattern_key];
+  // Merge: payloads the new entry does not carry survive from the previous
+  // one, so a transient store (LU only) cannot wipe the device state a DC
+  // store published under the same pattern (possible when the transient
+  // stamps add no new positions, e.g. lag-only circuits without parasitics).
+  if (slot) {
+    if (!entry.lu) entry.lu = slot->lu;
+    if (!entry.state) entry.state = slot->state;
+    if (!entry.x) entry.x = slot->x;
+  }
+  slot = std::make_shared<const ReuseEntry>(std::move(entry));
+  stats_.stores++;
+}
+
+size_t ReusePool::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+ReusePool::Stats ReusePool::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+} // namespace aflow::core

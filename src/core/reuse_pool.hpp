@@ -1,0 +1,82 @@
+// Cross-instance warm-start pool: the reuse layer that makes reconfiguration
+// batches (the paper's scenario — one crossbar topology, many programmed
+// conductance sets) amortise setup across instances instead of cold-starting
+// every solve. Keyed by the MNA pattern fingerprint, an entry carries:
+//
+//  1. a factored SparseLU prototype (pivot order + fill pattern, not just the
+//     column ordering the la::OrderingCache shares): a new same-shape
+//     instance clones it and enters directly through SparseLU::refactor,
+//     skipping its own symbolic analysis and numeric pivoting, with the
+//     usual pivot-degradation fallback;
+//  2. the converged circuit::DeviceState and node-voltage vector of the last
+//     same-shape instance, used to seed the Newton/PWL iteration
+//     (DcSolver::solve_warm) and skip the Vflow source-ramp homotopy when
+//     the warm attempt converges at full drive;
+//  3. nothing transient-specific — the transient engines reuse (1) plus the
+//     per-pattern RHS tape inside their own PatternAssembly.
+//
+// Sharing discipline mirrors la::OrderingCache: the pool is thread-safe, but
+// give each batch worker its own pool (the analog registry's *_warm adapters
+// do this — one pool per adapter instance, one adapter per BatchEngine
+// worker). Unlike the ordering cache, whose seed is a pure function of the
+// pattern, warm-started results depend on which instance last fed the pool,
+// so batch results are reproducible under deterministic mode (fixed order)
+// but not bit-stable across arbitrary schedules; keep the default adapters
+// pool-free where schedule-invariant bits are required.
+//
+// A 64-bit key collision is harmless for correctness: a mismatched LU
+// prototype is rejected by its own pattern fingerprint before entry, and a
+// mismatched device state either fails the shape check or just makes a poor
+// (still safe) Newton seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "la/lu.hpp"
+
+namespace aflow::core {
+
+/// Warm-start payload for one MNA pattern. All members are optional; a DC
+/// entry carries all three, a transient entry only the factorisation.
+struct ReuseEntry {
+  /// Factored same-pattern prototype to clone and enter through refactor.
+  std::shared_ptr<const la::SparseLU> lu;
+  /// Converged device state of the last same-shape instance (DC only).
+  std::shared_ptr<const circuit::DeviceState> state;
+  /// Node-voltage solution that `state` converged to.
+  std::shared_ptr<const std::vector<double>> x;
+};
+
+class ReusePool {
+ public:
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;
+    long long stores = 0;
+  };
+
+  /// Entry for `pattern_key`, or null. Counts a hit/miss.
+  std::shared_ptr<const ReuseEntry> find(std::uint64_t pattern_key);
+
+  /// Publishes the entry for `pattern_key`. Payload fields the new entry
+  /// carries replace the previous ones; null fields keep the previously
+  /// stored payload (so engines that publish only part of an entry cannot
+  /// wipe another engine's share of the same pattern).
+  void store(std::uint64_t pattern_key, ReuseEntry entry);
+
+  /// Number of distinct patterns currently held.
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const ReuseEntry>> entries_;
+  Stats stats_;
+};
+
+} // namespace aflow::core

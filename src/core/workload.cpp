@@ -42,10 +42,11 @@ struct SourceSpec {
   }
 
   /// Typos must not silently fall back to defaults: every key has to be one
-  /// the kind actually reads.
+  /// the kind actually reads. `count`, `seed`, and `vary` apply to every
+  /// generator kind.
   void require_keys(std::initializer_list<const char*> allowed) const {
     for (const auto& [key, unused] : params) {
-      bool known = key == "count" || key == "seed";
+      bool known = key == "count" || key == "seed" || key == "vary";
       for (const char* a : allowed) known = known || key == a;
       if (!known)
         throw std::invalid_argument("unknown key '" + key + "' for workload '" +
@@ -162,6 +163,20 @@ std::vector<graph::FlowNetwork> expand(const SourceSpec& spec) {
           "a DIMACS file / directory path)");
     }
   }
+
+  // vary=K: reconfiguration batches — replace each generated instance by K
+  // same-topology capacity variants.
+  const int vary = positive(spec.get_int("vary", 1), "vary");
+  if (vary > 1) {
+    std::vector<graph::FlowNetwork> varied;
+    varied.reserve(out.size() * static_cast<size_t>(vary));
+    for (size_t i = 0; i < out.size(); ++i) {
+      auto v = capacity_variants(
+          out[i], vary, seed0 + 0x9e3779b97f4a7c15ULL * (i + 1));
+      for (auto& net : v) varied.push_back(std::move(net));
+    }
+    out = std::move(varied);
+  }
   return out;
 }
 
@@ -218,6 +233,20 @@ std::vector<graph::FlowNetwork> generate_batch(const std::string& spec) {
 
 std::vector<graph::FlowNetwork> load_batch(const std::string& spec_or_path) {
   return generate_batch(spec_or_path);
+}
+
+std::vector<graph::FlowNetwork> capacity_variants(
+    const graph::FlowNetwork& base, int count, std::uint64_t seed) {
+  positive(count, "count");
+  std::vector<graph::FlowNetwork> out;
+  out.reserve(count);
+  out.push_back(base);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> factor(0.5, 1.5);
+  for (int i = 1; i < count; ++i)
+    out.push_back(
+        base.transform_capacities([&](double c) { return c * factor(rng); }));
+  return out;
 }
 
 } // namespace aflow::core

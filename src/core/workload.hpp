@@ -10,10 +10,15 @@
 //   layered:layers=6,width=20,fanout=4,cap=32,count=4,seed=5
 //   uniform:n=500,m=2500,cap=64,count=4,seed=11
 // `count` (default 1) emits that many instances with seeds seed, seed+1, ...
+// `vary=K` (default 1, any generator kind) replaces each generated instance
+// by K same-topology capacity variants (see capacity_variants) — the
+// reconfiguration-batch shape of the paper: one crossbar topology, many
+// programmed conductance sets, e.g. grid:side=13,seed=5,vary=64.
 // A source that names an existing file is read as one DIMACS instance; a
 // directory contributes every *.dimacs / *.max file in it, sorted by name.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,5 +40,13 @@ std::vector<graph::FlowNetwork> generate_batch(const std::string& spec);
 /// Synonym for generate_batch, kept as the entry-point name used by callers
 /// that may pass either a bare path or a spec.
 std::vector<graph::FlowNetwork> load_batch(const std::string& spec_or_path);
+
+/// Reconfiguration batch: `count` same-topology copies of `base` with every
+/// capacity rescaled by an i.i.d. factor drawn uniformly from [0.5, 1.5]
+/// (seeded, deterministic). Variant 0 is `base` unchanged. Same graph, same
+/// MNA pattern, new values — the substrate's reprogramming scenario and the
+/// natural workload for the cross-instance warm-start layer.
+std::vector<graph::FlowNetwork> capacity_variants(
+    const graph::FlowNetwork& base, int count, std::uint64_t seed);
 
 } // namespace aflow::core

@@ -12,6 +12,20 @@
 
 namespace aflow::flow {
 
+/// Optional backend telemetry for perf tracking (aflow bench --json, batch
+/// reports). Classical solvers leave it zeroed; the analog backends fill it
+/// from their DC/transient statistics.
+struct SolveMetrics {
+  long long iterations = 0;       // Newton/PWL iterations or transient solves
+  long long full_factors = 0;     // factorisations incl. symbolic analysis
+  long long refactors = 0;        // numeric-only fast-path factorisations
+  long long prototype_refactors = 0; // refactors via cross-instance prototypes
+  long long rhs_refreshes = 0;    // transient RHS-only incremental updates
+  long long warm_iterations = 0;  // iterations in warm-started solves
+  long long cold_iterations = 0;  // iterations in cold solves
+  bool warm_started = false;      // result came from a warm-started solve
+};
+
 struct MaxFlowResult {
   double flow_value = 0.0;
   /// Flow assigned to each input edge, parallel to FlowNetwork::edges().
@@ -19,6 +33,7 @@ struct MaxFlowResult {
   /// Algorithm-specific work counter (augmentations, pushes, ...), for the
   /// operation-count comparisons in the benchmarks.
   long long operations = 0;
+  SolveMetrics metrics;
 };
 
 MaxFlowResult edmonds_karp(const graph::FlowNetwork& net);

@@ -49,11 +49,6 @@ int reach(int n, std::span<const int> lp, std::span<const int> li,
   return top;
 }
 
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  h ^= v;
-  return h * 0x100000001b3ULL;
-}
-
 } // namespace
 
 void SparseLU::factor(const SparseMatrix& a) {
@@ -201,13 +196,15 @@ void SparseLU::factor_with_order(const SparseMatrix& a, bool reuse_order) {
     }
   }
 
-  pattern_key_ = OrderingCache::pattern_key(a);
+  pattern_key_ = a.pattern_key();
   n_ = n;
 }
 
 bool SparseLU::try_numeric_refactor(const SparseMatrix& a) {
   if (a.rows() != n_ || a.cols() != n_) return false;
-  if (OrderingCache::pattern_key(a) != pattern_key_) return false;
+  // The matrix caches its fingerprint, so this is O(1) on the hot loop
+  // (pattern-stable assembly updates values in place and keeps the key).
+  if (a.pattern_key() != pattern_key_) return false;
 
   work_.assign(n_, 0.0);
   const auto acp = a.col_ptr();
@@ -282,12 +279,7 @@ long long SparseLU::factor_nnz() const {
 }
 
 std::uint64_t OrderingCache::pattern_key(const SparseMatrix& a) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  h = fnv1a(h, static_cast<std::uint64_t>(a.rows()));
-  h = fnv1a(h, static_cast<std::uint64_t>(a.cols()));
-  for (int p : a.col_ptr()) h = fnv1a(h, static_cast<std::uint64_t>(p));
-  for (int r : a.row_idx()) h = fnv1a(h, static_cast<std::uint64_t>(r));
-  return h;
+  return a.pattern_key(); // cached on the matrix; O(1) after the first call
 }
 
 std::optional<std::vector<int>> OrderingCache::find(std::uint64_t key) const {
@@ -318,6 +310,16 @@ void factor_with_cache(SparseLU& lu, const SparseMatrix& a,
   if (order) lu.seed_column_order(std::move(*order));
   lu.factor(a);
   if (!order) cache->store(key, lu.column_order());
+}
+
+PrototypeEntry enter_prototype(SparseLU& lu, const SparseLU* prototype,
+                               const SparseMatrix& a) {
+  if (!prototype || !prototype->factored() ||
+      prototype->factored_pattern_key() != a.pattern_key())
+    return PrototypeEntry::kNotEntered;
+  lu = *prototype;
+  return lu.refactor(a) ? PrototypeEntry::kRefactored
+                        : PrototypeEntry::kFullFactored;
 }
 
 } // namespace aflow::la

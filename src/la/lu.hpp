@@ -90,6 +90,10 @@ class SparseLU {
 
   bool factored() const { return n_ > 0; }
   int dimension() const { return n_; }
+  /// Fingerprint of the pattern of the current factorisation (0 when not
+  /// factored) — lets a caller cheaply check whether a factored prototype
+  /// matches a matrix before cloning it (see core::ReusePool).
+  std::uint64_t factored_pattern_key() const { return n_ > 0 ? pattern_key_ : 0; }
   /// Fill: total nonzeros in L + U (including diagonal).
   long long factor_nnz() const;
 
@@ -141,5 +145,22 @@ class OrderingCache {
 /// this is plain `lu.factor(a)`. Throws SingularMatrixError like factor().
 void factor_with_cache(SparseLU& lu, const SparseMatrix& a,
                        OrderingCache* cache);
+
+/// Outcome of entering a factorisation through a cross-instance prototype
+/// (see enter_prototype).
+enum class PrototypeEntry {
+  kNotEntered,   // no prototype, or its pattern does not match `a`
+  kRefactored,   // numeric-only fast path: symbolic analysis + pivoting skipped
+  kFullFactored, // entered, but a pivot degraded: full factor (reused ordering)
+};
+
+/// Clone-and-refactor entry used by the warm-start layer: when `prototype`
+/// is factored for exactly `a`'s pattern, copies it into `lu` and runs the
+/// numeric-only refactor; pivot degradation falls back to a full
+/// factorisation inside refactor() as usual. Keeps the protocol (and its
+/// stats attribution, via the return value) in one place for the DC and
+/// transient engines. Throws SingularMatrixError like refactor().
+PrototypeEntry enter_prototype(SparseLU& lu, const SparseLU* prototype,
+                               const SparseMatrix& a);
 
 } // namespace aflow::la

@@ -74,6 +74,35 @@ void SparseMatrix::update_values(std::span<const Triplet> entries,
   }
 }
 
+namespace {
+
+std::uint64_t fnv1a64(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 0x100000001b3ULL;
+}
+
+} // namespace
+
+std::uint64_t SparseMatrix::compute_pattern_key() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a64(h, static_cast<std::uint64_t>(rows_));
+  h = fnv1a64(h, static_cast<std::uint64_t>(cols_));
+  for (int p : col_ptr_) h = fnv1a64(h, static_cast<std::uint64_t>(p));
+  for (int r : row_idx_) h = fnv1a64(h, static_cast<std::uint64_t>(r));
+  return h;
+}
+
+std::uint64_t SparseMatrix::pattern_key() const {
+  if (!pattern_key_valid_) {
+    pattern_key_ = compute_pattern_key();
+    pattern_key_valid_ = true;
+  }
+  // Debug-only hot-loop check: a pattern that mutated behind the cached
+  // fingerprint would silently corrupt every reuse layer above.
+  assert(pattern_key_ == compute_pattern_key());
+  return pattern_key_;
+}
+
 void SparseMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   assert(static_cast<int>(x.size()) == cols_);
   assert(static_cast<int>(y.size()) == rows_);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -72,6 +73,14 @@ class SparseMatrix {
   int cols() const { return cols_; }
   int nnz() const { return static_cast<int>(values_.size()); }
 
+  /// 64-bit fingerprint of the dimensions and nonzero positions (values are
+  /// excluded). Computed lazily and cached: the pattern is immutable after
+  /// construction and `update_values` is numeric-only, so hot refactor loops
+  /// pay O(1) instead of rehashing O(nnz) per call. Debug builds re-derive
+  /// the key on every call and assert it against the cache, so a pattern
+  /// mutated behind the cache is caught in the hot loop itself.
+  std::uint64_t pattern_key() const;
+
   std::span<const int> col_ptr() const { return col_ptr_; }
   std::span<const int> row_idx() const { return row_idx_; }
   std::span<const double> values() const { return values_; }
@@ -87,11 +96,18 @@ class SparseMatrix {
   std::vector<std::vector<int>> symmetric_adjacency() const;
 
  private:
+  std::uint64_t compute_pattern_key() const;
+
   int rows_ = 0;
   int cols_ = 0;
   std::vector<int> col_ptr_;   // size cols+1
   std::vector<int> row_idx_;   // size nnz, sorted within each column
   std::vector<double> values_; // size nnz
+  // Lazily-cached pattern fingerprint (valid once nonzero). Not guarded:
+  // matrices are per-solver, per-thread objects; sharing happens via the
+  // 64-bit key itself, never via the matrix.
+  mutable std::uint64_t pattern_key_ = 0;
+  mutable bool pattern_key_valid_ = false;
 };
 
 /// Dense helpers used by tests and tiny subcircuits (e.g. the tuning loop).

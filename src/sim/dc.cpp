@@ -1,5 +1,7 @@
 #include "sim/dc.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <random>
 #include <set>
 #include <utility>
@@ -38,7 +40,19 @@ std::vector<double> DcSolver::solve_linear(const circuit::DeviceState& state,
 
   const bool pattern_reused = assembler_.assemble(state, opt, pattern_);
   const la::SparseMatrix& m = pattern_.matrix();
-  if (!pattern_reused || !lu_.factored() || force_full) {
+  // First factorisation: try the cross-instance prototype (clone the
+  // previous same-pattern factors and enter through the numeric-only
+  // refactor — no symbolic analysis, no fresh pivoting).
+  const la::PrototypeEntry entry =
+      !lu_.factored() && !force_full
+          ? la::enter_prototype(lu_, lu_prototype_.get(), m)
+          : la::PrototypeEntry::kNotEntered;
+  if (entry == la::PrototypeEntry::kRefactored) {
+    stats_.refactors++;
+    stats_.prototype_refactors++;
+  } else if (entry == la::PrototypeEntry::kFullFactored) {
+    stats_.full_factors++; // pivot degraded: fell back inside refactor()
+  } else if (!pattern_reused || !lu_.factored() || force_full) {
     factor_full(m);
   } else if (lu_.refactor(m)) {
     stats_.refactors++;
@@ -53,14 +67,62 @@ std::vector<double> DcSolver::solve_linear(const circuit::DeviceState& state,
 }
 
 std::vector<double> DcSolver::solve(circuit::DeviceState& state) {
+  return solve_impl(state, {}, 0);
+}
+
+std::vector<double> DcSolver::solve_warm(circuit::DeviceState& state,
+                                         std::span<const double> x_warm,
+                                         int iteration_budget) {
+  return solve_impl(state, x_warm, iteration_budget);
+}
+
+std::uint64_t DcSolver::pattern_key() {
+  if (!pattern_.ready()) {
+    // The pattern is state-independent, so any state of the right shape
+    // captures it; the assembled values are overwritten by the next solve.
+    circuit::StampOptions opt;
+    opt.transient = false;
+    opt.gmin = options_.gmin;
+    circuit::DeviceState s0 = circuit::DeviceState::initial(assembler_.netlist());
+    assembler_.assemble(s0, opt, pattern_);
+  }
+  return pattern_.matrix().pattern_key();
+}
+
+std::shared_ptr<const la::SparseLU> DcSolver::share_factorization() const {
+  if (!lu_.factored()) return nullptr;
+  return std::make_shared<const la::SparseLU>(lu_);
+}
+
+std::vector<double> DcSolver::solve_impl(circuit::DeviceState& state,
+                                         std::span<const double> x_warm,
+                                         int iteration_budget) {
   stats_ = {};
   std::set<std::vector<char>> seen_diode_states;
   auto policy = circuit::MnaAssembler::FlipPolicy::kAll;
   std::mt19937_64 rng(0x5eed5eedULL);
 
+  const bool warm = !x_warm.empty();
+  stats_.warm_started = warm;
+  if (warm) {
+    // Align the carried device state with the warm solution so the first
+    // linear solve starts from a consistent linearisation (a no-op when
+    // `state` is exactly the converged state that produced `x_warm`).
+    assembler_.update_shockley_points(x_warm, state);
+    circuit::StampOptions dc_opt;
+    dc_opt.transient = false;
+    assembler_.update_opamp_saturation(x_warm, dc_opt, state);
+    assembler_.update_pwl_diode_states(x_warm, state);
+  }
+
+  int max_iterations = options_.max_iterations;
+  if (iteration_budget > 0)
+    max_iterations = std::min(max_iterations, iteration_budget);
+
   std::vector<double> x;
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+  for (int iter = 0; iter < max_iterations; ++iter) {
     stats_.iterations = iter + 1;
+    (warm ? stats_.warm_iterations : stats_.cold_iterations) = iter + 1;
 
     // gmin stepping: if the system is singular at the nominal gmin, retry
     // with progressively larger leakage. The retries change the numeric
@@ -104,7 +166,7 @@ std::vector<double> DcSolver::solve(circuit::DeviceState& state) {
       return x;
   }
   throw ConvergenceError("DcSolver: no consistent operating point after " +
-                         std::to_string(options_.max_iterations) + " iterations");
+                         std::to_string(max_iterations) + " iterations");
 }
 
 } // namespace aflow::sim

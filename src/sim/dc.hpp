@@ -18,6 +18,7 @@
 // pivot failures fall back to a full factorisation.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -51,10 +52,19 @@ struct DcOptions {
 
 struct DcStats {
   int iterations = 0;
+  /// Split of `iterations` by entry point: warm-started solves
+  /// (solve_warm) vs cold solves. warm + cold == iterations always.
+  int warm_iterations = 0;
+  int cold_iterations = 0;
+  bool warm_started = false; // this solve entered through solve_warm
   int diode_flips = 0;
   long long factor_nnz = 0;
   long long full_factors = 0; // factorisations incl. symbolic analysis
   long long refactors = 0;    // numeric-only fast-path factorisations
+  /// Refactors entered through a cloned cross-instance SparseLU prototype
+  /// (subset of `refactors`): the instance skipped its own symbolic
+  /// analysis and numeric pivoting entirely.
+  long long prototype_refactors = 0;
 };
 
 class DcSolver {
@@ -73,11 +83,44 @@ class DcSolver {
   /// device states) reuse the captured pattern and factorisation.
   std::vector<double> solve(circuit::DeviceState& state);
 
+  /// Warm-start entry point for cross-instance reuse (core::ReusePool):
+  /// `state` carries the converged device state of a previous same-shape
+  /// instance and `x_warm` its node solution. The PWL/saturation/Shockley
+  /// states are first aligned to `x_warm`, then the usual iteration runs —
+  /// typically converging in a couple of iterations when the instances are
+  /// close (the paper's reprogrammed-crossbar scenario). A positive
+  /// `iteration_budget` caps the attempt below Options::max_iterations so a
+  /// failed warm start costs little before the caller falls back to a cold
+  /// homotopy. Iterations are attributed to DcStats::warm_iterations.
+  std::vector<double> solve_warm(circuit::DeviceState& state,
+                                 std::span<const double> x_warm,
+                                 int iteration_budget = 0);
+
+  /// Installs a factored same-pattern SparseLU prototype from a previous
+  /// instance. The first factorisation clones it and enters through
+  /// `refactor` (numeric-only, no symbolic analysis); on pivot degradation
+  /// or a pattern mismatch it falls back to a full factorisation as usual.
+  void set_lu_prototype(std::shared_ptr<const la::SparseLU> prototype) {
+    lu_prototype_ = std::move(prototype);
+  }
+
+  /// Fingerprint of this circuit's MNA pattern (captures the pattern on
+  /// first call; the pattern is state-independent). Keys core::ReusePool.
+  std::uint64_t pattern_key();
+
+  /// Snapshot of the current factorisation, for publishing as a
+  /// cross-instance prototype. Null when nothing has been factored (e.g.
+  /// reuse_factorization off).
+  std::shared_ptr<const la::SparseLU> share_factorization() const;
+
   const circuit::MnaAssembler& assembler() const { return assembler_; }
   /// Statistics of the most recent solve() call.
   const DcStats& stats() const { return stats_; }
 
  private:
+  std::vector<double> solve_impl(circuit::DeviceState& state,
+                                 std::span<const double> x_warm,
+                                 int iteration_budget);
   std::vector<double> solve_linear(const circuit::DeviceState& state,
                                    double gmin, bool force_full);
   void factor_full(const la::SparseMatrix& m);
@@ -87,6 +130,7 @@ class DcSolver {
   DcStats stats_;
   circuit::PatternAssembly pattern_;
   la::SparseLU lu_;
+  std::shared_ptr<const la::SparseLU> lu_prototype_;
 };
 
 } // namespace aflow::sim

@@ -36,6 +36,25 @@ double TransientSolver::probe_value(const Probe& p,
   return 0.0;
 }
 
+std::uint64_t TransientSolver::pattern_key() {
+  if (!pattern_.ready()) {
+    circuit::StampOptions opt;
+    opt.transient = true;
+    opt.gmin = options_.gmin;
+    opt.dt = options_.dt_initial;
+    circuit::DeviceState s0 =
+        circuit::DeviceState::initial(assembler_.netlist());
+    assembler_.assemble(s0, opt, pattern_);
+  }
+  return pattern_.matrix().pattern_key();
+}
+
+std::shared_ptr<const la::SparseLU> TransientSolver::share_factorization()
+    const {
+  if (!lu_.factored()) return nullptr;
+  return std::make_shared<const la::SparseLU>(lu_);
+}
+
 Waveform TransientSolver::run(circuit::DeviceState& state,
                               const std::vector<Probe>& probes) {
   stats_ = {};
@@ -45,12 +64,9 @@ Waveform TransientSolver::run(circuit::DeviceState& state,
 
   const int n = assembler_.num_unknowns();
   std::vector<double> x(n, 0.0);
-  la::SparseLU::Options lu_opt;
-  lu_opt.ordering = options_.ordering;
-  la::SparseLU lu(lu_opt);
 
   const bool reuse = options_.reuse_factorization;
-  circuit::PatternAssembly pattern;
+  circuit::PatternAssembly& pattern = pattern_;
   la::Triplets trip_legacy;
   std::vector<double> rhs_legacy;
   la::SparseMatrix m_legacy;
@@ -67,9 +83,22 @@ Waveform TransientSolver::run(circuit::DeviceState& state,
 
   // Refreshes the matrix values and history RHS for the current state/dt.
   // In reuse mode this is a numeric-only in-place update against the fixed
-  // pattern; returns whether the pattern was reused.
+  // pattern — and on quiet solves (no pending refactorisation, i.e. no
+  // diode flip or dt change since the last full assemble) an RHS-only tape
+  // replay that skips the stamp loop and the matrix update entirely: the
+  // factors are reused as-is, so only the history terms in b can matter.
+  // Returns whether the pattern was reused.
   auto assemble_current = [&]() -> bool {
-    if (reuse) return assembler_.assemble(state, opt, pattern);
+    if (reuse) {
+      if (options_.incremental_rhs && !need_factor && pattern.history_ready()) {
+        assembler_.refresh_history_rhs(state, opt, pattern);
+        stats_.rhs_refreshes++;
+        return true;
+      }
+      stats_.full_assembles++;
+      return assembler_.assemble(state, opt, pattern);
+    }
+    stats_.full_assembles++;
     assembler_.assemble(state, opt, trip_legacy, rhs_legacy);
     if (need_factor) m_legacy = la::SparseMatrix::from_triplets(trip_legacy);
     return false;
@@ -82,18 +111,28 @@ Waveform TransientSolver::run(circuit::DeviceState& state,
   // is unchanged, full factorisation (seeded from the ordering cache, if
   // any) otherwise. The legacy baseline always factors from scratch.
   auto factorize = [&](bool pattern_reused) {
+    la::PrototypeEntry entry = la::PrototypeEntry::kNotEntered;
+    if (reuse && !lu_.factored())
+      // Cross-instance prototype: clone and enter through the numeric-only
+      // refactor, skipping this instance's symbolic analysis and pivoting.
+      entry = la::enter_prototype(lu_, lu_prototype_.get(), pattern.matrix());
     if (!reuse) {
-      lu.factor(m_legacy);
+      lu_.factor(m_legacy);
       stats_.full_factors++;
-    } else if (pattern_reused && lu.factored()) {
-      if (lu.refactor(pattern.matrix()))
+    } else if (entry == la::PrototypeEntry::kRefactored) {
+      stats_.refactors++;
+      stats_.prototype_refactors++;
+    } else if (entry == la::PrototypeEntry::kFullFactored) {
+      stats_.full_factors++; // pivot degraded: fell back internally
+    } else if (pattern_reused && lu_.factored()) {
+      if (lu_.refactor(pattern.matrix()))
         stats_.refactors++;
       else
         stats_.full_factors++; // pivot degraded: fell back internally
     } else {
       // First factorisation for this pattern: seed the column ordering
       // from the shared cache when available, publish it otherwise.
-      la::factor_with_cache(lu, pattern.matrix(),
+      la::factor_with_cache(lu_, pattern.matrix(),
                             options_.ordering_cache.get());
       stats_.full_factors++;
     }
@@ -119,7 +158,7 @@ Waveform TransientSolver::run(circuit::DeviceState& state,
         // every solve; the matrix is only (re)factorised on events.
         const bool pattern_reused = assemble_current();
         if (need_factor) factorize(pattern_reused);
-        lu.solve(current_rhs(), x);
+        lu_.solve(current_rhs(), x);
         stats_.solves++;
         const double shockley_dv = assembler_.update_shockley_points(x, state);
         const int sat_flips = assembler_.update_opamp_saturation(x, opt, state);

@@ -10,6 +10,7 @@
 // that dominate the paper's convergence times.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -66,6 +67,12 @@ struct TransientOptions {
   /// refactor on diode flips and dt changes). Disable for the
   /// full-factor-per-event baseline; results match either way.
   bool reuse_factorization = true;
+  /// Incremental RHS for quiet steps (no diode flip, no dt change): replay
+  /// the recorded RHS tape, refreshing only per-device history terms,
+  /// instead of re-running the full stamp loop. Bit-identical to the full
+  /// assemble by construction; the toggle exists so tests and benches can
+  /// A/B the two paths. Only effective with reuse_factorization.
+  bool incremental_rhs = true;
   /// Optional cross-instance ordering share (see sim::DcOptions).
   std::shared_ptr<la::OrderingCache> ordering_cache;
 
@@ -83,7 +90,14 @@ struct TransientStats {
   long long factorizations = 0; // total = full_factors + refactors
   long long full_factors = 0;   // factorisations incl. symbolic analysis
   long long refactors = 0;      // numeric-only fast-path factorisations
+  /// Refactors entered through a cloned cross-instance SparseLU prototype
+  /// (subset of `refactors`).
+  long long prototype_refactors = 0;
   long long solves = 0;
+  /// Assembly split: full stamp-loop assembles vs RHS-only incremental tape
+  /// replays. full_assembles + rhs_refreshes == solves always.
+  long long full_assembles = 0;
+  long long rhs_refreshes = 0;
   long long step_rejections = 0; // step-size halvings due to clamp chatter
   int diode_flips = 0;
   double end_time = 0.0;
@@ -93,11 +107,30 @@ struct TransientStats {
 class TransientSolver {
  public:
   TransientSolver(const circuit::Netlist& net, TransientOptions options = {})
-      : assembler_(net), options_(options) {}
+      : assembler_(net), options_(options) {
+    la::SparseLU::Options lu_opt;
+    lu_opt.ordering = options_.ordering;
+    lu_ = la::SparseLU(lu_opt);
+  }
 
   /// Integrates from t = 0 with initial `state` (typically
   /// DeviceState::initial or a DC point of the pre-step circuit).
   Waveform run(circuit::DeviceState& state, const std::vector<Probe>& probes);
+
+  /// Installs a factored same-pattern SparseLU prototype from a previous
+  /// instance (see core::ReusePool); the first factorisation clones it and
+  /// enters through `refactor`, falling back to a full factorisation on
+  /// pivot degradation as usual.
+  void set_lu_prototype(std::shared_ptr<const la::SparseLU> prototype) {
+    lu_prototype_ = std::move(prototype);
+  }
+
+  /// Fingerprint of the transient MNA pattern (captures it on first call).
+  std::uint64_t pattern_key();
+
+  /// Snapshot of the current factorisation for publishing as a
+  /// cross-instance prototype; null when nothing has been factored.
+  std::shared_ptr<const la::SparseLU> share_factorization() const;
 
   const TransientStats& stats() const { return stats_; }
   const circuit::MnaAssembler& assembler() const { return assembler_; }
@@ -110,6 +143,9 @@ class TransientSolver {
   circuit::MnaAssembler assembler_;
   TransientOptions options_;
   TransientStats stats_;
+  circuit::PatternAssembly pattern_;
+  la::SparseLU lu_;
+  std::shared_ptr<const la::SparseLU> lu_prototype_;
   std::vector<double> last_x_;
 };
 

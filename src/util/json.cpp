@@ -1,0 +1,14 @@
+#include "util/json.hpp"
+
+#include <fstream>
+
+namespace aflow::util {
+
+void write_json_file(const std::string& path, const std::string& json) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write JSON report: " + path);
+  out << json << '\n';
+  if (!out) throw std::runtime_error("failed writing JSON report: " + path);
+}
+
+} // namespace aflow::util

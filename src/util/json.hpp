@@ -1,0 +1,140 @@
+// Minimal streaming JSON writer for the machine-readable bench reports
+// (BENCH_*.json): objects, arrays, strings with escaping, and numbers.
+// Append-only with automatic comma management — enough for flat telemetry
+// documents without pulling in a JSON dependency. Doubles are emitted with
+// max_digits10 precision; non-finite values become null (JSON has no NaN).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aflow::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Key of the next value inside an object.
+  JsonWriter& key(std::string_view name) {
+    separate();
+    write_string(name);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    separate();
+    write_string(s);
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(long long v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(size_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  /// Shorthand for key(...).value(...).
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    return key(name).value(v);
+  }
+
+  /// The finished document; throws if containers are still open.
+  const std::string& str() const {
+    if (!depth_.empty())
+      throw std::logic_error("JsonWriter: unclosed container");
+    return out_;
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    separate();
+    out_ += c;
+    depth_.push_back(false);
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    if (depth_.empty()) throw std::logic_error("JsonWriter: nothing to close");
+    depth_.pop_back();
+    out_ += c;
+    mark_value_written();
+    return *this;
+  }
+  /// Emits the separating comma when needed and consumes a pending key.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!depth_.empty()) {
+      if (depth_.back()) out_ += ',';
+      depth_.back() = true;
+    }
+  }
+  void mark_value_written() {
+    if (!depth_.empty()) depth_.back() = true;
+  }
+  void write_string(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> depth_; // per open container: a value was written
+  bool pending_key_ = false;
+};
+
+/// Writes `json` to `path` (with a trailing newline). Throws
+/// std::runtime_error when the file cannot be written.
+void write_json_file(const std::string& path, const std::string& json);
+
+} // namespace aflow::util

@@ -4,9 +4,13 @@
 //   aflow solve --solver dinic --input x.dimacs [--check] [--expect-flow V]
 //   aflow bench --solver push_relabel --batch "grid:side=31,count=64,seed=1"
 //               [--threads N] [--deterministic] [--check] [--per-instance]
+//               [--json FILE]
 //
 // `--batch` accepts a DIMACS file, a directory of *.dimacs / *.max files, or
-// a generator spec (see src/core/workload.hpp for the grammar).
+// a generator spec (see src/core/workload.hpp for the grammar). `--json`
+// writes a machine-readable report (schema aflow-bench-v1: solver, instance
+// shapes, wall ms, iteration counts, refactor/warm shares) for perf-trend
+// tracking in CI.
 #include <cmath>
 #include <cstdio>
 #include <exception>
@@ -18,6 +22,7 @@
 #include "core/workload.hpp"
 #include "graph/dimacs.hpp"
 #include "util/args.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -34,8 +39,72 @@ int usage() {
       "  aflow solve --solver NAME --input FILE.dimacs [--check] "
       "[--expect-flow V]\n"
       "  aflow bench --solver NAME --batch SPEC_OR_PATH [--threads N]\n"
-      "              [--deterministic] [--check] [--per-instance]\n");
+      "              [--deterministic] [--check] [--per-instance] "
+      "[--json FILE]\n");
   return 2;
+}
+
+/// Machine-readable batch report (schema aflow-bench-v1), shared shape with
+/// the gated benches so one consumer can track the whole perf trajectory.
+void write_bench_json(const std::string& path, const std::string& batch,
+                      const core::BatchOptions& options,
+                      const std::vector<aflow::graph::FlowNetwork>& instances,
+                      const core::BatchReport& report) {
+  util::JsonWriter j;
+  j.begin_object();
+  j.field("schema", "aflow-bench-v1");
+  j.field("bench", "aflow_cli");
+  j.field("solver", options.solver);
+  j.field("batch", batch);
+  j.field("threads", report.threads_used);
+  j.field("deterministic", options.deterministic);
+  j.field("instances", report.outcomes.size());
+  j.field("failed", report.failed);
+  j.field("total_flow", report.total_flow);
+  j.field("wall_ms", report.wall_seconds * 1e3);
+
+  const flow::SolveMetrics& m = report.metrics;
+  const double factors =
+      static_cast<double>(m.full_factors + m.refactors);
+  const double iters =
+      static_cast<double>(m.warm_iterations + m.cold_iterations);
+  j.key("metrics").begin_object();
+  j.field("iterations", m.iterations);
+  j.field("full_factors", m.full_factors);
+  j.field("refactors", m.refactors);
+  j.field("prototype_refactors", m.prototype_refactors);
+  j.field("refactor_share",
+          factors > 0.0 ? static_cast<double>(m.refactors) / factors : 0.0);
+  j.field("rhs_refreshes", m.rhs_refreshes);
+  j.field("warm_iterations", m.warm_iterations);
+  j.field("cold_iterations", m.cold_iterations);
+  j.field("warm_share",
+          iters > 0.0 ? static_cast<double>(m.warm_iterations) / iters : 0.0);
+  j.field("warm_started_instances", report.warm_started_instances);
+  j.end_object();
+
+  j.key("per_instance").begin_array();
+  for (const core::InstanceOutcome& out : report.outcomes) {
+    j.begin_object();
+    j.field("index", out.index);
+    j.field("ok", out.ok);
+    if (out.index >= 0 && out.index < static_cast<int>(instances.size())) {
+      j.field("vertices", instances[out.index].num_vertices());
+      j.field("edges", instances[out.index].num_edges());
+    }
+    if (out.ok) {
+      j.field("flow", out.result.flow_value);
+      j.field("iterations", out.result.metrics.iterations);
+      j.field("warm_started", out.result.metrics.warm_started);
+    } else {
+      j.field("error", out.error);
+    }
+    j.field("ms", out.seconds * 1e3);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  util::write_json_file(path, j.str());
 }
 
 int cmd_solvers() {
@@ -123,6 +192,17 @@ int cmd_bench(int argc, char** argv) {
     std::printf("throughput: %.1f instances/s\n",
                 static_cast<double>(report.outcomes.size()) /
                     report.wall_seconds);
+  if (report.metrics.warm_iterations + report.metrics.cold_iterations > 0)
+    std::printf("warm-start: %d/%zu instances, %lld warm / %lld cold "
+                "iterations\n",
+                report.warm_started_instances, report.outcomes.size(),
+                report.metrics.warm_iterations, report.metrics.cold_iterations);
+
+  const std::string json_path = arg_string(argc, argv, "--json", "");
+  if (!json_path.empty()) {
+    write_bench_json(json_path, batch, options, instances, report);
+    std::printf("json:       %s\n", json_path.c_str());
+  }
   return report.failed == 0 ? 0 : 1;
 }
 
