@@ -9,7 +9,8 @@ int main() {
   using namespace aflow;
   bench::banner("Ablation — settling time vs parasitics and GBW");
 
-  // Bounded-transient instance (see EXPERIMENTS.md on marginality).
+  // Bounded-transient instance (see EXPERIMENTS.md
+  // "Marginal stability on generated workloads").
   const auto g = graph::layered_random(4, 2, 2, 8, 5);
   auto tconv = [&](double cap, double gbw) -> double {
     analog::AnalogSolveOptions opt;

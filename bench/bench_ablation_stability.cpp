@@ -45,6 +45,7 @@ int main() {
               "its\nsolution, and dynamic settling (when bounded) drifts "
               "toward the capacity clamps (+50%%\nflow on small examples at "
               "margin 0.02). Correctness and strict stability are in\n"
-              "fundamental tension in this substrate (see EXPERIMENTS.md).\n");
+              "fundamental tension in this substrate (see EXPERIMENTS.md "
+              "\"Marginal stability on generated workloads\").\n");
   return 0;
 }

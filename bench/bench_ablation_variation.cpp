@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
     int ok = 0;
     for (int seed = 1; seed <= seeds; ++seed) {
       // Bounded-transient instance; R-MAT mismatch studies diverge (a
-      // reproduction finding, see EXPERIMENTS.md).
+      // reproduction finding, see EXPERIMENTS.md
+      // "Marginal stability on generated workloads").
       const auto g = graph::paper_example_fig5();
       const double exact = core::solve("push_relabel", g).flow_value;
       analog::AnalogSolveOptions opt;

@@ -2,7 +2,7 @@
 // (|E| ~ |V|^2, Fig. 10a) and sparse (|E| ~ |V|, Fig. 10b) regimes, for
 // op-amp GBW 10 GHz and 50 GHz, against the push-relabel CPU baseline.
 //
-// Methodology (see DESIGN.md / EXPERIMENTS.md):
+// Methodology (see EXPERIMENTS.md "Convergence-time methodology"):
 //  - relative error: ideal-substrate steady state (the paper's Sec. 2
 //    theory) with Table-1 quantization, solved by ramped-homotopy DC;
 //  - convergence time: settling time of the dynamic realisation (explicit
@@ -132,7 +132,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(bench::arg_int(argc, argv, "--seed", 7));
   // The unrailed dynamic model is only integrated where its start-up
-  // transient stays bounded (see EXPERIMENTS.md on marginal stability).
+  // transient stays bounded (see EXPERIMENTS.md
+  // "Marginal stability on generated workloads").
   const int dyn_max = bench::arg_int(argc, argv, "--dyn-max", 256);
 
   print_regime("Fig. 10a — dense graphs (|E| ~ |V|^2), R-MAT", true, sizes,
@@ -141,7 +142,8 @@ int main(int argc, char** argv) {
                vflow, seed, dyn_max);
 
   // Dynamic settling on instances whose start-up transients stay bounded
-  // (the marginal widgets make R-MAT instances diverge; see EXPERIMENTS.md).
+  // (the marginal widgets make R-MAT instances diverge; see EXPERIMENTS.md
+  // "Marginal stability on generated workloads").
   bench::banner("dynamic settling times (bounded instances, unrailed NIC model)");
   std::printf("%22s %6s %6s %12s %12s %12s %10s\n", "instance", "|V|", "|E|",
               "t_conv@10G", "t_conv@50G", "push-relabel", "speedup10");
@@ -169,8 +171,8 @@ int main(int argc, char** argv) {
   std::printf("notes: convergence time is the settling time of the dynamic "
               "model (J(t) within 0.1%%\nof final); relative error "
               "comes from the ideal-substrate steady state at Vflow=%.0fV. "
-              "See\nEXPERIMENTS.md for the marginal-stability discussion and "
-              "the paper-vs-measured comparison.\n",
+              "See\nEXPERIMENTS.md \"Marginal stability on generated workloads\" "
+              "and the paper-vs-measured comparison.\n",
               vflow);
   return 0;
 }

@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
               exact);
   for (double f : r.edge_flow) std::printf(" %.3f", f);
   std::printf("\npaper (Sec. 2.4): Vx1 -> 2 V, x3/x4 saturate at 1 V "
-              "(one of several degenerate optimal splits; see EXPERIMENTS.md)\n");
+              "(one of several degenerate optimal splits; see EXPERIMENTS.md "
+              "\"Degenerate optimal splits\")\n");
 
   // The steady-state (theory) solution for comparison.
   analog::AnalogSolveOptions dc = opt;

@@ -47,6 +47,7 @@ int main() {
   std::printf("\npaper: circuit solution 0.7 V -> |f| = 2.1 (+5%%). Our ideal-"
               "diode circuit settles at the\nquantized optimum 0.65 V -> 1.95 "
               "(-2.5%%); the paper's +5%% sign indicates soft diode knees\n"
-              "in their SPICE run (see EXPERIMENTS.md).\n");
+              "in their SPICE run (see EXPERIMENTS.md "
+              "\"Quantization: the sign of the error\").\n");
   return 0;
 }

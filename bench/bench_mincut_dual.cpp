@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   std::printf("thresholded p-partition recovered the exact min cut on %d/%d "
               "solved instances.\nThe continuous objective overshoots by the "
               "widget-coupling distortion; the recovered flow\nreadout is "
-              "qualitative (uncalibrated scale). See EXPERIMENTS.md.\n",
+              "qualitative (uncalibrated scale). See EXPERIMENTS.md "
+              "\"Min-cut dual: qualitative flow readout\".\n",
               exact_partitions, solved);
   return 0;
 }

@@ -25,7 +25,8 @@ int main() {
   std::printf("%-48s %10s %10d\n", "Number of voltage levels", "20",
               c.voltage_levels);
   bench::rule();
-  std::printf("model additions (see DESIGN.md): diode Ron %.2f Ohm, Roff %.0e "
+  std::printf("model additions (see DESIGN.md \"Model additions beyond "
+              "Table 1\"): diode Ron %.2f Ohm, Roff %.0e "
               "Ohm, op-amp rails +-%.0f V,\nparasitic %.0f fF/net, supply Vdd "
               "%.1f V for the quantized capacity levels\n",
               c.diode.r_on, c.diode.r_off, 15.0,

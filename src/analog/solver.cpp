@@ -23,22 +23,6 @@ double reference_tau(const SubstrateConfig& config) {
   return tau;
 }
 
-/// Shape check before adopting a pooled device state: a 64-bit pattern-key
-/// collision (or a stale pool) must degrade to a cold start, never to an
-/// out-of-bounds read.
-bool warm_shapes_match(const core::ReuseEntry& warm, const circuit::Netlist& net,
-                       int num_unknowns) {
-  if (!warm.state || !warm.x) return false;
-  const circuit::DeviceState& s = *warm.state;
-  return s.diode_on.size() == net.diodes().size() &&
-         s.diode_v.size() == net.diodes().size() &&
-         s.opamp_ve.size() == net.opamps().size() &&
-         s.opamp_sat.size() == net.opamps().size() &&
-         s.negres_i.size() == net.negative_resistors().size() &&
-         s.cap_v.size() == net.capacitors().size() &&
-         warm.x->size() == static_cast<size_t>(num_unknowns);
-}
-
 void fill_common(const MaxFlowCircuit& c, const circuit::MnaAssembler& mna,
                  std::span<const double> x, const graph::FlowNetwork& net,
                  AnalogFlowResult& out) {
@@ -112,10 +96,11 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
   if (pool) {
     pool_key = solver.pattern_key();
     const std::shared_ptr<const core::ReuseEntry> warm = pool->find(pool_key);
+    out.pool_hits = warm ? 1 : 0;
+    out.pool_misses = warm ? 0 : 1;
     if (warm && warm->lu) solver.set_lu_prototype(warm->lu);
     if (warm &&
-        warm_shapes_match(*warm, c.netlist,
-                          solver.assembler().num_unknowns())) {
+        warm->shapes_match(c.netlist, solver.assembler().num_unknowns())) {
       c.netlist.set_vsource_value(c.vflow_source, v_target);
       circuit::DeviceState attempt = *warm->state;
       auto warm_failed = [&] {
@@ -170,7 +155,7 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
     entry.lu = solver.share_factorization();
     entry.state = std::make_shared<const circuit::DeviceState>(state);
     entry.x = std::make_shared<const std::vector<double>>(x);
-    pool->store(pool_key, std::move(entry));
+    out.pool_evictions = pool->store(pool_key, std::move(entry));
   }
 
   fill_common(c, solver.assembler(), x, net, out);
@@ -218,9 +203,12 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_transient(
   core::ReusePool* pool =
       options_.reuse_factorization ? options_.reuse_pool.get() : nullptr;
   std::uint64_t pool_key = 0;
+  long long pool_hits = 0, pool_misses = 0, pool_evictions = 0;
   if (pool) {
     pool_key = solver.pattern_key();
     const std::shared_ptr<const core::ReuseEntry> entry = pool->find(pool_key);
+    pool_hits = entry ? 1 : 0;
+    pool_misses = entry ? 0 : 1;
     if (entry && entry->lu) solver.set_lu_prototype(entry->lu);
   }
 
@@ -230,7 +218,7 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_transient(
   if (pool) {
     core::ReuseEntry entry;
     entry.lu = solver.share_factorization();
-    pool->store(pool_key, std::move(entry));
+    pool_evictions = pool->store(pool_key, std::move(entry));
   }
 
   // Convert the Iflow series into the flow value J(t) (volts, Eq. 7a).
@@ -249,6 +237,9 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_transient(
   out.prototype_refactors = solver.stats().prototype_refactors;
   out.rhs_refreshes = solver.stats().rhs_refreshes;
   out.solves = solver.stats().solves;
+  out.pool_hits = pool_hits;
+  out.pool_misses = pool_misses;
+  out.pool_evictions = pool_evictions;
   out.waveform = std::move(wf);
   return out;
 }

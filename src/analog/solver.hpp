@@ -91,6 +91,11 @@ struct AnalogFlowResult {
   bool warm_started = false;
   int warm_iterations = 0;
   int cold_iterations = 0;
+  /// ReusePool traffic of this solve (zero without a pool): one lookup per
+  /// solve, plus the LRU evictions the closing store triggered.
+  long long pool_hits = 0;
+  long long pool_misses = 0;
+  long long pool_evictions = 0;
 
   /// Relative error against an exact flow value.
   double relative_error(double exact) const {

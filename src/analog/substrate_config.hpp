@@ -1,5 +1,5 @@
 // Substrate design parameters (Table 1 of the paper) plus the modelling
-// knobs for the fidelity ladder described in DESIGN.md.
+// knobs for the fidelity ladder described in DESIGN.md "Fidelity ladder".
 #pragma once
 
 #include "circuit/netlist.hpp"
@@ -30,8 +30,9 @@ struct SubstrateConfig {
   double parasitic_capacitance = 20e-15; // farads per net (Sec. 5.1); 0 = off
   /// Attach parasitics to widget-internal nodes (P, x^-) as well as the
   /// crossbar-visible nets. The idealised negative resistors make the
-  /// internal nodes saddle points when capacitively loaded (see DESIGN.md);
-  /// the default keeps parasitics on the long crossbar wires only.
+  /// internal nodes saddle points when capacitively loaded (see DESIGN.md
+  /// "NIC saddle-point instability under capacitive load"); the default
+  /// keeps parasitics on the long crossbar wires only.
   bool parasitics_on_internal_nodes = false;
   /// kLag realisation: true = series one-pole lag element on the negative
   /// resistor current (marginal at the widget operating point, relies on
@@ -48,7 +49,8 @@ struct SubstrateConfig {
   /// the + input high — a self-consistent latch-up. Diode clamps on the NIC
   /// terminal (at +-min(anti_latch_margin * vdd, 0.45 * v_rail), far outside
   /// the operating range but inside the recovery bound rail/2) break the
-  /// latch without affecting normal operation. See DESIGN.md.
+  /// latch without affecting normal operation. See DESIGN.md "Railed
+  /// latch-up and anti-latch clamps".
   bool nic_anti_latch = true;
   double anti_latch_margin = 3.0; // in units of vdd
   /// Stability margin for the negative resistors. The paper's widget sets
@@ -84,8 +86,8 @@ struct SubstrateConfig {
   /// transient reaches it, so the default models the amps as unrailed: they
   /// settle correctly on instances whose transients stay bounded and the
   /// simulator's divergence guard reports the rest — both behaviours are
-  /// findings of this reproduction (see EXPERIMENTS.md). Set > 0 to study
-  /// the railed model.
+  /// findings of this reproduction (see EXPERIMENTS.md "Railed vs unrailed
+  /// op-amp models"). Set > 0 to study the railed model.
   double opamp_v_rail = 0.0;
 
   circuit::OpAmpParams opamp_params() const {

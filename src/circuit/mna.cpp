@@ -72,6 +72,14 @@ DeviceState DeviceState::initial(const Netlist& net) {
   return s;
 }
 
+size_t DeviceState::memory_bytes() const {
+  return diode_on.capacity() * sizeof(char) +
+         diode_v.capacity() * sizeof(double) +
+         opamp_ve.capacity() * sizeof(double) +
+         opamp_sat.capacity() * sizeof(signed char) +
+         negres_i.capacity() * sizeof(double) + cap_v.capacity() * sizeof(double);
+}
+
 int MnaAssembler::num_unknowns() const {
   return (net_->num_nodes() - 1) + static_cast<int>(net_->vsources().size());
 }

@@ -26,6 +26,10 @@ struct DeviceState {
   std::vector<double> cap_v;       // capacitor branch voltage
 
   static DeviceState initial(const Netlist& net);
+
+  /// Heap bytes retained by the state vectors — the cost a core::ReusePool
+  /// charges a carried device state against its byte budget.
+  size_t memory_bytes() const;
 };
 
 struct StampOptions {

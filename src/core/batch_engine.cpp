@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -31,22 +32,34 @@ int BatchEngine::resolve_threads(int n) const {
 
 BatchReport BatchEngine::run(
     const std::vector<graph::FlowNetwork>& instances) const {
-  // Fail fast on an unknown solver before spinning up workers.
-  SolverRegistry::instance().create(options_.solver);
+  // Fail fast on an unknown solver before spinning up workers. Each worker
+  // owns a solver instance, so backends never share state.
+  const int threads =
+      resolve_threads(static_cast<int>(instances.size()));
+  std::vector<SolverPtr> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t)
+    workers.push_back(SolverRegistry::instance().create(options_.solver));
+  return run(instances, workers);
+}
 
+BatchReport BatchEngine::run(const std::vector<graph::FlowNetwork>& instances,
+                             std::span<const SolverPtr> workers) const {
+  if (workers.empty())
+    throw std::invalid_argument("BatchEngine::run: workers must be non-empty");
   BatchReport report;
   const int n = static_cast<int>(instances.size());
   report.outcomes.resize(n);
-  report.threads_used = resolve_threads(n);
+  report.threads_used = std::min(resolve_threads(n),
+                                 std::max(1, static_cast<int>(workers.size())));
 
   const auto batch_t0 = Clock::now();
 
-  // Each worker owns a solver instance, so backends never share state; work
-  // is claimed from a shared atomic counter, and every worker writes only
-  // its claimed slots of the pre-sized outcome vector.
+  // Work is claimed from a shared atomic counter, and every worker writes
+  // only its claimed slots of the pre-sized outcome vector.
   std::atomic<int> next{0};
-  const auto worker = [&] {
-    const SolverPtr solver = SolverRegistry::instance().create(options_.solver);
+  const auto worker = [&](int t) {
+    const SolverPtr& solver = workers[t];
     for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
       InstanceOutcome& out = report.outcomes[i];
       out.index = i;
@@ -68,11 +81,11 @@ BatchReport BatchEngine::run(
   };
 
   if (report.threads_used <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(report.threads_used);
-    for (int t = 0; t < report.threads_used; ++t) pool.emplace_back(worker);
+    for (int t = 0; t < report.threads_used; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
   }
 
@@ -88,6 +101,9 @@ BatchReport BatchEngine::run(
       report.metrics.rhs_refreshes += m.rhs_refreshes;
       report.metrics.warm_iterations += m.warm_iterations;
       report.metrics.cold_iterations += m.cold_iterations;
+      report.metrics.pool_hits += m.pool_hits;
+      report.metrics.pool_misses += m.pool_misses;
+      report.metrics.pool_evictions += m.pool_evictions;
       if (m.warm_started) {
         report.metrics.warm_started = true;
         ++report.warm_started_instances;

@@ -4,6 +4,7 @@
 // (benches, the CLI, future sharding/async layers) goes through here.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,17 @@ class BatchEngine {
   /// instance, solver exception) — those surface as `ok == false` outcomes.
   /// Throws std::invalid_argument when the solver name is unknown.
   BatchReport run(const std::vector<graph::FlowNetwork>& instances) const;
+
+  /// Like run(), but executes on caller-provided solver instances (worker
+  /// `t` uses `workers[t]`; `workers.size()` bounds the thread count,
+  /// further clamped by the usual resolve_threads rules) instead of
+  /// creating fresh ones from the registry. This is the serving entry
+  /// point: a long-running process (core::ServeEngine) keeps its solvers —
+  /// and therefore their ReusePools and ordering caches — alive across
+  /// calls, which is what lets a request stream warm-start against earlier
+  /// requests. `options().solver` is informational only on this path.
+  BatchReport run(const std::vector<graph::FlowNetwork>& instances,
+                  std::span<const SolverPtr> workers) const;
 
   const BatchOptions& options() const { return options_; }
 

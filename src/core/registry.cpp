@@ -56,6 +56,9 @@ class AnalogSolverAdapter final : public ISolver {
     out.metrics.warm_iterations = r.warm_iterations;
     out.metrics.cold_iterations = r.cold_iterations;
     out.metrics.warm_started = r.warm_started;
+    out.metrics.pool_hits = r.pool_hits;
+    out.metrics.pool_misses = r.pool_misses;
+    out.metrics.pool_evictions = r.pool_evictions;
     return out;
   }
 
@@ -77,23 +80,6 @@ class AnalogSolverAdapter final : public ISolver {
   analog::AnalogMaxFlowSolver solver_;
 };
 
-/// Near-ideal substrate options: the analog registry entries should track
-/// the exact solvers up to quantization, not confound users with op-amp lag
-/// or parasitic dynamics (those stay available through make_analog_solver).
-analog::AnalogSolveOptions default_analog_options(analog::SolveMethod method) {
-  analog::AnalogSolveOptions opt;
-  opt.config.fidelity = analog::NegResFidelity::kIdeal;
-  opt.config.parasitic_capacitance = 0.0;
-  opt.config.vflow = 10.0;
-  opt.method = method;
-  if (method == analog::SolveMethod::kTransient) {
-    // The transient entry exists to measure convergence time, which needs
-    // some dynamics: keep the default parasitics on the crossbar wires.
-    opt.config.parasitic_capacitance = 20e-15;
-  }
-  return opt;
-}
-
 void register_builtins(SolverRegistry& reg) {
   reg.add("edmonds_karp", [] {
     return std::make_shared<ClassicalSolver>("edmonds_karp",
@@ -106,13 +92,11 @@ void register_builtins(SolverRegistry& reg) {
                                              &flow::push_relabel);
   });
   reg.add("analog_dc", [] {
-    return make_analog_solver(
-        "analog_dc", default_analog_options(analog::SolveMethod::kSteadyState));
+    return make_analog_solver("analog_dc", *builtin_analog_options("analog_dc"));
   });
   reg.add("analog_transient", [] {
-    return make_analog_solver(
-        "analog_transient",
-        default_analog_options(analog::SolveMethod::kTransient));
+    return make_analog_solver("analog_transient",
+                              *builtin_analog_options("analog_transient"));
   });
   // Warm variants: same substrate model plus a per-adapter core::ReusePool,
   // so same-shape instances flowing through one adapter (= one BatchEngine
@@ -124,14 +108,12 @@ void register_builtins(SolverRegistry& reg) {
   // Dedicated level sources keep the MNA pattern a function of the graph
   // topology alone, so reprogrammed-capacity batches actually hit the pool.
   reg.add("analog_dc_warm", [] {
-    auto opt = default_analog_options(analog::SolveMethod::kSteadyState);
-    opt.config.dedicated_level_sources = true;
+    auto opt = *builtin_analog_options("analog_dc_warm");
     opt.reuse_pool = std::make_shared<ReusePool>();
     return make_analog_solver("analog_dc_warm", std::move(opt));
   });
   reg.add("analog_transient_warm", [] {
-    auto opt = default_analog_options(analog::SolveMethod::kTransient);
-    opt.config.dedicated_level_sources = true;
+    auto opt = *builtin_analog_options("analog_transient_warm");
     opt.reuse_pool = std::make_shared<ReusePool>();
     return make_analog_solver("analog_transient_warm", std::move(opt));
   });
@@ -191,6 +173,33 @@ SolverPtr make_analog_solver(std::string name,
                              analog::AnalogSolveOptions options) {
   return std::make_shared<AnalogSolverAdapter>(std::move(name),
                                                std::move(options));
+}
+
+std::optional<analog::AnalogSolveOptions> builtin_analog_options(
+    const std::string& name) {
+  const bool warm = name == "analog_dc_warm" || name == "analog_transient_warm";
+  if (name != "analog_dc" && name != "analog_transient" && !warm)
+    return std::nullopt;
+
+  // Near-ideal substrate options: the analog registry entries should track
+  // the exact solvers up to quantization, not confound users with op-amp
+  // lag or parasitic dynamics (those stay available through
+  // make_analog_solver).
+  analog::AnalogSolveOptions opt;
+  opt.config.fidelity = analog::NegResFidelity::kIdeal;
+  opt.config.parasitic_capacitance = 0.0;
+  opt.config.vflow = 10.0;
+  if (name == "analog_transient" || name == "analog_transient_warm") {
+    opt.method = analog::SolveMethod::kTransient;
+    // The transient entries exist to measure convergence time, which needs
+    // some dynamics: keep the default parasitics on the crossbar wires.
+    opt.config.parasitic_capacitance = 20e-15;
+  }
+  // Dedicated level sources keep the warm adapters' MNA pattern a function
+  // of the graph topology alone, so reprogrammed-capacity streams actually
+  // hit the pool.
+  if (warm) opt.config.dedicated_level_sources = true;
+  return opt;
 }
 
 } // namespace aflow::core

@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,5 +51,14 @@ flow::MaxFlowResult solve(const std::string& solver,
 /// parasitics, vflow = 10 V) so their flow values track the exact solvers.
 SolverPtr make_analog_solver(std::string name,
                              analog::AnalogSolveOptions options);
+
+/// The substrate options behind the registry's built-in analog entries
+/// (analog_dc, analog_transient, analog_dc_warm, analog_transient_warm);
+/// std::nullopt for other names. The warm variants come back without a
+/// ReusePool attached so serving layers (core::ServeEngine) can rebuild
+/// these backends around their own byte-budgeted pools; the registry
+/// factories attach an unbounded per-adapter pool themselves.
+std::optional<analog::AnalogSolveOptions> builtin_analog_options(
+    const std::string& name);
 
 } // namespace aflow::core

@@ -4,6 +4,33 @@
 
 namespace aflow::core {
 
+size_t ReuseEntry::memory_bytes() const {
+  size_t bytes = sizeof(ReuseEntry);
+  if (lu) bytes += lu->memory_bytes();
+  if (state) bytes += sizeof(circuit::DeviceState) + state->memory_bytes();
+  if (x) bytes += sizeof(*x) + x->capacity() * sizeof(double);
+  return bytes;
+}
+
+bool ReuseEntry::shapes_match(const circuit::Netlist& net,
+                              int num_unknowns) const {
+  if (!state || !x) return false;
+  const circuit::DeviceState& s = *state;
+  return s.diode_on.size() == net.diodes().size() &&
+         s.diode_v.size() == net.diodes().size() &&
+         s.opamp_ve.size() == net.opamps().size() &&
+         s.opamp_sat.size() == net.opamps().size() &&
+         s.negres_i.size() == net.negative_resistors().size() &&
+         s.cap_v.size() == net.capacitors().size() &&
+         x->size() == static_cast<size_t>(num_unknowns);
+}
+
+void ReusePool::touch(Slot& slot, std::uint64_t key) {
+  lru_.erase(slot.lru);
+  lru_.push_front(key);
+  slot.lru = lru_.begin();
+}
+
 std::shared_ptr<const ReuseEntry> ReusePool::find(std::uint64_t pattern_key) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(pattern_key);
@@ -12,28 +39,61 @@ std::shared_ptr<const ReuseEntry> ReusePool::find(std::uint64_t pattern_key) {
     return nullptr;
   }
   stats_.hits++;
-  return it->second;
+  touch(it->second, pattern_key);
+  return it->second.entry;
 }
 
-void ReusePool::store(std::uint64_t pattern_key, ReuseEntry entry) {
+int ReusePool::store(std::uint64_t pattern_key, ReuseEntry entry) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = entries_[pattern_key];
-  // Merge: payloads the new entry does not carry survive from the previous
-  // one, so a transient store (LU only) cannot wipe the device state a DC
-  // store published under the same pattern (possible when the transient
-  // stamps add no new positions, e.g. lag-only circuits without parasitics).
-  if (slot) {
-    if (!entry.lu) entry.lu = slot->lu;
-    if (!entry.state) entry.state = slot->state;
-    if (!entry.x) entry.x = slot->x;
+  auto [it, inserted] = entries_.try_emplace(pattern_key);
+  Slot& slot = it->second;
+  if (inserted) {
+    lru_.push_front(pattern_key);
+    slot.lru = lru_.begin();
+  } else {
+    // Merge: payloads the new entry does not carry survive from the
+    // previous one, so a transient store (LU only) cannot wipe the device
+    // state a DC store published under the same pattern (possible when the
+    // transient stamps add no new positions, e.g. lag-only circuits without
+    // parasitics).
+    if (!entry.lu) entry.lu = slot.entry->lu;
+    if (!entry.state) entry.state = slot.entry->state;
+    if (!entry.x) entry.x = slot.entry->x;
+    bytes_ -= slot.bytes;
+    touch(slot, pattern_key);
   }
-  slot = std::make_shared<const ReuseEntry>(std::move(entry));
+  slot.entry = std::make_shared<const ReuseEntry>(std::move(entry));
+  slot.bytes = slot.entry->memory_bytes();
+  bytes_ += slot.bytes;
   stats_.stores++;
+
+  // LRU eviction down to the byte budget. The entry just stored is at the
+  // front of the recency list and is never evicted, so a single oversized
+  // entry is retained (with bytes() > byte_budget()) instead of leaving the
+  // pool permanently empty.
+  int evicted = 0;
+  if (byte_budget_ > 0) {
+    while (bytes_ > byte_budget_ && lru_.size() > 1) {
+      const std::uint64_t victim = lru_.back();
+      lru_.pop_back();
+      const auto vit = entries_.find(victim);
+      bytes_ -= vit->second.bytes;
+      entries_.erase(vit);
+      stats_.evictions++;
+      ++evicted;
+    }
+  }
+  return evicted;
 }
 
 size_t ReusePool::size() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+size_t ReusePool::bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
 }
 
 ReusePool::Stats ReusePool::stats() const {

@@ -24,6 +24,17 @@
 // but not bit-stable across arbitrary schedules; keep the default adapters
 // pool-free where schedule-invariant bits are required.
 //
+// Serving lifetimes: a long-running process (core::ServeEngine) sees an
+// unbounded stream of patterns, so the pool supports a byte budget with
+// least-recently-used eviction. `find` and `store` both count as "uses";
+// when a store pushes the retained bytes past the budget, entries are
+// evicted oldest-use-first until the pool fits again (the entry just stored
+// is never evicted, so one entry larger than the whole budget is retained —
+// and the budget reported as exceeded — rather than thrashing). A zero
+// budget disables eviction (the per-batch default). Accounting is
+// ownership-based: bytes the pool's shared_ptrs keep alive, whether or not
+// an engine still holds another reference.
+//
 // A 64-bit key collision is harmless for correctness: a mismatched LU
 // prototype is rejected by its own pattern fingerprint before entry, and a
 // mismatched device state either fails the shape check or just makes a poor
@@ -31,6 +42,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -50,6 +62,15 @@ struct ReuseEntry {
   std::shared_ptr<const circuit::DeviceState> state;
   /// Node-voltage solution that `state` converged to.
   std::shared_ptr<const std::vector<double>> x;
+
+  /// Retained heap bytes of the carried payloads (the LRU eviction cost).
+  size_t memory_bytes() const;
+
+  /// True when `state` and `x` exist and are shaped for `net` with
+  /// `num_unknowns` MNA unknowns — the guard every consumer must pass
+  /// before adopting a pooled device state, so a 64-bit key collision (or a
+  /// stale pool) degrades to a cold start, never to an out-of-bounds read.
+  bool shapes_match(const circuit::Netlist& net, int num_unknowns) const;
 };
 
 class ReusePool {
@@ -58,24 +79,46 @@ class ReusePool {
     long long hits = 0;
     long long misses = 0;
     long long stores = 0;
+    long long evictions = 0;
   };
 
-  /// Entry for `pattern_key`, or null. Counts a hit/miss.
+  /// `byte_budget` bounds the retained payload bytes (0 = unbounded, the
+  /// per-batch default; serving processes pass their per-worker budget).
+  explicit ReusePool(size_t byte_budget = 0) : byte_budget_(byte_budget) {}
+
+  /// Entry for `pattern_key`, or null. Counts a hit/miss and marks the
+  /// entry most-recently-used.
   std::shared_ptr<const ReuseEntry> find(std::uint64_t pattern_key);
 
-  /// Publishes the entry for `pattern_key`. Payload fields the new entry
-  /// carries replace the previous ones; null fields keep the previously
-  /// stored payload (so engines that publish only part of an entry cannot
-  /// wipe another engine's share of the same pattern).
-  void store(std::uint64_t pattern_key, ReuseEntry entry);
+  /// Publishes the entry for `pattern_key` and returns how many other
+  /// entries were evicted to fit the byte budget. Payload fields the new
+  /// entry carries replace the previous ones; null fields keep the
+  /// previously stored payload (so engines that publish only part of an
+  /// entry cannot wipe another engine's share of the same pattern).
+  int store(std::uint64_t pattern_key, ReuseEntry entry);
 
   /// Number of distinct patterns currently held.
   size_t size() const;
+  /// Retained payload bytes currently held (can exceed byte_budget only
+  /// when a single entry is larger than the whole budget).
+  size_t bytes() const;
+  size_t byte_budget() const { return byte_budget_; }
   Stats stats() const;
 
  private:
+  struct Slot {
+    std::shared_ptr<const ReuseEntry> entry;
+    size_t bytes = 0;
+    std::list<std::uint64_t>::iterator lru; // position in lru_
+  };
+
+  void touch(Slot& slot, std::uint64_t key);
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const ReuseEntry>> entries_;
+  size_t byte_budget_ = 0;
+  size_t bytes_ = 0;
+  std::unordered_map<std::uint64_t, Slot> entries_;
+  std::list<std::uint64_t> lru_; // front = most recently used
   Stats stats_;
 };
 

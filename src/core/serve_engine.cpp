@@ -1,0 +1,467 @@
+#include "core/serve_engine.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "analog/solver.hpp"
+#include "core/registry.hpp"
+#include "core/workload.hpp"
+#include "mincut/dual_circuit.hpp"
+#include "sim/sweep.hpp"
+
+namespace aflow::core {
+
+namespace {
+
+/// Splits a request line into whitespace-separated tokens; double quotes
+/// group (so `--spec "grid:side=8,seed=1"` works even with spaces). A line
+/// whose first non-blank character is '#' is a comment.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i >= line.size()) break;
+    if (line[i] == '#' && out.empty()) return {};
+    std::string tok;
+    if (line[i] == '"') {
+      ++i;
+      while (i < line.size() && line[i] != '"') tok += line[i++];
+      if (i < line.size()) ++i; // closing quote
+    } else {
+      while (i < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[i])))
+        tok += line[i++];
+    }
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+std::string tok_string(const std::vector<std::string>& t, const char* key,
+                       std::string fallback) {
+  for (size_t i = 1; i + 1 < t.size(); ++i)
+    if (t[i] == key) return t[i + 1];
+  return fallback;
+}
+
+bool tok_flag(const std::vector<std::string>& t, const char* key) {
+  for (size_t i = 1; i < t.size(); ++i)
+    if (t[i] == key) return true;
+  return false;
+}
+
+double tok_double(const std::vector<std::string>& t, const char* key,
+                  double fallback) {
+  const std::string s = tok_string(t, key, "");
+  if (s.empty()) return fallback;
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("bad numeric value for ") + key +
+                             ": '" + s + "'");
+  }
+}
+
+long long tok_ll(const std::vector<std::string>& t, const char* key,
+                 long long fallback) {
+  const std::string s = tok_string(t, key, "");
+  if (s.empty()) return fallback;
+  try {
+    return std::stoll(s);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("bad integer value for ") + key +
+                             ": '" + s + "'");
+  }
+}
+
+void write_metrics_json(util::JsonWriter& j, const flow::SolveMetrics& m) {
+  j.begin_object();
+  j.field("iterations", m.iterations);
+  j.field("full_factors", m.full_factors);
+  j.field("refactors", m.refactors);
+  j.field("prototype_refactors", m.prototype_refactors);
+  j.field("rhs_refreshes", m.rhs_refreshes);
+  j.field("warm_iterations", m.warm_iterations);
+  j.field("cold_iterations", m.cold_iterations);
+  j.field("pool_hits", m.pool_hits);
+  j.field("pool_misses", m.pool_misses);
+  j.field("pool_evictions", m.pool_evictions);
+  j.end_object();
+}
+
+/// Aggregated gauge/counter view over a set of ReusePools (a bank's
+/// per-worker pools, or a single sweep/min-cut pool).
+void write_pools_json(
+    util::JsonWriter& j,
+    const std::vector<std::shared_ptr<ReusePool>>& pools) {
+  size_t entries = 0, bytes = 0, budget = 0;
+  ReusePool::Stats total;
+  for (const auto& pool : pools) {
+    if (!pool) continue;
+    entries += pool->size();
+    bytes += pool->bytes();
+    // Aggregate budget: bytes sums over every per-worker pool, so the
+    // budget it is compared against must too (per-pool budgets are
+    // identical within a bank).
+    budget += pool->byte_budget();
+    const ReusePool::Stats s = pool->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.stores += s.stores;
+    total.evictions += s.evictions;
+  }
+  j.begin_object();
+  j.field("pools", pools.size());
+  j.field("entries", entries);
+  j.field("bytes", bytes);
+  j.field("byte_budget", budget);
+  j.field("hits", total.hits);
+  j.field("misses", total.misses);
+  j.field("stores", total.stores);
+  j.field("evictions", total.evictions);
+  j.end_object();
+}
+
+void add_metrics(flow::SolveMetrics& into, const flow::SolveMetrics& m) {
+  into.iterations += m.iterations;
+  into.full_factors += m.full_factors;
+  into.refactors += m.refactors;
+  into.prototype_refactors += m.prototype_refactors;
+  into.rhs_refreshes += m.rhs_refreshes;
+  into.warm_iterations += m.warm_iterations;
+  into.cold_iterations += m.cold_iterations;
+  into.pool_hits += m.pool_hits;
+  into.pool_misses += m.pool_misses;
+  into.pool_evictions += m.pool_evictions;
+  if (m.warm_started) into.warm_started = true;
+}
+
+} // namespace
+
+ServeEngine::ServeEngine(ServeOptions options) : options_(std::move(options)) {
+  if (options_.deterministic) {
+    workers_ = 1;
+  } else if (options_.num_threads > 0) {
+    workers_ = options_.num_threads;
+  } else {
+    workers_ =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  sweep_pool_ = std::make_shared<ReusePool>(options_.pool_byte_budget);
+  mincut_pool_ = std::make_shared<ReusePool>(options_.pool_byte_budget);
+  sweep_ordering_ = std::make_shared<la::OrderingCache>();
+  mincut_ordering_ = std::make_shared<la::OrderingCache>();
+}
+
+ServeEngine::Bank& ServeEngine::bank(const std::string& name) {
+  const auto it = banks_.find(name);
+  if (it != banks_.end()) return it->second;
+
+  Bank b;
+  // The warm analog backends are rebuilt here (instead of taken from the
+  // registry) so their per-worker pools carry this engine's byte budget; a
+  // registry-created warm adapter would hold an unbounded pool, which is
+  // fine for a batch lifetime but not for a serving process.
+  const std::optional<analog::AnalogSolveOptions> builtin =
+      builtin_analog_options(name);
+  const bool pooled = builtin && name.find("_warm") != std::string::npos;
+  for (int t = 0; t < workers_; ++t) {
+    if (pooled) {
+      analog::AnalogSolveOptions opt = *builtin;
+      auto pool = std::make_shared<ReusePool>(options_.pool_byte_budget);
+      opt.reuse_pool = pool;
+      b.pools.push_back(std::move(pool));
+      b.workers.push_back(make_analog_solver(name, std::move(opt)));
+    } else {
+      // Throws std::invalid_argument for unknown names — surfaced as an
+      // ok:false response by handle().
+      b.workers.push_back(SolverRegistry::instance().create(name));
+    }
+  }
+  return banks_.emplace(name, std::move(b)).first->second;
+}
+
+void ServeEngine::absorb(Bank& b, const BatchReport& report) {
+  b.solves += static_cast<long long>(report.outcomes.size()) - report.failed;
+  b.failed += report.failed;
+  b.seconds += report.wall_seconds;
+  add_metrics(b.metrics, report.metrics);
+}
+
+const graph::FlowNetwork& ServeEngine::require_instance() const {
+  if (!current_)
+    throw std::runtime_error(
+        "no instance loaded (send: load --input FILE | --spec SPEC)");
+  return *current_;
+}
+
+std::string ServeEngine::handle(const std::string& line) {
+  const std::vector<std::string> t = tokenize(line);
+  if (t.empty()) return {};
+  ++requests_;
+  const std::string& cmd = t[0];
+
+  try {
+    util::JsonWriter j;
+    j.begin_object();
+    j.field("schema", "aflow-serve-v1");
+    j.field("id", requests_);
+    j.field("request", cmd);
+    if (cmd == "load") {
+      cmd_load(t, j);
+    } else if (cmd == "reconfigure") {
+      cmd_reconfigure(t, j);
+    } else if (cmd == "solve") {
+      cmd_solve(t, j);
+    } else if (cmd == "batch") {
+      cmd_batch(t, j);
+    } else if (cmd == "sweep") {
+      cmd_sweep(t, j);
+    } else if (cmd == "mincut") {
+      cmd_mincut(j);
+    } else if (cmd == "stats") {
+      cmd_stats(j);
+    } else if (cmd == "quit") {
+      done_ = true;
+      j.field("ok", true);
+    } else {
+      throw std::runtime_error(
+          "unknown request '" + cmd +
+          "' (known: load reconfigure solve batch sweep mincut stats quit)");
+    }
+    j.end_object();
+    return j.str();
+  } catch (const std::exception& e) {
+    util::JsonWriter err;
+    err.begin_object();
+    err.field("schema", "aflow-serve-v1");
+    err.field("id", requests_);
+    err.field("request", cmd);
+    err.field("ok", false);
+    err.field("error", e.what());
+    err.end_object();
+    return err.str();
+  }
+}
+
+void ServeEngine::cmd_load(const std::vector<std::string>& t,
+                           util::JsonWriter& j) {
+  const std::string input = tok_string(t, "--input", "");
+  const std::string spec = tok_string(t, "--spec", "");
+  if (input.empty() == spec.empty())
+    throw std::runtime_error("load needs exactly one of --input or --spec");
+  const std::vector<graph::FlowNetwork> instances =
+      load_batch(input.empty() ? spec : input);
+  base_ = instances.front();
+  current_ = base_;
+  j.field("ok", true);
+  j.field("instances_in_source", instances.size());
+  j.field("vertices", current_->num_vertices());
+  j.field("edges", current_->num_edges());
+  j.field("source", current_->source());
+  j.field("sink", current_->sink());
+}
+
+void ServeEngine::cmd_reconfigure(const std::vector<std::string>& t,
+                                  util::JsonWriter& j) {
+  require_instance();
+  bool mutated = false;
+  const long long seed = tok_ll(t, "--seed", -1);
+  if (seed >= 0) {
+    // Deterministic capacity reprogramming of the *base* topology: same
+    // seed, same instance, independent of reconfiguration history.
+    current_ = capacity_variants(*base_, 2,
+                                 static_cast<std::uint64_t>(seed))[1];
+    mutated = true;
+  }
+  if (!tok_string(t, "--scale", "").empty()) {
+    const double scale = tok_double(t, "--scale", 0.0);
+    if (!(scale > 0.0)) throw std::runtime_error("--scale must be positive");
+    current_ = current_->transform_capacities(
+        [scale](double c) { return c * scale; });
+    mutated = true;
+  }
+  const long long edge = tok_ll(t, "--edge", -1);
+  if (edge >= 0) {
+    const double cap = tok_double(t, "--capacity", 0.0);
+    current_->set_capacity(static_cast<int>(edge), cap); // validates both
+    mutated = true;
+  }
+  if (!mutated)
+    throw std::runtime_error(
+        "reconfigure needs --seed K, --scale F, or --edge I --capacity C");
+  j.field("ok", true);
+  j.field("vertices", current_->num_vertices());
+  j.field("edges", current_->num_edges());
+  j.field("max_capacity", current_->max_capacity());
+}
+
+void ServeEngine::cmd_solve(const std::vector<std::string>& t,
+                            util::JsonWriter& j) {
+  const graph::FlowNetwork& net = require_instance();
+  const std::string name = tok_string(t, "--solver", options_.default_solver);
+  Bank& b = bank(name);
+
+  BatchOptions bo;
+  bo.solver = name;
+  bo.validate = tok_flag(t, "--check");
+  const std::vector<graph::FlowNetwork> one{net};
+  // Single request, worker 0: every point solve of a session funnels
+  // through one persistent solver, so its pool stays hot.
+  const BatchReport report =
+      BatchEngine(bo).run(one, std::span<const SolverPtr>(b.workers.data(), 1));
+  absorb(b, report);
+  const InstanceOutcome& out = report.outcomes.front();
+  if (!out.ok) throw std::runtime_error(out.error);
+
+  j.field("ok", true);
+  j.field("solver", name);
+  j.field("flow", out.result.flow_value);
+  j.field("ms", out.seconds * 1e3);
+  j.field("warm_started", out.result.metrics.warm_started);
+  j.key("metrics");
+  write_metrics_json(j, out.result.metrics);
+  j.key("pool");
+  write_pools_json(j, b.pools);
+}
+
+void ServeEngine::cmd_batch(const std::vector<std::string>& t,
+                            util::JsonWriter& j) {
+  const std::string spec = tok_string(t, "--spec", "");
+  if (spec.empty()) throw std::runtime_error("batch needs --spec");
+  const std::string name = tok_string(t, "--solver", options_.default_solver);
+  Bank& b = bank(name);
+
+  BatchOptions bo;
+  bo.solver = name;
+  bo.validate = tok_flag(t, "--check");
+  bo.deterministic = options_.deterministic;
+  bo.num_threads = workers_;
+  const std::vector<graph::FlowNetwork> instances = load_batch(spec);
+  const BatchReport report = BatchEngine(bo).run(instances, b.workers);
+  absorb(b, report);
+
+  j.field("ok", true);
+  j.field("solver", name);
+  j.field("batch", spec);
+  j.field("instances", report.outcomes.size());
+  j.field("failed", report.failed);
+  j.field("threads", report.threads_used);
+  j.field("total_flow", report.total_flow);
+  j.field("wall_ms", report.wall_seconds * 1e3);
+  j.field("warm_started_instances", report.warm_started_instances);
+  j.key("metrics");
+  write_metrics_json(j, report.metrics);
+  j.key("pool");
+  write_pools_json(j, b.pools);
+}
+
+void ServeEngine::cmd_sweep(const std::vector<std::string>& t,
+                            util::JsonWriter& j) {
+  const graph::FlowNetwork& net = require_instance();
+  const int points = static_cast<int>(tok_ll(t, "--points", 8));
+  if (points < 1) throw std::runtime_error("--points must be >= 1");
+  const double vmax = tok_double(t, "--vmax", 10.0);
+  if (!(vmax > 0.0)) throw std::runtime_error("--vmax must be positive");
+
+  // The substrate mapping the warm DC adapters use: topology-only MNA
+  // pattern, so reconfigured capacities keep hitting the sweep pool.
+  analog::MaxFlowCircuit c =
+      analog::AnalogMaxFlowSolver(*builtin_analog_options("analog_dc_warm"))
+          .map(net);
+  sim::DcOptions dc_opt;
+  dc_opt.ordering_cache = sweep_ordering_;
+  sim::QuasiStaticSweep sweep(c.netlist, c.vflow_source, dc_opt, sweep_pool_);
+  // Ramp inside the nontrivial region (no zero point): the first point is
+  // a real LCP search, which is exactly what the pooled seed collapses.
+  std::vector<double> values(points);
+  for (int i = 0; i < points; ++i) values[i] = vmax * (i + 1) / points;
+  const sim::SweepResult r =
+      sweep.run(values, {sim::Probe::source_current(c.vflow_source, "Iflow")});
+  ++sweeps_;
+
+  const double iflow = r.trajectory.back().front();
+  j.field("ok", true);
+  j.field("points", points);
+  j.field("vmax", vmax);
+  j.field("flow", c.quantizer.to_flow(c.flow_value_volts_from_iflow(iflow)));
+  j.field("breakpoints", r.breakpoints.size());
+  j.field("warm_started", r.stats.warm_started);
+  j.field("dc_iterations", r.stats.dc_iterations);
+  j.field("warm_iterations", r.stats.warm_iterations);
+  j.field("cold_iterations", r.stats.cold_iterations);
+  j.field("full_factors", r.stats.full_factors);
+  j.field("refactors", r.stats.refactors);
+  j.key("pool");
+  write_pools_json(j, {sweep_pool_});
+}
+
+void ServeEngine::cmd_mincut(util::JsonWriter& j) {
+  const graph::FlowNetwork& net = require_instance();
+  mincut::DualCircuitOptions opt;
+  opt.ordering_cache = mincut_ordering_;
+  opt.reuse_pool = mincut_pool_;
+  const mincut::AnalogMinCutResult r = mincut::solve_mincut_dual(net, opt);
+  ++mincuts_;
+
+  double partition_cut = 0.0;
+  for (const graph::Edge& e : net.edges())
+    if (r.side[e.from] && !r.side[e.to]) partition_cut += e.capacity;
+
+  j.field("ok", true);
+  j.field("cut_value", partition_cut);
+  j.field("objective", r.cut_value);
+  j.field("flow_recovered", r.flow_value);
+  j.field("dc_iterations", r.dc_iterations);
+  j.field("warm_started", r.warm_started);
+  j.field("warm_iterations", r.warm_iterations);
+  j.field("cold_iterations", r.cold_iterations);
+  j.key("pool");
+  write_pools_json(j, {mincut_pool_});
+}
+
+void ServeEngine::cmd_stats(util::JsonWriter& j) {
+  j.field("ok", true);
+  j.field("requests", requests_);
+  j.field("workers_per_bank", workers_);
+  j.field("deterministic", options_.deterministic);
+  j.field("pool_byte_budget", options_.pool_byte_budget);
+
+  j.key("instance").begin_object();
+  j.field("loaded", current_.has_value());
+  if (current_) {
+    j.field("vertices", current_->num_vertices());
+    j.field("edges", current_->num_edges());
+  }
+  j.end_object();
+
+  j.key("solvers").begin_array();
+  for (const auto& [name, b] : banks_) {
+    j.begin_object();
+    j.field("solver", name);
+    j.field("workers", b.workers.size());
+    j.field("solves", b.solves);
+    j.field("failed", b.failed);
+    j.field("wall_ms", b.seconds * 1e3);
+    j.key("metrics");
+    write_metrics_json(j, b.metrics);
+    j.key("pool");
+    write_pools_json(j, b.pools);
+    j.end_object();
+  }
+  j.end_array();
+
+  j.field("sweeps", sweeps_);
+  j.key("sweep_pool");
+  write_pools_json(j, {sweep_pool_});
+  j.field("mincuts", mincuts_);
+  j.key("mincut_pool");
+  write_pools_json(j, {mincut_pool_});
+}
+
+} // namespace aflow::core

@@ -1,0 +1,126 @@
+// Long-running serving mode: the persistent engine behind `aflow serve`.
+//
+// The paper's central claim is that one programmed substrate amortises its
+// setup across many reconfigured problem instances. BatchEngine realises
+// that for batch lifetimes — solvers, reuse pools, and ordering caches die
+// with the batch. ServeEngine keeps them alive across an unbounded request
+// stream: per-worker solver instances (and therefore their core::ReusePools
+// and la::OrderingCaches) persist for the life of the process, with every
+// pool byte-budgeted and LRU-evicted so memory stays bounded no matter how
+// many distinct patterns the stream touches.
+//
+// Protocol: one request per line, one aflow-serve-v1 JSON response per line
+// (schema documented in docs/BENCH_FORMAT.md; `aflow serve` wires this to
+// stdin/stdout or a Unix socket):
+//
+//   load (--input FILE.dimacs | --spec GENSPEC)
+//   reconfigure [--seed K] [--scale F] [--edge I --capacity C]
+//   solve [--solver NAME] [--check]
+//   batch --spec GENSPEC [--solver NAME] [--check]
+//   sweep [--points N] [--vmax V]
+//   mincut
+//   stats
+//   quit
+//
+// `load` installs the session's base instance (the "programmed substrate");
+// `reconfigure` reprograms its capacities in place — topology, and
+// therefore the MNA pattern under dedicated level sources, never changes,
+// which is exactly what keeps the warm pools hot. `solve` runs the current
+// instance on a named backend; `batch` fans a whole generated workload
+// across the persistent worker bank; `sweep` and `mincut` drive the
+// quasi-static sweep and min-cut dual through their own pools (results
+// bit-identical to cold runs — see DESIGN.md "Serving architecture").
+// Blank lines and lines starting with '#' are ignored (empty response).
+// Malformed requests return ok:false and never terminate the engine.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/batch_engine.hpp"
+#include "core/reuse_pool.hpp"
+#include "core/solver.hpp"
+#include "graph/network.hpp"
+#include "la/lu.hpp"
+#include "util/json.hpp"
+
+namespace aflow::core {
+
+struct ServeOptions {
+  /// Backend used by `solve`/`batch` when the request names none.
+  std::string default_solver = "analog_dc_warm";
+  /// Workers per solver bank; 0 picks std::thread::hardware_concurrency().
+  int num_threads = 0;
+  /// In-order single-worker execution (reproducible streams).
+  bool deterministic = false;
+  /// Byte budget for every ReusePool the engine owns (per worker, plus one
+  /// each for the sweep and min-cut paths). 0 = unbounded.
+  size_t pool_byte_budget = 64ull << 20;
+};
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(ServeOptions options = {});
+
+  /// Handles one request line and returns one JSON response line (empty for
+  /// blank/comment lines). Never throws: malformed requests, unknown
+  /// solvers, and solver failures all come back as ok:false responses.
+  std::string handle(const std::string& line);
+
+  /// True once a quit request has been served.
+  bool done() const { return done_; }
+
+  const ServeOptions& options() const { return options_; }
+  /// Workers each solver bank runs with (resolved from options).
+  int workers_per_bank() const { return workers_; }
+
+ private:
+  /// One persistent backend: a solver per worker, created once and reused
+  /// for every later request, plus the byte-budgeted pools of the warm
+  /// analog adapters (empty for backends without one) and the cumulative
+  /// telemetry served from them.
+  struct Bank {
+    std::vector<SolverPtr> workers;
+    std::vector<std::shared_ptr<ReusePool>> pools;
+    long long solves = 0;
+    long long failed = 0;
+    double seconds = 0.0;
+    flow::SolveMetrics metrics;
+  };
+
+  Bank& bank(const std::string& name);
+  void absorb(Bank& b, const BatchReport& report);
+
+  void cmd_load(const std::vector<std::string>& t, util::JsonWriter& j);
+  void cmd_reconfigure(const std::vector<std::string>& t, util::JsonWriter& j);
+  void cmd_solve(const std::vector<std::string>& t, util::JsonWriter& j);
+  void cmd_batch(const std::vector<std::string>& t, util::JsonWriter& j);
+  void cmd_sweep(const std::vector<std::string>& t, util::JsonWriter& j);
+  void cmd_mincut(util::JsonWriter& j);
+  void cmd_stats(util::JsonWriter& j);
+
+  const graph::FlowNetwork& require_instance() const;
+
+  ServeOptions options_;
+  int workers_ = 1;
+  bool done_ = false;
+  long long requests_ = 0;
+
+  std::optional<graph::FlowNetwork> base_;    // as loaded
+  std::optional<graph::FlowNetwork> current_; // after reconfigurations
+  std::map<std::string, Bank> banks_;
+
+  // The sweep and min-cut requests run on the calling thread; one pool and
+  // ordering cache each, shared across all requests of that kind.
+  std::shared_ptr<ReusePool> sweep_pool_;
+  std::shared_ptr<ReusePool> mincut_pool_;
+  std::shared_ptr<la::OrderingCache> sweep_ordering_;
+  std::shared_ptr<la::OrderingCache> mincut_ordering_;
+  long long sweeps_ = 0;
+  long long mincuts_ = 0;
+};
+
+} // namespace aflow::core

@@ -24,6 +24,11 @@ struct SolveMetrics {
   long long warm_iterations = 0;  // iterations in warm-started solves
   long long cold_iterations = 0;  // iterations in cold solves
   bool warm_started = false;      // result came from a warm-started solve
+  // core::ReusePool traffic attributable to this solve (warm backends only):
+  // one lookup per solve, so pool_hits + pool_misses == pool lookups.
+  long long pool_hits = 0;
+  long long pool_misses = 0;
+  long long pool_evictions = 0;   // LRU entries evicted by this solve's store
 };
 
 struct MaxFlowResult {

@@ -31,6 +31,15 @@ int FlowNetwork::add_edge(int from, int to, double capacity) {
   return id;
 }
 
+void FlowNetwork::set_capacity(int e, double capacity) {
+  if (e < 0 || e >= num_edges())
+    throw std::invalid_argument("FlowNetwork::set_capacity: edge out of range");
+  if (!(capacity > 0.0))
+    throw std::invalid_argument(
+        "FlowNetwork::set_capacity: capacity must be positive");
+  edges_[e].capacity = capacity;
+}
+
 double FlowNetwork::max_capacity() const {
   double c = 0.0;
   for (const Edge& e : edges_) c = std::max(c, e.capacity);

@@ -29,6 +29,12 @@ class FlowNetwork {
   /// Adds a directed edge and returns its index.
   int add_edge(int from, int to, double capacity);
 
+  /// Reprograms one edge's capacity in place — the serving reconfiguration
+  /// primitive (topology, and therefore the substrate's MNA pattern under
+  /// dedicated level sources, is unchanged). Throws std::invalid_argument
+  /// on a bad index or non-positive capacity.
+  void set_capacity(int e, double capacity);
+
   int num_vertices() const { return num_vertices_; }
   int num_edges() const { return static_cast<int>(edges_.size()); }
   int source() const { return source_; }

@@ -278,6 +278,16 @@ long long SparseLU::factor_nnz() const {
   return static_cast<long long>(li_.size()) + static_cast<long long>(ui_.size()) + n_;
 }
 
+size_t SparseLU::memory_bytes() const {
+  auto ints = [](const std::vector<int>& v) { return v.capacity() * sizeof(int); };
+  auto dbls = [](const std::vector<double>& v) {
+    return v.capacity() * sizeof(double);
+  };
+  return sizeof(SparseLU) + ints(colperm_) + ints(rowperm_) + ints(pinv_) +
+         ints(lp_) + ints(li_) + dbls(lx_) + ints(up_) + ints(ui_) + dbls(ux_) +
+         dbls(udiag_) + dbls(work_);
+}
+
 std::uint64_t OrderingCache::pattern_key(const SparseMatrix& a) {
   return a.pattern_key(); // cached on the matrix; O(1) after the first call
 }

@@ -97,6 +97,11 @@ class SparseLU {
   /// Fill: total nonzeros in L + U (including diagonal).
   long long factor_nnz() const;
 
+  /// Heap bytes retained by the factorisation (permutations, L/U structure
+  /// and values, scratch) — the cost a core::ReusePool charges an LU
+  /// prototype against its byte budget.
+  size_t memory_bytes() const;
+
  private:
   void factor_with_order(const SparseMatrix& a, bool reuse_order);
   bool try_numeric_refactor(const SparseMatrix& a);

@@ -117,13 +117,52 @@ AnalogMinCutResult solve_mincut_dual(const graph::FlowNetwork& net,
   DualCircuitBuilder builder(net, options);
   auto built = builder.build();
 
-  sim::DcSolver solver(built.nl);
+  sim::DcOptions dc_opt;
+  dc_opt.ordering_cache = options.ordering_cache;
+  sim::DcSolver solver(built.nl, dc_opt);
   circuit::DeviceState state = circuit::DeviceState::initial(built.nl);
-  const std::vector<double> x = solver.solve(state);
-  const auto& mna = solver.assembler();
 
   AnalogMinCutResult out;
-  out.dc_iterations = solver.stats().iterations;
+  auto accumulate = [&](const sim::DcStats& s) {
+    out.dc_iterations += s.iterations;
+    out.warm_iterations += s.warm_iterations;
+    out.cold_iterations += s.cold_iterations;
+    out.full_factors += s.full_factors;
+    out.refactors += s.refactors;
+  };
+
+  // Cross-request warm start (see DualCircuitOptions::reuse_pool): the
+  // shared bit-stable pool protocol seeds the LCP search from the previous
+  // same-pattern request's converged state; a failed attempt falls back to
+  // the cold start.
+  std::uint64_t pool_key = 0;
+  std::vector<double> x;
+  sim::PooledWarmStart warm;
+  if (options.reuse_pool) {
+    pool_key = solver.pattern_key();
+    warm = sim::pooled_warm_start(solver, *options.reuse_pool, pool_key, state,
+                                  options.warm_iteration_budget, accumulate);
+    out.pool_hits = warm.pool_hit ? 1 : 0;
+    out.pool_misses = warm.pool_hit ? 0 : 1;
+    if (warm.primed) out.full_factors++; // the priming factorisation
+  }
+  if (warm.solved) {
+    x = std::move(warm.x);
+    out.warm_started = true;
+  } else {
+    x = solver.solve(state);
+  }
+  accumulate(solver.stats());
+
+  if (options.reuse_pool) {
+    core::ReuseEntry entry;
+    entry.lu = solver.share_factorization();
+    entry.state = std::make_shared<const circuit::DeviceState>(state);
+    entry.x = std::make_shared<const std::vector<double>>(x);
+    out.pool_evictions = options.reuse_pool->store(pool_key, std::move(entry));
+  }
+
+  const auto& mna = solver.assembler();
   out.p_values.resize(net.num_vertices());
   out.side.resize(net.num_vertices());
   for (int v = 0; v < net.num_vertices(); ++v) {

@@ -28,7 +28,10 @@
 // indicator and sum c_ij V(d_ij) the cut value.
 #pragma once
 
+#include <memory>
+
 #include "analog/substrate_config.hpp"
+#include "core/reuse_pool.hpp"
 #include "graph/network.hpp"
 
 namespace aflow::mincut {
@@ -44,6 +47,22 @@ struct DualCircuitOptions {
   /// thresholded partitions across the test corpus; beyond ~100 the DC
   /// complementarity search starts to struggle.
   double constraint_resistor_factor = 50.0;
+  /// Optional cross-instance ordering share (see sim::DcOptions).
+  std::shared_ptr<la::OrderingCache> ordering_cache;
+  /// Optional cross-request warm start through the same per-pattern
+  /// entries the DC/transient adapters use (core::ReusePool). The dual
+  /// circuit's structure depends only on the graph topology — capacities
+  /// enter as current-source values — so a reconfigured instance hits the
+  /// previous request's entry and seeds the LCP search from its converged
+  /// state, typically collapsing dozens of complementarity iterations to a
+  /// couple. Bit-identical to the cold path by construction: only the
+  /// pattern-pure column ordering is taken from the pooled prototype, and
+  /// the solver is primed with the exact factorisation a cold solve would
+  /// compute first (sim::DcSolver::prime).
+  std::shared_ptr<core::ReusePool> reuse_pool;
+  /// Iteration cap for the pooled warm attempt before falling back to the
+  /// cold start (bounds the cost of a stale seed).
+  int warm_iteration_budget = 48;
 };
 
 struct AnalogMinCutResult {
@@ -54,6 +73,17 @@ struct AnalogMinCutResult {
   std::vector<double> edge_flow;   // recovered dual variables (flow), cap units
   double flow_value = 0.0;         // recovered total flow (weak-duality check)
   int dc_iterations = 0;
+  /// Warm-start telemetry: warm + cold == dc_iterations always;
+  /// full_factors includes the canonical priming factorisation.
+  bool warm_started = false;
+  int warm_iterations = 0;
+  int cold_iterations = 0;
+  long long full_factors = 0;
+  long long refactors = 0;
+  /// ReusePool traffic (zero without a pool): one lookup per solve.
+  long long pool_hits = 0;
+  long long pool_misses = 0;
+  long long pool_evictions = 0;
 };
 
 /// Builds and solves the dual circuit at DC. Throws sim::ConvergenceError if

@@ -76,6 +76,15 @@ std::vector<double> DcSolver::solve_warm(circuit::DeviceState& state,
   return solve_impl(state, x_warm, iteration_budget);
 }
 
+void DcSolver::prime(const circuit::DeviceState& state) {
+  if (!options_.reuse_factorization) return;
+  circuit::StampOptions opt;
+  opt.transient = false;
+  opt.gmin = options_.gmin;
+  assembler_.assemble(state, opt, pattern_);
+  la::factor_with_cache(lu_, pattern_.matrix(), options_.ordering_cache.get());
+}
+
 std::uint64_t DcSolver::pattern_key() {
   if (!pattern_.ready()) {
     // The pattern is state-independent, so any state of the right shape
@@ -167,6 +176,43 @@ std::vector<double> DcSolver::solve_impl(circuit::DeviceState& state,
   }
   throw ConvergenceError("DcSolver: no consistent operating point after " +
                          std::to_string(max_iterations) + " iterations");
+}
+
+PooledWarmStart pooled_warm_start(
+    DcSolver& solver, core::ReusePool& pool, std::uint64_t key,
+    circuit::DeviceState& state, int iteration_budget,
+    const std::function<void(const DcStats&)>& on_failed_attempt) {
+  PooledWarmStart out;
+  const std::shared_ptr<const core::ReuseEntry> warm = pool.find(key);
+  out.pool_hit = warm != nullptr;
+  if (!warm) return out;
+
+  // Bit-safe ordering seed: the prototype's column order is the pure
+  // pattern function a cold run would compute itself.
+  if (warm->lu && warm->lu->factored())
+    solver.seed_column_order(warm->lu->column_order());
+  const circuit::Netlist& net = solver.assembler().netlist();
+  if (!warm->shapes_match(net, solver.assembler().num_unknowns())) return out;
+
+  // Canonical priming: freeze the factorisation provenance the cold path
+  // would have, then attempt the seeded solve.
+  solver.prime(state);
+  out.primed = true;
+  circuit::DeviceState attempt = *warm->state;
+  auto failed = [&] {
+    on_failed_attempt(solver.stats());
+    state = circuit::DeviceState::initial(net);
+  };
+  try {
+    out.x = solver.solve_warm(attempt, *warm->x, iteration_budget);
+    state = std::move(attempt);
+    out.solved = true;
+  } catch (const ConvergenceError&) {
+    failed();
+  } catch (const la::SingularMatrixError&) {
+    failed();
+  }
+  return out;
 }
 
 } // namespace aflow::sim

@@ -19,12 +19,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "circuit/mna.hpp"
+#include "core/reuse_pool.hpp"
 #include "la/lu.hpp"
 
 namespace aflow::sim {
@@ -100,9 +102,37 @@ class DcSolver {
   /// instance. The first factorisation clones it and enters through
   /// `refactor` (numeric-only, no symbolic analysis); on pivot degradation
   /// or a pattern mismatch it falls back to a full factorisation as usual.
+  /// Note this trades bit-stability for speed: the prototype's pivot order
+  /// was chosen on the donor's values, so results can differ from a cold
+  /// run in the last bit (see solve_warm). Callers that need warm == cold
+  /// bitwise use prime() instead.
   void set_lu_prototype(std::shared_ptr<const la::SparseLU> prototype) {
     lu_prototype_ = std::move(prototype);
   }
+
+  /// Seeds the fill-reducing column order for the first full factorisation,
+  /// skipping the ordering analysis. Bit-safe, unlike set_lu_prototype: the
+  /// ordering is a pure function of the MNA pattern, so a seeded solve is
+  /// bit-identical to one that computes the order itself (a wrong-size seed
+  /// is ignored, and any valid permutation costs fill, never correctness).
+  void seed_column_order(std::vector<int> order) {
+    lu_.seed_column_order(std::move(order));
+  }
+
+  /// Canonical priming for bit-stable warm starts (the quasi-static sweep
+  /// and min-cut dual consumers of core::ReusePool): assembles the MNA
+  /// system at `state` with the nominal gmin and fully factors it — exactly
+  /// the factorisation a cold solve() would compute first. Every subsequent
+  /// solve (warm-seeded or not) then rides the numeric refactor fast path
+  /// over this frozen pivot structure, and since a refactor's output
+  /// depends only on (frozen structure, current values), the converged
+  /// solution is bit-identical to the cold path's as long as both converge
+  /// to the same device-state set. Call with DeviceState::initial and the
+  /// cold path's source values before seeding warm state. No-op when
+  /// reuse_factorization is off (there is no persistent factorisation to
+  /// prime). Not counted in the per-solve DcStats; callers that reconcile
+  /// factor counters account for it separately.
+  void prime(const circuit::DeviceState& state);
 
   /// Fingerprint of this circuit's MNA pattern (captures the pattern on
   /// first call; the pattern is state-independent). Keys core::ReusePool.
@@ -132,5 +162,32 @@ class DcSolver {
   la::SparseLU lu_;
   std::shared_ptr<const la::SparseLU> lu_prototype_;
 };
+
+/// Outcome of pooled_warm_start (below).
+struct PooledWarmStart {
+  bool pool_hit = false;  // the lookup found an entry
+  bool primed = false;    // canonical priming ran (one full factorisation)
+  bool solved = false;    // x holds the converged warm solution
+  std::vector<double> x;
+};
+
+/// The bit-stable pooled warm-start protocol shared by the quasi-static
+/// sweep and the min-cut dual (see DESIGN.md "Serving architecture"):
+/// looks `key` up in `pool`, seeds the pattern-pure column ordering from
+/// the pooled prototype, and — when the entry carries a state matching the
+/// solver's netlist shape — primes the solver with the cold path's first
+/// factorisation (DcSolver::prime at the initial device state, counted by
+/// `primed`, not in DcStats) and attempts a seeded solve under
+/// `iteration_budget`.
+///
+/// On success (`solved`), `state` is the converged device state and the
+/// solver's DcStats hold the attempt — the caller accumulates them as it
+/// would any solve. On a failed attempt, `on_failed_attempt` receives the
+/// attempt's stats, `state` is reset to the initial device state, and the
+/// caller runs its cold solve exactly as if the pool had missed.
+PooledWarmStart pooled_warm_start(
+    DcSolver& solver, core::ReusePool& pool, std::uint64_t key,
+    circuit::DeviceState& state, int iteration_budget,
+    const std::function<void(const DcStats&)>& on_failed_attempt);
 
 } // namespace aflow::sim

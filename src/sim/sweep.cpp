@@ -1,19 +1,70 @@
 #include "sim/sweep.hpp"
 
+#include <utility>
+
 namespace aflow::sim {
 
 SweepResult QuasiStaticSweep::run(const std::vector<double>& values,
                                   const std::vector<Probe>& probes) {
   SweepResult result;
   circuit::DeviceState state = circuit::DeviceState::initial(*net_);
+  // Breakpoint baseline: diode states of the cold start (a successful
+  // pooled warm start below replaces `state` with the converged seed, but
+  // point 0's reported flips must still be measured against rest).
+  std::vector<char> prev_diodes = state.diode_on;
 
   // One solver across the sweep: each point is a small perturbation of the
   // previous one, so the factorisation-reuse fast path carries over.
   DcSolver solver(*net_, options_);
-  std::vector<char> prev_diodes = state.diode_on;
+
+  auto accumulate = [&](const DcStats& s) {
+    result.stats.dc_iterations += s.iterations;
+    result.stats.warm_iterations += s.warm_iterations;
+    result.stats.cold_iterations += s.cold_iterations;
+    result.stats.full_factors += s.full_factors;
+    result.stats.refactors += s.refactors;
+  };
+
+  // Cross-request warm start (see header): the shared bit-stable pool
+  // protocol seeds point 0 from the previous same-pattern request's
+  // converged state; a failed attempt falls back to the cold start below.
+  std::uint64_t pool_key = 0;
+  PooledWarmStart warm;
+  const bool pooled =
+      pool_ && options_.reuse_factorization && !values.empty();
+  if (pooled) {
+    pool_key = solver.pattern_key();
+    net_->set_vsource_value(source_, values.front());
+    warm = pooled_warm_start(solver, *pool_, pool_key, state,
+                             warm_iteration_budget, accumulate);
+    result.stats.pool_hits = warm.pool_hit ? 1 : 0;
+    result.stats.pool_misses = warm.pool_hit ? 0 : 1;
+    if (warm.primed) result.stats.full_factors++; // the priming factorisation
+  }
+
+  std::vector<double> x;
+  // What the pool wants back is the *first* point's converged state: sweeps
+  // ramp monotonically, so the best seed for the next same-pattern
+  // request's first point is this request's first point, not its last.
+  circuit::DeviceState first_state;
+  std::vector<double> first_x;
   for (double v : values) {
     net_->set_vsource_value(source_, v);
-    const std::vector<double> x = solver.solve(state);
+    if (warm.solved) {
+      // Pooled first point, already solved at values.front(); from here
+      // every later point warm-starts from its predecessor exactly as a
+      // cold sweep would. The solver's stats still hold the attempt.
+      x = std::move(warm.x);
+      result.stats.warm_started = true;
+      warm.solved = false;
+    } else {
+      x = solver.solve(state);
+    }
+    accumulate(solver.stats());
+    if (first_x.empty()) {
+      first_state = state;
+      first_x = x;
+    }
 
     int flips = 0;
     for (size_t i = 0; i < state.diode_on.size(); ++i)
@@ -30,6 +81,15 @@ SweepResult QuasiStaticSweep::run(const std::vector<double>& values,
                    : asmbl.vsource_current(probes[p].id, x);
     }
     result.trajectory.push_back(std::move(row));
+  }
+
+  if (pooled && !first_x.empty()) {
+    core::ReuseEntry entry;
+    entry.lu = solver.share_factorization();
+    entry.state =
+        std::make_shared<const circuit::DeviceState>(std::move(first_state));
+    entry.x = std::make_shared<const std::vector<double>>(std::move(first_x));
+    result.stats.pool_evictions = pool_->store(pool_key, std::move(entry));
   }
   return result;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 
 namespace aflow::sim {
 
@@ -34,6 +35,49 @@ double TransientSolver::probe_value(const Probe& p,
     case Probe::Kind::kSourceCurrent: return assembler_.vsource_current(p.id, x);
   }
   return 0.0;
+}
+
+DivergenceError TransientSolver::make_divergence_error(const Probe& probe,
+                                                       const Waveform& wf,
+                                                       int probe_index,
+                                                       double value, double t,
+                                                       double dt) const {
+  DivergenceError::Diagnosis d;
+  d.probe_label = wf.labels[probe_index].empty() ? "probe"
+                                                 : wf.labels[probe_index];
+  d.probe_index = probe_index;
+  d.node = probe.kind == Probe::Kind::kNodeVoltage ? probe.id : -1;
+  d.time = t;
+  d.step = stats_.steps;
+  d.dt = dt;
+  d.value = value;
+  // Growth of the probe envelope over the last accepted step: the
+  // exponential blow-up signature of an unstable (saddle-point) mode, as
+  // opposed to a one-step numerical excursion.
+  if (!wf.samples.empty() && std::isfinite(value)) {
+    const double prev = std::abs(wf.samples.back()[probe_index]);
+    if (prev > 0.0) d.growth_per_step = std::abs(value) / prev;
+  }
+
+  char where[160];
+  std::snprintf(where, sizeof where, d.node >= 0 ? "%s (node %d)" : "%s",
+                d.probe_label.c_str(), d.node);
+  char growth[96] = "";
+  if (d.growth_per_step > 0.0)
+    std::snprintf(growth, sizeof growth, ", growing %.3gx per accepted step",
+                  d.growth_per_step);
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "TransientSolver: circuit diverging at t=%.6g s (step %lld, dt=%.3g s): "
+      "probe %s reached %.6g (divergence limit %.3g)%s. The idealised "
+      "negative conductances make widget-internal nodes saddle points under "
+      "capacitive load — see DESIGN.md \"NIC saddle-point instability under "
+      "capacitive load\". Mitigations: NegResFidelity::kLag, "
+      "SubstrateConfig::stability_margin > 0, or parasitics on crossbar "
+      "wires only (parasitics_on_internal_nodes = false).",
+      d.time, d.step, d.dt, where, d.value, options_.divergence_limit, growth);
+  return DivergenceError(buf, std::move(d));
 }
 
 std::uint64_t TransientSolver::pattern_key() {
@@ -201,9 +245,8 @@ Waveform TransientSolver::run(circuit::DeviceState& state,
     for (size_t p = 0; p < probes.size(); ++p) {
       row[p] = probe_value(probes[p], x);
       if (!std::isfinite(row[p]) || std::abs(row[p]) > options_.divergence_limit)
-        throw ConvergenceError("TransientSolver: circuit diverging at t=" +
-                               std::to_string(t) + " (probe " + wf.labels[p] +
-                               " = " + std::to_string(row[p]) + ")");
+        throw make_divergence_error(probes[p], wf, static_cast<int>(p), row[p],
+                                    t, opt.dt);
     }
 
     // Early-settle detection.

@@ -24,6 +24,40 @@
 
 namespace aflow::sim {
 
+/// Raised by the transient divergence guard, carrying a diagnosis of what
+/// tripped it instead of a bare failure: which probe (and node, for voltage
+/// probes) blew past the limit, when, at what step size, and how fast the
+/// envelope was growing — plus a pointer to the substrate-model explanation
+/// (the idealised negative conductances make widget-internal nodes saddle
+/// points under capacitive load; see DESIGN.md "NIC saddle-point
+/// instability under capacitive load" for the mechanism and mitigations:
+/// NegResFidelity::kLag, SubstrateConfig::stability_margin > 0, parasitics
+/// on crossbar wires only).
+class DivergenceError : public ConvergenceError {
+ public:
+  struct Diagnosis {
+    std::string probe_label;
+    int probe_index = -1;
+    int node = -1;          // NodeId for voltage probes, -1 for currents
+    double time = 0.0;      // seconds into the transient
+    long long step = 0;     // accepted steps so far
+    double dt = 0.0;        // step size at the trip
+    double value = 0.0;     // offending probe value (may be non-finite)
+    /// |v_now| / |v_previous| over the last accepted step; > 1 means a
+    /// growing envelope (the saddle-point signature), 0 when no previous
+    /// sample exists.
+    double growth_per_step = 0.0;
+  };
+
+  DivergenceError(std::string message, Diagnosis diagnosis)
+      : ConvergenceError(std::move(message)), diagnosis_(std::move(diagnosis)) {}
+
+  const Diagnosis& diagnosis() const { return diagnosis_; }
+
+ private:
+  Diagnosis diagnosis_;
+};
+
 /// A recorded quantity: a node voltage or a voltage-source current.
 struct Probe {
   enum class Kind { kNodeVoltage, kSourceCurrent };
@@ -139,6 +173,9 @@ class TransientSolver {
 
  private:
   double probe_value(const Probe& p, std::span<const double> x) const;
+  DivergenceError make_divergence_error(const Probe& probe, const Waveform& wf,
+                                        int probe_index, double value,
+                                        double t, double dt) const;
 
   circuit::MnaAssembler assembler_;
   TransientOptions options_;

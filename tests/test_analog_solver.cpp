@@ -212,9 +212,9 @@ TEST(AnalogSolver, LagFidelityMatchesIdealSteadyState) {
 }
 
 TEST(AnalogSolver, TransientConvergesToSteadyState) {
-  // Transient fidelity: the explicit Fig. 9a NIC (unrailed, see DESIGN.md)
-  // with parasitics on every node, at a moderate drive where the start-up
-  // transient stays bounded.
+  // Transient fidelity: the explicit Fig. 9a NIC (unrailed, see DESIGN.md
+  // "Railed latch-up and anti-latch clamps") with parasitics on every node,
+  // at a moderate drive where the start-up transient stays bounded.
   const auto g = graph::paper_example_fig5();
   analog::AnalogSolveOptions opt;
   opt.config.fidelity = analog::NegResFidelity::kOpAmpNic;
@@ -243,8 +243,8 @@ TEST(AnalogSolver, TransientConvergesToSteadyState) {
 TEST(AnalogSolver, ConvergenceFasterWithHigherGbw) {
   // Measured on the Fig. 5 instance: the marginal widgets keep larger
   // R-MAT instances' unrailed transients from settling reliably (see
-  // EXPERIMENTS.md), so the GBW trend is asserted where the dynamics are
-  // well-behaved.
+  // EXPERIMENTS.md "Marginal stability on generated workloads"), so the
+  // GBW trend is asserted where the dynamics are well-behaved.
   const auto g = graph::paper_example_fig5();
   auto run = [&](double gbw) {
     analog::AnalogSolveOptions opt;

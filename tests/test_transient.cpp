@@ -130,6 +130,47 @@ TEST(Transient, LaggedNegativeResistorSaddleDiverges) {
                sim::ConvergenceError);
 }
 
+TEST(Transient, DivergenceGuardReportsDiagnosis) {
+  // The guard must say *why* it tripped (node, step, growth factor, and a
+  // pointer to the substrate-model explanation), not just that it did —
+  // the ROADMAP diagnosis item. Same saddle circuit as above.
+  circuit::Netlist nl;
+  const auto in = nl.new_node(), out = nl.new_node();
+  nl.add_vsource(in, circuit::kGround, 1.0);
+  nl.add_resistor(in, out, 10e3);
+  nl.add_negative_resistor(out, circuit::kGround, 5e3, /*tau=*/1e-8);
+  nl.add_capacitor(out, circuit::kGround, 20e-15);
+
+  sim::TransientOptions topt;
+  topt.dt_initial = 1e-10;
+  topt.dt_max = 1e-9;
+  topt.t_stop = 3e-7;
+  sim::TransientSolver solver(nl, topt);
+  circuit::DeviceState state = circuit::DeviceState::initial(nl);
+  try {
+    solver.run(state, {sim::Probe::node(out, "V(out)")});
+    FAIL() << "saddle circuit must trip the divergence guard";
+  } catch (const sim::DivergenceError& e) {
+    const sim::DivergenceError::Diagnosis& d = e.diagnosis();
+    EXPECT_EQ(d.probe_label, "V(out)");
+    EXPECT_EQ(d.probe_index, 0);
+    EXPECT_EQ(d.node, out);
+    EXPECT_GT(d.step, 0);
+    EXPECT_GT(d.time, 0.0);
+    EXPECT_GT(d.dt, 0.0);
+    // Exponential envelope: strictly growing per accepted step.
+    EXPECT_GT(d.growth_per_step, 1.0);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("node"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("growing"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("DESIGN.md \"NIC saddle-point instability under "
+                       "capacitive load\""),
+              std::string::npos)
+        << "diagnosis must point at the instability explanation: " << msg;
+    EXPECT_NE(msg.find("stability_margin"), std::string::npos) << msg;
+  }
+}
+
 TEST(Transient, DiodeEventIsHandledMidRun) {
   // RC charging into a 1 V clamp: trajectory follows RC then flattens.
   circuit::Netlist nl;

@@ -51,7 +51,8 @@ TEST(Variation, MismatchDegradesAndTuningRestores) {
   // Mismatch studies need the physical (railed NIC) realisation: with
   // *ideal* negative resistors, mismatch pushes widgets past the marginal
   // stability point and the DC complementarity problem loses its solution
-  // entirely (a genuine finding of this reproduction — see EXPERIMENTS.md).
+  // entirely (a genuine finding of this reproduction — see EXPERIMENTS.md
+  // "Marginal stability on generated workloads").
   // Even sub-percent mismatch can push one widget of a larger R-MAT
   // instance over the marginal boundary, so the quantitative ladder is
   // asserted on the (dynamically benign) Fig. 5 instance; the ablation
