@@ -45,17 +45,20 @@ struct AnalogSolveOptions {
   bool reuse_factorization = true;
   /// Optional cross-instance symbolic-analysis share: same-shape circuits
   /// (one crossbar topology, different programmed conductances) skip the
-  /// fill-reducing ordering after the first instance. Thread-safe; give
-  /// each batch worker its own cache (see core::BatchEngine).
+  /// fill-reducing ordering after the first instance. Thread-safe, and its
+  /// seed is a pure function of the pattern, so share it as widely as
+  /// convenient (per batch worker in core::BatchEngine; ONE per solver
+  /// bank, across all sessions, in core::ServeEngine).
   std::shared_ptr<la::OrderingCache> ordering_cache;
   /// Optional cross-instance warm-start pool (see core::ReusePool): shares
   /// factored SparseLU prototypes and, for steady-state solves, seeds
   /// Newton from the previous same-shape instance's converged device state,
   /// skipping the Vflow homotopy when the warm attempt converges at full
-  /// drive. Same per-worker sharing discipline as the ordering cache; note
-  /// that warm-started results depend on the order instances flow through
-  /// the pool (reproducible in deterministic batches, not bit-stable across
-  /// arbitrary schedules). Requires reuse_factorization.
+  /// drive. Thread-safe; sharing width is a reproducibility choice, not a
+  /// safety one (see the discipline note in core/reuse_pool.hpp): warm
+  /// results depend on the order instances feed the pool, so they are
+  /// reproducible in deterministic batches but not bit-stable across
+  /// arbitrary schedules. Requires reuse_factorization.
   std::shared_ptr<core::ReusePool> reuse_pool;
   /// Iteration cap for the warm full-drive attempt before falling back to
   /// the cold homotopy ramp (bounds the cost of a failed warm start).

@@ -44,6 +44,16 @@ BatchReport BatchEngine::run(
 }
 
 BatchReport BatchEngine::run(const std::vector<graph::FlowNetwork>& instances,
+                             const SolverPtr& shared_solver,
+                             int threads) const {
+  if (!shared_solver)
+    throw std::invalid_argument("BatchEngine::run: shared solver is null");
+  const std::vector<SolverPtr> workers(
+      static_cast<size_t>(std::max(1, threads)), shared_solver);
+  return run(instances, workers);
+}
+
+BatchReport BatchEngine::run(const std::vector<graph::FlowNetwork>& instances,
                              std::span<const SolverPtr> workers) const {
   if (workers.empty())
     throw std::invalid_argument("BatchEngine::run: workers must be non-empty");
@@ -93,21 +103,8 @@ BatchReport BatchEngine::run(const std::vector<graph::FlowNetwork>& instances,
   for (const InstanceOutcome& out : report.outcomes) {
     if (out.ok) {
       report.total_flow += out.result.flow_value;
-      const flow::SolveMetrics& m = out.result.metrics;
-      report.metrics.iterations += m.iterations;
-      report.metrics.full_factors += m.full_factors;
-      report.metrics.refactors += m.refactors;
-      report.metrics.prototype_refactors += m.prototype_refactors;
-      report.metrics.rhs_refreshes += m.rhs_refreshes;
-      report.metrics.warm_iterations += m.warm_iterations;
-      report.metrics.cold_iterations += m.cold_iterations;
-      report.metrics.pool_hits += m.pool_hits;
-      report.metrics.pool_misses += m.pool_misses;
-      report.metrics.pool_evictions += m.pool_evictions;
-      if (m.warm_started) {
-        report.metrics.warm_started = true;
-        ++report.warm_started_instances;
-      }
+      report.metrics += out.result.metrics;
+      if (out.result.metrics.warm_started) ++report.warm_started_instances;
     } else {
       ++report.failed;
     }

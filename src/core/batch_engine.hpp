@@ -71,6 +71,16 @@ class BatchEngine {
   BatchReport run(const std::vector<graph::FlowNetwork>& instances,
                   std::span<const SolverPtr> workers) const;
 
+  /// Like the worker-span overload, but fans the whole batch into ONE
+  /// shared solver instance from up to `threads` concurrent workers. This
+  /// leans on the ISolver contract (solve must be concurrency-safe on one
+  /// instance) and is the multi-session serving path: every session of a
+  /// core::ServeEngine bank drives the same solver, so cross-instance
+  /// assets (la::OrderingCache, core::ReusePool) are shared by everyone
+  /// rather than partitioned per worker.
+  BatchReport run(const std::vector<graph::FlowNetwork>& instances,
+                  const SolverPtr& shared_solver, int threads) const;
+
   const BatchOptions& options() const { return options_; }
 
   /// The thread count `run` will actually use for `n` instances.

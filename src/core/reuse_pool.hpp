@@ -15,14 +15,20 @@
 //  3. nothing transient-specific — the transient engines reuse (1) plus the
 //     per-pattern RHS tape inside their own PatternAssembly.
 //
-// Sharing discipline mirrors la::OrderingCache: the pool is thread-safe, but
-// give each batch worker its own pool (the analog registry's *_warm adapters
-// do this — one pool per adapter instance, one adapter per BatchEngine
-// worker). Unlike the ordering cache, whose seed is a pure function of the
-// pattern, warm-started results depend on which instance last fed the pool,
-// so batch results are reproducible under deterministic mode (fixed order)
-// but not bit-stable across arbitrary schedules; keep the default adapters
-// pool-free where schedule-invariant bits are required.
+// Sharing discipline: the pool is thread-safe, so how widely to share it is
+// a reproducibility choice, not a safety one. Batch mode shares per worker
+// (the analog registry's *_warm adapters — one pool per adapter instance,
+// one adapter per BatchEngine worker); the serving engine goes further and
+// shares ONE pool per solver bank across every session and worker
+// (core::ServeEngine), maximising cross-client reuse. Unlike the ordering
+// cache, whose seed is a pure function of the pattern, warm-started results
+// depend on which instance last fed the pool, so batch results are
+// reproducible under deterministic mode (fixed order) but not bit-stable
+// across arbitrary schedules; keep the default adapters pool-free where
+// schedule-invariant bits are required. (The sweep and min-cut consumers
+// are the exception: canonical priming makes their warm results
+// bit-identical to cold runs under any sharing — see DESIGN.md "Serving
+// architecture".)
 //
 // Serving lifetimes: a long-running process (core::ServeEngine) sees an
 // unbounded stream of patterns, so the pool supports a byte budget with

@@ -94,54 +94,68 @@ void write_metrics_json(util::JsonWriter& j, const flow::SolveMetrics& m) {
   j.end_object();
 }
 
-/// Aggregated gauge/counter view over a set of ReusePools (a bank's
-/// per-worker pools, or a single sweep/min-cut pool).
-void write_pools_json(
-    util::JsonWriter& j,
-    const std::vector<std::shared_ptr<ReusePool>>& pools) {
-  size_t entries = 0, bytes = 0, budget = 0;
-  ReusePool::Stats total;
-  for (const auto& pool : pools) {
-    if (!pool) continue;
-    entries += pool->size();
-    bytes += pool->bytes();
-    // Aggregate budget: bytes sums over every per-worker pool, so the
-    // budget it is compared against must too (per-pool budgets are
-    // identical within a bank).
-    budget += pool->byte_budget();
-    const ReusePool::Stats s = pool->stats();
-    total.hits += s.hits;
-    total.misses += s.misses;
-    total.stores += s.stores;
-    total.evictions += s.evictions;
-  }
+/// Gauge/counter snapshot of one shared ReusePool (a bank's, or the
+/// sweep/min-cut pool). Point-in-time under concurrency: other sessions
+/// may be mutating the pool while this snapshot is taken.
+void write_pool_json(util::JsonWriter& j, const ReusePool& pool) {
+  const ReusePool::Stats s = pool.stats();
   j.begin_object();
-  j.field("pools", pools.size());
-  j.field("entries", entries);
-  j.field("bytes", bytes);
-  j.field("byte_budget", budget);
-  j.field("hits", total.hits);
-  j.field("misses", total.misses);
-  j.field("stores", total.stores);
-  j.field("evictions", total.evictions);
+  j.field("entries", pool.size());
+  j.field("bytes", pool.bytes());
+  j.field("byte_budget", pool.byte_budget());
+  j.field("hits", s.hits);
+  j.field("misses", s.misses);
+  j.field("stores", s.stores);
+  j.field("evictions", s.evictions);
   j.end_object();
 }
 
-void add_metrics(flow::SolveMetrics& into, const flow::SolveMetrics& m) {
-  into.iterations += m.iterations;
-  into.full_factors += m.full_factors;
-  into.refactors += m.refactors;
-  into.prototype_refactors += m.prototype_refactors;
-  into.rhs_refreshes += m.rhs_refreshes;
-  into.warm_iterations += m.warm_iterations;
-  into.cold_iterations += m.cold_iterations;
-  into.pool_hits += m.pool_hits;
-  into.pool_misses += m.pool_misses;
-  into.pool_evictions += m.pool_evictions;
-  if (m.warm_started) into.warm_started = true;
+/// SolveMetrics view of one sweep run, so sweep traffic aggregates through
+/// the same per-session / shared-engine scopes as solver-bank traffic.
+flow::SolveMetrics sweep_as_metrics(const sim::SweepStats& s) {
+  flow::SolveMetrics m;
+  m.iterations = s.dc_iterations;
+  m.warm_iterations = s.warm_iterations;
+  m.cold_iterations = s.cold_iterations;
+  m.full_factors = s.full_factors;
+  m.refactors = s.refactors;
+  m.warm_started = s.warm_started;
+  m.pool_hits = s.pool_hits;
+  m.pool_misses = s.pool_misses;
+  m.pool_evictions = s.pool_evictions;
+  return m;
+}
+
+/// Folds one batch report into one accumulation scope. The per-session
+/// and shared-bank scopes MUST fold identically — the concurrency tests
+/// pin that summing session counters reproduces the bank counters — so
+/// both go through this single helper.
+void fold_report(const BatchReport& report, long long& solves,
+                 long long& failed, double& seconds,
+                 flow::SolveMetrics& metrics) {
+  solves += static_cast<long long>(report.outcomes.size()) - report.failed;
+  failed += report.failed;
+  seconds += report.wall_seconds;
+  metrics += report.metrics;
+}
+
+flow::SolveMetrics mincut_as_metrics(const mincut::AnalogMinCutResult& r) {
+  flow::SolveMetrics m;
+  m.iterations = r.dc_iterations;
+  m.warm_iterations = r.warm_iterations;
+  m.cold_iterations = r.cold_iterations;
+  m.full_factors = r.full_factors;
+  m.refactors = r.refactors;
+  m.warm_started = r.warm_started;
+  m.pool_hits = r.pool_hits;
+  m.pool_misses = r.pool_misses;
+  m.pool_evictions = r.pool_evictions;
+  return m;
 }
 
 } // namespace
+
+// ---------------------------------------------------------------- engine
 
 ServeEngine::ServeEngine(ServeOptions options) : options_(std::move(options)) {
   if (options_.deterministic) {
@@ -152,58 +166,160 @@ ServeEngine::ServeEngine(ServeOptions options) : options_(std::move(options)) {
     workers_ =
         static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   }
+  if (options_.max_sessions < 1) options_.max_sessions = 1;
   sweep_pool_ = std::make_shared<ReusePool>(options_.pool_byte_budget);
   mincut_pool_ = std::make_shared<ReusePool>(options_.pool_byte_budget);
   sweep_ordering_ = std::make_shared<la::OrderingCache>();
   mincut_ordering_ = std::make_shared<la::OrderingCache>();
 }
 
+ServeEngine::~ServeEngine() = default;
+
+std::shared_ptr<ServeSession> ServeEngine::open_session() {
+  const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  if (open_sessions_ >= options_.max_sessions) return nullptr;
+  ++open_sessions_;
+  ++sessions_opened_;
+  peak_sessions_ = std::max(peak_sessions_, open_sessions_);
+  return std::shared_ptr<ServeSession>(
+      new ServeSession(*this, next_session_id_++));
+}
+
+void ServeEngine::close_session() {
+  const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  --open_sessions_;
+}
+
+int ServeEngine::open_sessions() const {
+  const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  return open_sessions_;
+}
+
+std::string ServeEngine::reject_line() const {
+  util::JsonWriter j;
+  j.begin_object();
+  j.field("schema", "aflow-serve-v1");
+  j.field("id", 0);
+  j.field("session", 0);
+  j.field("request", "connect");
+  j.field("ok", false);
+  j.field("error", "session limit reached (max_sessions=" +
+                       std::to_string(options_.max_sessions) + ")");
+  j.end_object();
+  return j.str();
+}
+
+std::string ServeEngine::handle(const std::string& line) {
+  if (!default_session_) default_session_ = open_session();
+  if (!default_session_) return reject_line();
+  return default_session_->handle(line);
+}
+
+bool ServeEngine::done() const {
+  return shutdown_.load() || (default_session_ && default_session_->done());
+}
+
 ServeEngine::Bank& ServeEngine::bank(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(banks_mutex_);
   const auto it = banks_.find(name);
   if (it != banks_.end()) return it->second;
 
   Bank b;
   // The warm analog backends are rebuilt here (instead of taken from the
-  // registry) so their per-worker pools carry this engine's byte budget; a
-  // registry-created warm adapter would hold an unbounded pool, which is
-  // fine for a batch lifetime but not for a serving process.
+  // registry) so their shared pool carries this engine's byte budget and
+  // is ONE per-pattern bank for every session, not a per-worker partition;
+  // a registry-created warm adapter would hold an unbounded private pool.
   const std::optional<analog::AnalogSolveOptions> builtin =
       builtin_analog_options(name);
-  const bool pooled = builtin && name.find("_warm") != std::string::npos;
-  for (int t = 0; t < workers_; ++t) {
-    if (pooled) {
-      analog::AnalogSolveOptions opt = *builtin;
-      auto pool = std::make_shared<ReusePool>(options_.pool_byte_budget);
-      opt.reuse_pool = pool;
-      b.pools.push_back(std::move(pool));
-      b.workers.push_back(make_analog_solver(name, std::move(opt)));
-    } else {
-      // Throws std::invalid_argument for unknown names — surfaced as an
-      // ok:false response by handle().
-      b.workers.push_back(SolverRegistry::instance().create(name));
-    }
+  if (builtin && name.find("_warm") != std::string::npos) {
+    analog::AnalogSolveOptions opt = *builtin;
+    b.pool = std::make_shared<ReusePool>(options_.pool_byte_budget);
+    b.ordering = std::make_shared<la::OrderingCache>();
+    opt.reuse_pool = b.pool;
+    opt.ordering_cache = b.ordering;
+    b.solver = make_analog_solver(name, std::move(opt));
+  } else {
+    // Throws std::invalid_argument for unknown names — surfaced as an
+    // ok:false response by ServeSession::handle().
+    b.solver = SolverRegistry::instance().create(name);
   }
   return banks_.emplace(name, std::move(b)).first->second;
 }
 
 void ServeEngine::absorb(Bank& b, const BatchReport& report) {
-  b.solves += static_cast<long long>(report.outcomes.size()) - report.failed;
-  b.failed += report.failed;
-  b.seconds += report.wall_seconds;
-  add_metrics(b.metrics, report.metrics);
+  const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  fold_report(report, b.solves, b.failed, b.seconds, b.metrics);
 }
 
-const graph::FlowNetwork& ServeEngine::require_instance() const {
+void ServeEngine::write_stats(util::JsonWriter& j) {
+  j.field("ok", true);
+  j.field("requests", requests_.load());
+  j.field("workers_per_bank", workers_);
+  j.field("deterministic", options_.deterministic);
+  j.field("pool_byte_budget", options_.pool_byte_budget);
+  j.field("max_sessions", options_.max_sessions);
+
+  // banks_mutex_ freezes the map shape; telemetry_mutex_ freezes the
+  // counters (always taken in this order — bank() takes only the first,
+  // absorb() only the second).
+  const std::lock_guard<std::mutex> banks_lock(banks_mutex_);
+  const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+
+  j.key("sessions").begin_object();
+  j.field("open", open_sessions_);
+  j.field("peak", peak_sessions_);
+  j.field("opened", sessions_opened_);
+  j.end_object();
+
+  j.key("solvers").begin_array();
+  for (const auto& [name, b] : banks_) {
+    j.begin_object();
+    j.field("solver", name);
+    j.field("solves", b.solves);
+    j.field("failed", b.failed);
+    j.field("wall_ms", b.seconds * 1e3);
+    j.key("metrics");
+    write_metrics_json(j, b.metrics);
+    if (b.pool) {
+      j.key("pool");
+      write_pool_json(j, *b.pool);
+    }
+    j.end_object();
+  }
+  j.end_array();
+
+  j.field("sweeps", sweeps_);
+  j.key("sweep_metrics");
+  write_metrics_json(j, sweep_metrics_);
+  j.key("sweep_pool");
+  write_pool_json(j, *sweep_pool_);
+  j.field("mincuts", mincuts_);
+  j.key("mincut_metrics");
+  write_metrics_json(j, mincut_metrics_);
+  j.key("mincut_pool");
+  write_pool_json(j, *mincut_pool_);
+}
+
+// --------------------------------------------------------------- session
+
+ServeSession::~ServeSession() { engine_.close_session(); }
+
+void ServeSession::absorb_session(const BatchReport& report) {
+  fold_report(report, solves_, failed_, seconds_, solve_metrics_);
+}
+
+const graph::FlowNetwork& ServeSession::require_instance() const {
   if (!current_)
     throw std::runtime_error(
         "no instance loaded (send: load --input FILE | --spec SPEC)");
   return *current_;
 }
 
-std::string ServeEngine::handle(const std::string& line) {
+std::string ServeSession::handle(const std::string& line) {
   const std::vector<std::string> t = tokenize(line);
   if (t.empty()) return {};
   ++requests_;
+  engine_.requests_.fetch_add(1);
   const std::string& cmd = t[0];
 
   try {
@@ -211,6 +327,7 @@ std::string ServeEngine::handle(const std::string& line) {
     j.begin_object();
     j.field("schema", "aflow-serve-v1");
     j.field("id", requests_);
+    j.field("session", id_);
     j.field("request", cmd);
     if (cmd == "load") {
       cmd_load(t, j);
@@ -224,15 +341,22 @@ std::string ServeEngine::handle(const std::string& line) {
       cmd_sweep(t, j);
     } else if (cmd == "mincut") {
       cmd_mincut(j);
+    } else if (cmd == "session") {
+      cmd_session(j);
     } else if (cmd == "stats") {
-      cmd_stats(j);
+      engine_.write_stats(j);
     } else if (cmd == "quit") {
       done_ = true;
+      j.field("ok", true);
+    } else if (cmd == "shutdown") {
+      done_ = true;
+      engine_.request_shutdown();
       j.field("ok", true);
     } else {
       throw std::runtime_error(
           "unknown request '" + cmd +
-          "' (known: load reconfigure solve batch sweep mincut stats quit)");
+          "' (known: load reconfigure solve batch sweep mincut session "
+          "stats quit shutdown)");
     }
     j.end_object();
     return j.str();
@@ -241,6 +365,7 @@ std::string ServeEngine::handle(const std::string& line) {
     err.begin_object();
     err.field("schema", "aflow-serve-v1");
     err.field("id", requests_);
+    err.field("session", id_);
     err.field("request", cmd);
     err.field("ok", false);
     err.field("error", e.what());
@@ -249,8 +374,23 @@ std::string ServeEngine::handle(const std::string& line) {
   }
 }
 
-void ServeEngine::cmd_load(const std::vector<std::string>& t,
-                           util::JsonWriter& j) {
+std::string ServeSession::protocol_error(const std::string& message) {
+  ++requests_;
+  engine_.requests_.fetch_add(1);
+  util::JsonWriter j;
+  j.begin_object();
+  j.field("schema", "aflow-serve-v1");
+  j.field("id", requests_);
+  j.field("session", id_);
+  j.field("request", "(transport)");
+  j.field("ok", false);
+  j.field("error", message);
+  j.end_object();
+  return j.str();
+}
+
+void ServeSession::cmd_load(const std::vector<std::string>& t,
+                            util::JsonWriter& j) {
   const std::string input = tok_string(t, "--input", "");
   const std::string spec = tok_string(t, "--spec", "");
   if (input.empty() == spec.empty())
@@ -267,8 +407,8 @@ void ServeEngine::cmd_load(const std::vector<std::string>& t,
   j.field("sink", current_->sink());
 }
 
-void ServeEngine::cmd_reconfigure(const std::vector<std::string>& t,
-                                  util::JsonWriter& j) {
+void ServeSession::cmd_reconfigure(const std::vector<std::string>& t,
+                                   util::JsonWriter& j) {
   require_instance();
   bool mutated = false;
   const long long seed = tok_ll(t, "--seed", -1);
@@ -301,68 +441,81 @@ void ServeEngine::cmd_reconfigure(const std::vector<std::string>& t,
   j.field("max_capacity", current_->max_capacity());
 }
 
-void ServeEngine::cmd_solve(const std::vector<std::string>& t,
-                            util::JsonWriter& j) {
+void ServeSession::cmd_solve(const std::vector<std::string>& t,
+                             util::JsonWriter& j) {
   const graph::FlowNetwork& net = require_instance();
-  const std::string name = tok_string(t, "--solver", options_.default_solver);
-  Bank& b = bank(name);
+  const std::string name =
+      tok_string(t, "--solver", engine_.options().default_solver);
+  ServeEngine::Bank& b = engine_.bank(name);
 
   BatchOptions bo;
   bo.solver = name;
   bo.validate = tok_flag(t, "--check");
   const std::vector<graph::FlowNetwork> one{net};
-  // Single request, worker 0: every point solve of a session funnels
-  // through one persistent solver, so its pool stays hot.
-  const BatchReport report =
-      BatchEngine(bo).run(one, std::span<const SolverPtr>(b.workers.data(), 1));
-  absorb(b, report);
+  // A point solve runs on the calling session's thread, against the bank's
+  // shared solver — so every session's solves feed (and draw from) the same
+  // per-pattern pool.
+  const BatchReport report = BatchEngine(bo).run(one, b.solver, 1);
+  engine_.absorb(b, report);
+  absorb_session(report);
   const InstanceOutcome& out = report.outcomes.front();
   if (!out.ok) throw std::runtime_error(out.error);
 
   j.field("ok", true);
   j.field("solver", name);
   j.field("flow", out.result.flow_value);
+  j.key("telemetry").begin_object();
   j.field("ms", out.seconds * 1e3);
   j.field("warm_started", out.result.metrics.warm_started);
   j.key("metrics");
   write_metrics_json(j, out.result.metrics);
-  j.key("pool");
-  write_pools_json(j, b.pools);
+  if (b.pool) {
+    j.key("pool");
+    write_pool_json(j, *b.pool);
+  }
+  j.end_object();
 }
 
-void ServeEngine::cmd_batch(const std::vector<std::string>& t,
-                            util::JsonWriter& j) {
+void ServeSession::cmd_batch(const std::vector<std::string>& t,
+                             util::JsonWriter& j) {
   const std::string spec = tok_string(t, "--spec", "");
   if (spec.empty()) throw std::runtime_error("batch needs --spec");
-  const std::string name = tok_string(t, "--solver", options_.default_solver);
-  Bank& b = bank(name);
+  const std::string name =
+      tok_string(t, "--solver", engine_.options().default_solver);
+  ServeEngine::Bank& b = engine_.bank(name);
 
   BatchOptions bo;
   bo.solver = name;
   bo.validate = tok_flag(t, "--check");
-  bo.deterministic = options_.deterministic;
-  bo.num_threads = workers_;
+  bo.deterministic = engine_.options().deterministic;
+  bo.num_threads = engine_.workers_per_bank();
   const std::vector<graph::FlowNetwork> instances = load_batch(spec);
-  const BatchReport report = BatchEngine(bo).run(instances, b.workers);
-  absorb(b, report);
+  const BatchReport report =
+      BatchEngine(bo).run(instances, b.solver, engine_.workers_per_bank());
+  engine_.absorb(b, report);
+  absorb_session(report);
 
   j.field("ok", true);
   j.field("solver", name);
   j.field("batch", spec);
   j.field("instances", report.outcomes.size());
   j.field("failed", report.failed);
-  j.field("threads", report.threads_used);
   j.field("total_flow", report.total_flow);
+  j.key("telemetry").begin_object();
+  j.field("threads", report.threads_used);
   j.field("wall_ms", report.wall_seconds * 1e3);
   j.field("warm_started_instances", report.warm_started_instances);
   j.key("metrics");
   write_metrics_json(j, report.metrics);
-  j.key("pool");
-  write_pools_json(j, b.pools);
+  if (b.pool) {
+    j.key("pool");
+    write_pool_json(j, *b.pool);
+  }
+  j.end_object();
 }
 
-void ServeEngine::cmd_sweep(const std::vector<std::string>& t,
-                            util::JsonWriter& j) {
+void ServeSession::cmd_sweep(const std::vector<std::string>& t,
+                             util::JsonWriter& j) {
   const graph::FlowNetwork& net = require_instance();
   const int points = static_cast<int>(tok_ll(t, "--points", 8));
   if (points < 1) throw std::runtime_error("--points must be >= 1");
@@ -370,20 +523,31 @@ void ServeEngine::cmd_sweep(const std::vector<std::string>& t,
   if (!(vmax > 0.0)) throw std::runtime_error("--vmax must be positive");
 
   // The substrate mapping the warm DC adapters use: topology-only MNA
-  // pattern, so reconfigured capacities keep hitting the sweep pool.
+  // pattern, so reconfigured capacities keep hitting the sweep pool. The
+  // pool and ordering cache are shared across sessions; results stay
+  // bit-identical to a cold run regardless of which session fed the pool
+  // (DESIGN.md "Serving architecture").
   analog::MaxFlowCircuit c =
       analog::AnalogMaxFlowSolver(*builtin_analog_options("analog_dc_warm"))
           .map(net);
   sim::DcOptions dc_opt;
-  dc_opt.ordering_cache = sweep_ordering_;
-  sim::QuasiStaticSweep sweep(c.netlist, c.vflow_source, dc_opt, sweep_pool_);
+  dc_opt.ordering_cache = engine_.sweep_ordering_;
+  sim::QuasiStaticSweep sweep(c.netlist, c.vflow_source, dc_opt,
+                              engine_.sweep_pool_);
   // Ramp inside the nontrivial region (no zero point): the first point is
   // a real LCP search, which is exactly what the pooled seed collapses.
   std::vector<double> values(points);
   for (int i = 0; i < points; ++i) values[i] = vmax * (i + 1) / points;
   const sim::SweepResult r =
       sweep.run(values, {sim::Probe::source_current(c.vflow_source, "Iflow")});
+  const flow::SolveMetrics m = sweep_as_metrics(r.stats);
   ++sweeps_;
+  sweep_metrics_ += m;
+  {
+    const std::lock_guard<std::mutex> lock(engine_.telemetry_mutex_);
+    ++engine_.sweeps_;
+    engine_.sweep_metrics_ += m;
+  }
 
   const double iflow = r.trajectory.back().front();
   j.field("ok", true);
@@ -391,23 +555,35 @@ void ServeEngine::cmd_sweep(const std::vector<std::string>& t,
   j.field("vmax", vmax);
   j.field("flow", c.quantizer.to_flow(c.flow_value_volts_from_iflow(iflow)));
   j.field("breakpoints", r.breakpoints.size());
+  j.key("telemetry").begin_object();
   j.field("warm_started", r.stats.warm_started);
   j.field("dc_iterations", r.stats.dc_iterations);
   j.field("warm_iterations", r.stats.warm_iterations);
   j.field("cold_iterations", r.stats.cold_iterations);
   j.field("full_factors", r.stats.full_factors);
   j.field("refactors", r.stats.refactors);
+  j.field("pool_hits", r.stats.pool_hits);
+  j.field("pool_misses", r.stats.pool_misses);
+  j.field("pool_evictions", r.stats.pool_evictions);
   j.key("pool");
-  write_pools_json(j, {sweep_pool_});
+  write_pool_json(j, *engine_.sweep_pool_);
+  j.end_object();
 }
 
-void ServeEngine::cmd_mincut(util::JsonWriter& j) {
+void ServeSession::cmd_mincut(util::JsonWriter& j) {
   const graph::FlowNetwork& net = require_instance();
   mincut::DualCircuitOptions opt;
-  opt.ordering_cache = mincut_ordering_;
-  opt.reuse_pool = mincut_pool_;
+  opt.ordering_cache = engine_.mincut_ordering_;
+  opt.reuse_pool = engine_.mincut_pool_;
   const mincut::AnalogMinCutResult r = mincut::solve_mincut_dual(net, opt);
+  const flow::SolveMetrics m = mincut_as_metrics(r);
   ++mincuts_;
+  mincut_metrics_ += m;
+  {
+    const std::lock_guard<std::mutex> lock(engine_.telemetry_mutex_);
+    ++engine_.mincuts_;
+    engine_.mincut_metrics_ += m;
+  }
 
   double partition_cut = 0.0;
   for (const graph::Edge& e : net.edges())
@@ -417,21 +593,26 @@ void ServeEngine::cmd_mincut(util::JsonWriter& j) {
   j.field("cut_value", partition_cut);
   j.field("objective", r.cut_value);
   j.field("flow_recovered", r.flow_value);
-  j.field("dc_iterations", r.dc_iterations);
+  j.key("telemetry").begin_object();
   j.field("warm_started", r.warm_started);
+  j.field("dc_iterations", r.dc_iterations);
   j.field("warm_iterations", r.warm_iterations);
   j.field("cold_iterations", r.cold_iterations);
+  j.field("pool_hits", r.pool_hits);
+  j.field("pool_misses", r.pool_misses);
+  j.field("pool_evictions", r.pool_evictions);
   j.key("pool");
-  write_pools_json(j, {mincut_pool_});
+  write_pool_json(j, *engine_.mincut_pool_);
+  j.end_object();
 }
 
-void ServeEngine::cmd_stats(util::JsonWriter& j) {
+void ServeSession::cmd_session(util::JsonWriter& j) {
   j.field("ok", true);
   j.field("requests", requests_);
-  j.field("workers_per_bank", workers_);
-  j.field("deterministic", options_.deterministic);
-  j.field("pool_byte_budget", options_.pool_byte_budget);
-
+  j.field("solves", solves_);
+  j.field("failed", failed_);
+  j.field("sweeps", sweeps_);
+  j.field("mincuts", mincuts_);
   j.key("instance").begin_object();
   j.field("loaded", current_.has_value());
   if (current_) {
@@ -439,29 +620,15 @@ void ServeEngine::cmd_stats(util::JsonWriter& j) {
     j.field("edges", current_->num_edges());
   }
   j.end_object();
-
-  j.key("solvers").begin_array();
-  for (const auto& [name, b] : banks_) {
-    j.begin_object();
-    j.field("solver", name);
-    j.field("workers", b.workers.size());
-    j.field("solves", b.solves);
-    j.field("failed", b.failed);
-    j.field("wall_ms", b.seconds * 1e3);
-    j.key("metrics");
-    write_metrics_json(j, b.metrics);
-    j.key("pool");
-    write_pools_json(j, b.pools);
-    j.end_object();
-  }
-  j.end_array();
-
-  j.field("sweeps", sweeps_);
-  j.key("sweep_pool");
-  write_pools_json(j, {sweep_pool_});
-  j.field("mincuts", mincuts_);
-  j.key("mincut_pool");
-  write_pools_json(j, {mincut_pool_});
+  j.key("telemetry").begin_object();
+  j.field("wall_ms", seconds_ * 1e3);
+  j.key("solve_metrics");
+  write_metrics_json(j, solve_metrics_);
+  j.key("sweep_metrics");
+  write_metrics_json(j, sweep_metrics_);
+  j.key("mincut_metrics");
+  write_metrics_json(j, mincut_metrics_);
+  j.end_object();
 }
 
 } // namespace aflow::core

@@ -2,16 +2,28 @@
 //
 // The paper's central claim is that one programmed substrate amortises its
 // setup across many reconfigured problem instances. BatchEngine realises
-// that for batch lifetimes — solvers, reuse pools, and ordering caches die
-// with the batch. ServeEngine keeps them alive across an unbounded request
-// stream: per-worker solver instances (and therefore their core::ReusePools
-// and la::OrderingCaches) persist for the life of the process, with every
-// pool byte-budgeted and LRU-evicted so memory stays bounded no matter how
-// many distinct patterns the stream touches.
+// that for batch lifetimes; ServeEngine keeps the expensive assets alive
+// across an unbounded request stream — and, since the multi-session front,
+// across an unbounded number of CONCURRENT clients. The ownership split:
+//
+//   ServeSession (one per connection, single-threaded)
+//     current/base instance, request counter, per-session telemetry.
+//   ServeEngine (one per process, shared by all sessions)
+//     solver banks — per backend name, ONE solver instance plus ONE
+//     byte-budgeted core::ReusePool and ONE la::OrderingCache, shared and
+//     synchronized across every session — the sweep/min-cut pools, and the
+//     engine-wide counters.
+//
+// Locking/ownership rules are documented in DESIGN.md "Serving
+// architecture" (multi-session subsection); the short version: sessions
+// are externally synchronized (one thread each), everything reachable from
+// more than one session is either internally synchronized (ReusePool,
+// OrderingCache, the stateless solvers) or guarded by the engine's mutexes
+// (bank map, telemetry, session registry).
 //
 // Protocol: one request per line, one aflow-serve-v1 JSON response per line
 // (schema documented in docs/BENCH_FORMAT.md; `aflow serve` wires this to
-// stdin/stdout or a Unix socket):
+// stdin/stdout or a Unix socket via core::ServeFront):
 //
 //   load (--input FILE.dimacs | --spec GENSPEC)
 //   reconfigure [--seed K] [--scale F] [--edge I --capacity C]
@@ -19,23 +31,23 @@
 //   batch --spec GENSPEC [--solver NAME] [--check]
 //   sweep [--points N] [--vmax V]
 //   mincut
-//   stats
-//   quit
+//   session            (this connection's stats view)
+//   stats              (engine-wide stats: banks, pools, sessions)
+//   quit               (ends this session; other sessions keep serving)
+//   shutdown           (ends this session AND stops the serving front)
 //
-// `load` installs the session's base instance (the "programmed substrate");
-// `reconfigure` reprograms its capacities in place — topology, and
-// therefore the MNA pattern under dedicated level sources, never changes,
-// which is exactly what keeps the warm pools hot. `solve` runs the current
-// instance on a named backend; `batch` fans a whole generated workload
-// across the persistent worker bank; `sweep` and `mincut` drive the
-// quasi-static sweep and min-cut dual through their own pools (results
-// bit-identical to cold runs — see DESIGN.md "Serving architecture").
+// Responses put schedule-independent result fields at the top level and
+// everything timing- or schedule-dependent (wall clock, warm/iteration
+// telemetry, pool gauges) under a trailing "telemetry" object, so a
+// session's responses are comparable bit-for-bit against a serial replay.
 // Blank lines and lines starting with '#' are ignored (empty response).
 // Malformed requests return ok:false and never terminate the engine.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -49,50 +61,53 @@
 
 namespace aflow::core {
 
+class ServeEngine;
+
 struct ServeOptions {
   /// Backend used by `solve`/`batch` when the request names none.
   std::string default_solver = "analog_dc_warm";
-  /// Workers per solver bank; 0 picks std::thread::hardware_concurrency().
+  /// Concurrent workers a `batch` request fans across; 0 picks
+  /// std::thread::hardware_concurrency().
   int num_threads = 0;
-  /// In-order single-worker execution (reproducible streams).
+  /// In-order single-worker batch execution (reproducible streams).
   bool deterministic = false;
-  /// Byte budget for every ReusePool the engine owns (per worker, plus one
-  /// each for the sweep and min-cut paths). 0 = unbounded.
+  /// Byte budget for every ReusePool the engine owns: one per warm solver
+  /// bank (shared by all sessions), plus one each for the sweep and
+  /// min-cut paths. 0 = unbounded.
   size_t pool_byte_budget = 64ull << 20;
+  /// Open-session cap: open_session() returns null beyond it, which the
+  /// socket front turns into a per-connection rejection line.
+  int max_sessions = 64;
 };
 
-class ServeEngine {
+/// One client's conversation with the engine: the current instance, the
+/// per-session request counter, and this session's share of the telemetry.
+/// A session is single-threaded by contract (its connection handler); all
+/// cross-session state lives in the shared ServeEngine, which must outlive
+/// every session it opened.
+class ServeSession {
  public:
-  explicit ServeEngine(ServeOptions options = {});
+  ~ServeSession();
+  ServeSession(const ServeSession&) = delete;
+  ServeSession& operator=(const ServeSession&) = delete;
 
-  /// Handles one request line and returns one JSON response line (empty for
-  /// blank/comment lines). Never throws: malformed requests, unknown
+  /// Handles one request line and returns one JSON response line (empty
+  /// for blank/comment lines). Never throws: malformed requests, unknown
   /// solvers, and solver failures all come back as ok:false responses.
   std::string handle(const std::string& line);
 
-  /// True once a quit request has been served.
-  bool done() const { return done_; }
+  /// Transport-level error line (oversized frame, ...) in the same schema
+  /// as handle() responses; counts as a request of this session.
+  std::string protocol_error(const std::string& message);
 
-  const ServeOptions& options() const { return options_; }
-  /// Workers each solver bank runs with (resolved from options).
-  int workers_per_bank() const { return workers_; }
+  /// True once this session served a quit or shutdown request.
+  bool done() const { return done_; }
+  /// Engine-assigned session id (1-based, in open order).
+  int id() const { return id_; }
 
  private:
-  /// One persistent backend: a solver per worker, created once and reused
-  /// for every later request, plus the byte-budgeted pools of the warm
-  /// analog adapters (empty for backends without one) and the cumulative
-  /// telemetry served from them.
-  struct Bank {
-    std::vector<SolverPtr> workers;
-    std::vector<std::shared_ptr<ReusePool>> pools;
-    long long solves = 0;
-    long long failed = 0;
-    double seconds = 0.0;
-    flow::SolveMetrics metrics;
-  };
-
-  Bank& bank(const std::string& name);
-  void absorb(Bank& b, const BatchReport& report);
+  friend class ServeEngine;
+  ServeSession(ServeEngine& engine, int id) : engine_(engine), id_(id) {}
 
   void cmd_load(const std::vector<std::string>& t, util::JsonWriter& j);
   void cmd_reconfigure(const std::vector<std::string>& t, util::JsonWriter& j);
@@ -100,27 +115,122 @@ class ServeEngine {
   void cmd_batch(const std::vector<std::string>& t, util::JsonWriter& j);
   void cmd_sweep(const std::vector<std::string>& t, util::JsonWriter& j);
   void cmd_mincut(util::JsonWriter& j);
-  void cmd_stats(util::JsonWriter& j);
+  void cmd_session(util::JsonWriter& j);
+
+  /// Folds one batch report into this session's counters (the engine-side
+  /// bank share is folded separately by ServeEngine::absorb).
+  void absorb_session(const BatchReport& report);
 
   const graph::FlowNetwork& require_instance() const;
 
-  ServeOptions options_;
-  int workers_ = 1;
+  ServeEngine& engine_;
+  const int id_;
   bool done_ = false;
   long long requests_ = 0;
 
   std::optional<graph::FlowNetwork> base_;    // as loaded
   std::optional<graph::FlowNetwork> current_; // after reconfigurations
+
+  // Per-session telemetry (single-threaded: only this session's connection
+  // handler touches it). The shared-bank counterpart lives in the engine;
+  // see flow::SolveMetrics::operator+= for how the two scopes reconcile.
+  long long solves_ = 0;
+  long long failed_ = 0;
+  long long sweeps_ = 0;
+  long long mincuts_ = 0;
+  double seconds_ = 0.0;
+  flow::SolveMetrics solve_metrics_;  // solve/batch (bank-pool) traffic
+  flow::SolveMetrics sweep_metrics_;  // sweep (sweep-pool) traffic
+  flow::SolveMetrics mincut_metrics_; // mincut (mincut-pool) traffic
+};
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(ServeOptions options = {});
+  ~ServeEngine();
+
+  /// Opens a new session, or returns null when options().max_sessions are
+  /// already open (the caller should answer with reject_line() and hang
+  /// up). The engine must outlive the returned session.
+  std::shared_ptr<ServeSession> open_session();
+
+  /// One aflow-serve-v1 error line for a connection that was refused a
+  /// session (id/session 0: the request never reached a session).
+  std::string reject_line() const;
+
+  /// Single-session convenience for stdin mode and protocol tests:
+  /// forwards to a lazily opened default session.
+  std::string handle(const std::string& line);
+  /// True once the default session quit or a shutdown was requested.
+  bool done() const;
+
+  /// Set by any session's `shutdown` request; the serving front polls it.
+  bool shutdown_requested() const { return shutdown_.load(); }
+  void request_shutdown() { shutdown_.store(true); }
+
+  const ServeOptions& options() const { return options_; }
+  /// Concurrent workers a batch request fans across (resolved from
+  /// options); also the solver-handle count of every bank.
+  int workers_per_bank() const { return workers_; }
+  /// Currently open sessions.
+  int open_sessions() const;
+
+ private:
+  friend class ServeSession;
+
+  /// One persistent backend, shared by every session: a single solver
+  /// instance (ISolver::solve is concurrency-safe) whose cross-instance
+  /// assets — the byte-budgeted ReusePool and the OrderingCache of the
+  /// warm analog adapters — are therefore one synchronized, per-pattern
+  /// bank instead of per-worker partitions, plus the cumulative telemetry
+  /// served from it (guarded by telemetry_mutex_).
+  struct Bank {
+    SolverPtr solver;
+    std::shared_ptr<ReusePool> pool;             // null for pool-free backends
+    std::shared_ptr<la::OrderingCache> ordering; // null for classical backends
+    long long solves = 0;
+    long long failed = 0;
+    double seconds = 0.0;
+    flow::SolveMetrics metrics;
+  };
+
+  /// Finds or creates the bank for `name` (throws std::invalid_argument
+  /// for unknown solver names). The returned reference stays valid for the
+  /// engine's lifetime (map nodes are stable).
+  Bank& bank(const std::string& name);
+  /// Folds one batch report into the bank's shared counters (engine
+  /// scope); the calling session folds its own share via absorb_session.
+  void absorb(Bank& b, const BatchReport& report);
+  void close_session();
+  void write_stats(util::JsonWriter& j);
+
+  ServeOptions options_;
+  int workers_ = 1;
+  std::atomic<bool> shutdown_{false};
+
+  mutable std::mutex banks_mutex_;     // guards banks_ map shape
+  mutable std::mutex telemetry_mutex_; // guards bank/engine counters below
   std::map<std::string, Bank> banks_;
 
-  // The sweep and min-cut requests run on the calling thread; one pool and
-  // ordering cache each, shared across all requests of that kind.
+  // Session registry (guarded by telemetry_mutex_).
+  int next_session_id_ = 1;
+  int open_sessions_ = 0;
+  int peak_sessions_ = 0;
+  long long sessions_opened_ = 0;
+  std::atomic<long long> requests_{0}; // engine-wide request total
+
+  // The sweep and min-cut requests run on the calling session's thread;
+  // one shared pool and ordering cache each, synchronized internally.
   std::shared_ptr<ReusePool> sweep_pool_;
   std::shared_ptr<ReusePool> mincut_pool_;
   std::shared_ptr<la::OrderingCache> sweep_ordering_;
   std::shared_ptr<la::OrderingCache> mincut_ordering_;
-  long long sweeps_ = 0;
-  long long mincuts_ = 0;
+  long long sweeps_ = 0;  // guarded by telemetry_mutex_
+  long long mincuts_ = 0; // guarded by telemetry_mutex_
+  flow::SolveMetrics sweep_metrics_;  // guarded by telemetry_mutex_
+  flow::SolveMetrics mincut_metrics_; // guarded by telemetry_mutex_
+
+  std::shared_ptr<ServeSession> default_session_; // lazy, legacy surface
 };
 
 } // namespace aflow::core

@@ -1,0 +1,250 @@
+#include "core/serve_front.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#ifndef _WIN32
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace aflow::core {
+
+ServeFront::ServeFront(ServeEngine& engine, ServeFrontOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+ServeFront::~ServeFront() {
+  stop();
+  reap_finished(/*join_all=*/true);
+#ifndef _WIN32
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+#endif
+}
+
+void ServeFront::stop() { stop_.store(true); }
+
+#ifdef _WIN32
+
+void ServeFront::start() {
+  throw std::runtime_error("ServeFront: Unix sockets are not supported on "
+                           "this platform");
+}
+void ServeFront::run() {}
+void ServeFront::serve_client(int, std::shared_ptr<ServeSession>,
+                              std::atomic<bool>*) {}
+bool ServeFront::write_line(int, const std::string&) { return false; }
+void ServeFront::reap_finished(bool) {}
+
+#else // POSIX
+
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Waits for readability; 0 = timeout, negative = error, positive = ready.
+int wait_readable(int fd, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  const int r = ::poll(&p, 1, timeout_ms);
+  if (r < 0 && errno == EINTR) return 0;
+  return r;
+}
+
+} // namespace
+
+// Sends the response plus a newline; false once the client is gone
+// (EPIPE/reset — MSG_NOSIGNAL keeps a dead client from killing the process
+// with SIGPIPE) or the front is stopping. Waiting for writability in
+// poll_interval_ms slices keeps a client that never reads its socket from
+// pinning this thread through a shutdown: once stop/shutdown is flagged,
+// the half-delivered response is abandoned and the connection closes.
+bool ServeFront::write_line(int fd, const std::string& response) {
+  std::string out = response;
+  out += '\n';
+  size_t sent = 0;
+  while (sent < out.size()) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    const int ready = ::poll(&p, 1, options_.poll_interval_ms);
+    if (ready < 0 && errno != EINTR) return false;
+    if (ready <= 0) {
+      if (stop_.load() || engine_.shutdown_requested()) return false;
+      continue;
+    }
+    const ssize_t n =
+        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void ServeFront::start() {
+  if (options_.socket_path.empty())
+    throw std::runtime_error("ServeFront: socket_path is required");
+  sockaddr_un addr{};
+  if (options_.socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("ServeFront: socket path too long: " +
+                             options_.socket_path);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error(errno_message("socket"));
+  addr.sun_family = AF_UNIX;
+  options_.socket_path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, options_.listen_backlog) < 0) {
+    const std::string msg = errno_message("bind/listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(msg);
+  }
+}
+
+void ServeFront::run() {
+  if (listen_fd_ < 0)
+    throw std::runtime_error("ServeFront::run: call start() first");
+
+  while (!stop_.load() && !engine_.shutdown_requested()) {
+    const int ready = wait_readable(listen_fd_, options_.poll_interval_ms);
+    if (ready < 0) break;
+    reap_finished(/*join_all=*/false);
+    if (ready == 0) continue;
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      // Transient conditions (a client aborted, fd pressure while other
+      // sessions run) must not stop the front; pace the retry so an
+      // exhausted fd table does not busy-loop. Anything else means the
+      // listener itself is broken.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK || errno == EMFILE || errno == ENFILE ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.poll_interval_ms));
+        continue;
+      }
+      break;
+    }
+    std::shared_ptr<ServeSession> session = engine_.open_session();
+    if (!session) {
+      // Beyond max_sessions: one rejection line, then hang up. The refused
+      // client failed, the process did not.
+      rejected_.fetch_add(1);
+      write_line(client, engine_.reject_line());
+      ::close(client);
+      continue;
+    }
+    accepted_.fetch_add(1);
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    Connection& conn = connections_.emplace_back();
+    conn.thread = std::thread(&ServeFront::serve_client, this, client,
+                              std::move(session), &conn.finished);
+  }
+  // However the loop ended, tell the connection threads to wind down
+  // before joining them (a broken listener must not strand live sessions
+  // in an unjoinable state).
+  stop_.store(true);
+  reap_finished(/*join_all=*/true);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+}
+
+void ServeFront::serve_client(int fd, std::shared_ptr<ServeSession> session,
+                              std::atomic<bool>* finished) {
+  std::string buf;
+  bool discarding = false; // inside an oversized frame, waiting for its \n
+  char chunk[4096];
+  bool open = true;
+  const std::string oversized_error =
+      "oversized frame: request line exceeds " +
+      std::to_string(options_.max_line_bytes) + " bytes";
+  while (open && !session->done() && !stop_.load() &&
+         !engine_.shutdown_requested()) {
+    const int ready = wait_readable(fd, options_.poll_interval_ms);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    // n == 0: client closed — possibly mid-line; the partial line is
+    // dropped and only this session ends.
+    if (n <= 0) break;
+    size_t offset = 0;
+    if (discarding) {
+      // Inside an oversized frame (already answered): drop bytes without
+      // buffering them — the frame limit must bound memory even against a
+      // client that streams forever without a newline — and resync at the
+      // frame's newline.
+      const void* nl = std::memchr(chunk, '\n', static_cast<size_t>(n));
+      if (!nl) continue;
+      offset = static_cast<size_t>(static_cast<const char*>(nl) - chunk) + 1;
+      discarding = false;
+    }
+    buf.append(chunk + offset, static_cast<size_t>(n) - offset);
+
+    size_t start = 0;
+    for (size_t nl; (nl = buf.find('\n', start)) != std::string::npos;) {
+      std::string line = buf.substr(start, nl - start);
+      start = nl + 1;
+      // A complete line can exceed the limit too (its newline arrived in
+      // the same chunk): reject it instead of serving it.
+      const std::string response =
+          line.size() > options_.max_line_bytes
+              ? session->protocol_error(oversized_error)
+              : session->handle(line);
+      if (!response.empty() && !write_line(fd, response)) {
+        open = false;
+        break;
+      }
+      if (session->done()) break;
+    }
+    buf.erase(0, start);
+
+    if (open && buf.size() > options_.max_line_bytes) {
+      // Oversized frame still awaiting its newline: answer once, drop
+      // what we buffered, and discard the rest as it streams in.
+      if (!write_line(fd, session->protocol_error(oversized_error)))
+        open = false;
+      buf.clear();
+      discarding = true;
+    }
+  }
+  ::close(fd);
+  // Release the session (and its max_sessions slot) before flagging the
+  // thread as reapable, so a joiner observing `finished` also observes
+  // the freed slot.
+  session.reset();
+  finished->store(true);
+}
+
+void ServeFront::reap_finished(bool join_all) {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (join_all || it->finished.load()) {
+      if (it->thread.joinable()) it->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+#endif // _WIN32
+
+} // namespace aflow::core

@@ -1,0 +1,94 @@
+// Unix-socket serving front for core::ServeEngine: an accept loop that
+// opens one ServeSession per connection and serves each on its own thread,
+// so many clients stream requests against the engine's shared solver banks
+// concurrently. The front owns the transport concerns the engine does not:
+//
+//  - line framing over a byte stream (partial writes from clients are
+//    buffered until the newline arrives);
+//  - oversized-frame protection (a line longer than max_line_bytes gets
+//    one ok:false response and is discarded up to its newline — the
+//    session survives and resyncs);
+//  - mid-request disconnects (a client vanishing between or inside lines
+//    closes that session only; the process and every other session keep
+//    serving);
+//  - the session cap (a connection beyond ServeOptions::max_sessions is
+//    answered with one rejection line and closed).
+//
+// `quit` ends one session; `shutdown` (from any session) stops the accept
+// loop, after which run() joins the remaining connection threads and
+// removes the socket file. POSIX-only (guarded no-op on _WIN32).
+#pragma once
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/serve_engine.hpp"
+
+namespace aflow::core {
+
+struct ServeFrontOptions {
+  /// Filesystem path of the Unix stream socket (required; replaced if it
+  /// already exists). Must fit sockaddr_un::sun_path.
+  std::string socket_path;
+  /// Longest accepted request line, bytes (without the newline). Longer
+  /// frames draw one error response and are discarded to their newline.
+  size_t max_line_bytes = 1 << 20;
+  int listen_backlog = 16;
+  /// How often blocked accept/read calls wake up to check for shutdown.
+  int poll_interval_ms = 50;
+};
+
+class ServeFront {
+ public:
+  /// The engine must outlive the front. No sockets are touched until
+  /// start().
+  ServeFront(ServeEngine& engine, ServeFrontOptions options);
+  ~ServeFront();
+  ServeFront(const ServeFront&) = delete;
+  ServeFront& operator=(const ServeFront&) = delete;
+
+  /// Binds and listens on options().socket_path. Throws std::runtime_error
+  /// on socket/bind/listen failure (and on _WIN32).
+  void start();
+
+  /// Blocking accept loop: serves until a session requests shutdown or
+  /// stop() is called, then joins every connection thread and removes the
+  /// socket file. Call start() first.
+  void run();
+
+  /// Thread-safe: asks run() to return. Connections still open are joined
+  /// by run() as their clients disconnect or their sessions quit.
+  void stop();
+
+  const ServeFrontOptions& options() const { return options_; }
+  /// Connections granted a session so far.
+  long long sessions_accepted() const { return accepted_.load(); }
+  /// Connections refused because max_sessions were open.
+  long long sessions_rejected() const { return rejected_.load(); }
+
+ private:
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  void serve_client(int fd, std::shared_ptr<ServeSession> session,
+                    std::atomic<bool>* finished);
+  bool write_line(int fd, const std::string& response);
+  void reap_finished(bool join_all);
+
+  ServeEngine& engine_;
+  ServeFrontOptions options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<long long> accepted_{0};
+  std::atomic<long long> rejected_{0};
+  std::mutex connections_mutex_;
+  std::list<Connection> connections_;
+};
+
+} // namespace aflow::core

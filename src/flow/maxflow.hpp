@@ -29,6 +29,28 @@ struct SolveMetrics {
   long long pool_hits = 0;
   long long pool_misses = 0;
   long long pool_evictions = 0;   // LRU entries evicted by this solve's store
+
+  /// Accumulates another solve's counters (warm_started ORs). Every field
+  /// is attributable to the request that produced it, so the same type
+  /// serves both aggregation scopes of the serving layer: *per-session*
+  /// (one connection's requests) and *shared-bank* (every session through
+  /// one solver bank). The two scopes reconcile by construction — summing
+  /// the per-session pool_* counters over all sessions of a bank yields
+  /// the shared pool's own cumulative hit/miss/eviction statistics.
+  SolveMetrics& operator+=(const SolveMetrics& m) {
+    iterations += m.iterations;
+    full_factors += m.full_factors;
+    refactors += m.refactors;
+    prototype_refactors += m.prototype_refactors;
+    rhs_refreshes += m.rhs_refreshes;
+    warm_iterations += m.warm_iterations;
+    cold_iterations += m.cold_iterations;
+    warm_started = warm_started || m.warm_started;
+    pool_hits += m.pool_hits;
+    pool_misses += m.pool_misses;
+    pool_evictions += m.pool_evictions;
+    return *this;
+  }
 };
 
 struct MaxFlowResult {

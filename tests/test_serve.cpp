@@ -56,10 +56,13 @@ TEST(ServeEngine, ProtocolBasics) {
   const std::string solve = engine.handle("solve --solver dinic");
   EXPECT_TRUE(json_bool(solve, "ok")) << solve;
   EXPECT_GT(json_ll(solve, "flow"), 0);
+  // Schedule-dependent fields live under the trailing telemetry object.
+  EXPECT_NE(solve.find("\"telemetry\":{"), std::string::npos) << solve;
 
   const std::string stats = engine.handle("stats");
   EXPECT_TRUE(json_bool(stats, "ok")) << stats;
   EXPECT_NE(stats.find("\"solvers\":["), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"sessions\":{"), std::string::npos) << stats;
 
   EXPECT_FALSE(engine.done());
   const std::string quit = engine.handle("quit");
@@ -93,6 +96,35 @@ TEST(ServeEngine, MalformedRequestsNeverTerminateTheEngine) {
   EXPECT_FALSE(json_bool(engine.handle("solve --solver no_such"), "ok"));
   const std::string ok = engine.handle("solve --solver edmonds_karp");
   EXPECT_TRUE(json_bool(ok, "ok")) << ok;
+}
+
+TEST(ServeEngine, SessionViewCountsThisSessionsRequests) {
+  core::ServeOptions opt;
+  opt.deterministic = true;
+  core::ServeEngine engine(opt);
+
+  EXPECT_TRUE(json_bool(engine.handle("load --spec grid:side=4,seed=1"), "ok"));
+  EXPECT_TRUE(json_bool(engine.handle("solve --solver dinic"), "ok"));
+  const std::string view = engine.handle("session");
+  EXPECT_TRUE(json_bool(view, "ok")) << view;
+  EXPECT_EQ(json_ll(view, "requests"), 3);
+  EXPECT_EQ(json_ll(view, "solves"), 1);
+  EXPECT_EQ(json_ll(view, "failed"), 0);
+  EXPECT_NE(view.find("\"solve_metrics\":{"), std::string::npos) << view;
+  EXPECT_NE(view.find("\"instance\":{\"loaded\":true"), std::string::npos)
+      << view;
+}
+
+TEST(ServeEngine, ShutdownEndsTheSessionAndFlagsTheEngine) {
+  core::ServeOptions opt;
+  opt.deterministic = true;
+  core::ServeEngine engine(opt);
+
+  EXPECT_FALSE(engine.shutdown_requested());
+  const std::string resp = engine.handle("shutdown");
+  EXPECT_TRUE(json_bool(resp, "ok")) << resp;
+  EXPECT_TRUE(engine.done());
+  EXPECT_TRUE(engine.shutdown_requested());
 }
 
 TEST(ServeEngine, MixedHundredRequestStreamWithBoundedPool) {

@@ -7,15 +7,19 @@
 //               [--json FILE]
 //
 //   aflow serve [--solver NAME] [--threads N] [--deterministic]
-//               [--pool-budget-mb M] [--socket PATH]
+//               [--pool-budget-mb M] [--listen PATH] [--max-sessions N]
+//               [--max-line-bytes B]
 //
 // `--batch` accepts a DIMACS file, a directory of *.dimacs / *.max files, or
 // a generator spec (see src/core/workload.hpp for the grammar). `--json`
 // writes a machine-readable report (schema aflow-bench-v1: solver, instance
 // shapes, wall ms, iteration counts, refactor/warm shares) for perf-trend
 // tracking in CI. `serve` starts the long-running serving mode: newline-
-// delimited requests on stdin (or a Unix socket), one aflow-serve-v1 JSON
-// response per line; both schemas are documented in docs/BENCH_FORMAT.md.
+// delimited requests on stdin (one session), or — with `--listen PATH`
+// (alias `--socket`) — a Unix socket accepting up to `--max-sessions`
+// concurrent client sessions over shared solver banks; one aflow-serve-v1
+// JSON response per line either way. Both schemas are documented in
+// docs/BENCH_FORMAT.md.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -24,16 +28,10 @@
 #include <string>
 #include <vector>
 
-#ifndef _WIN32
-#include <sys/socket.h>
-#include <sys/types.h>
-#include <sys/un.h>
-#include <unistd.h>
-#endif
-
 #include "core/batch_engine.hpp"
 #include "core/registry.hpp"
 #include "core/serve_engine.hpp"
+#include "core/serve_front.hpp"
 #include "core/workload.hpp"
 #include "graph/dimacs.hpp"
 #include "util/args.hpp"
@@ -57,7 +55,8 @@ int usage() {
       "              [--deterministic] [--check] [--per-instance] "
       "[--json FILE]\n"
       "  aflow serve [--solver NAME] [--threads N] [--deterministic]\n"
-      "              [--pool-budget-mb M] [--socket PATH]\n");
+      "              [--pool-budget-mb M] [--listen PATH] [--max-sessions N]\n"
+      "              [--max-line-bytes B]\n");
   return 2;
 }
 
@@ -226,80 +225,45 @@ int cmd_bench(int argc, char** argv) {
   return report.failed == 0 ? 0 : 1;
 }
 
-#ifndef _WIN32
-/// Serves one client at a time on a Unix stream socket until a quit
-/// request (or an accept failure) ends the process. Sequential accept is
-/// deliberate: the engine's session state (current instance) is a single
-/// logical stream; parallelism lives inside requests (`batch`).
-int serve_unix_socket(core::ServeEngine& engine, const std::string& path) {
-  sockaddr_un addr{};
-  if (path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "error: socket path too long: %s\n", path.c_str());
-    return 1;
-  }
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  addr.sun_family = AF_UNIX;
-  path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
-  ::unlink(path.c_str());
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(fd, 4) < 0) {
-    std::perror("bind/listen");
-    ::close(fd);
-    return 1;
-  }
-  std::fprintf(stderr, "aflow serve: listening on %s\n", path.c_str());
-
-  while (!engine.done()) {
-    const int client = ::accept(fd, nullptr, nullptr);
-    if (client < 0) break;
-    FILE* io = ::fdopen(client, "r+");
-    if (!io) {
-      ::close(client);
-      continue;
-    }
-    char* line = nullptr;
-    size_t cap = 0;
-    ssize_t len;
-    while (!engine.done() && (len = ::getline(&line, &cap, io)) > 0) {
-      const std::string response = engine.handle(std::string(line, len));
-      if (response.empty()) continue;
-      std::fprintf(io, "%s\n", response.c_str());
-      std::fflush(io);
-    }
-    std::free(line);
-    std::fclose(io); // closes client fd
-  }
-  ::close(fd);
-  ::unlink(path.c_str());
-  return 0;
-}
-#endif
-
 int cmd_serve(int argc, char** argv) {
   core::ServeOptions options;
   options.default_solver =
       arg_string(argc, argv, "--solver", options.default_solver);
   options.num_threads = arg_int(argc, argv, "--threads", 0);
   options.deterministic = arg_flag(argc, argv, "--deterministic");
+  options.max_sessions =
+      arg_int(argc, argv, "--max-sessions", options.max_sessions);
   const double budget_mb = util::arg_double(argc, argv, "--pool-budget-mb", 64.0);
   options.pool_byte_budget =
       budget_mb <= 0.0 ? 0 : static_cast<size_t>(budget_mb * (1 << 20));
   core::ServeEngine engine(options);
 
-  const std::string socket_path = arg_string(argc, argv, "--socket", "");
+  // `--listen` is the multi-session socket front; `--socket` kept as the
+  // PR-4 spelling of the same thing.
+  const std::string socket_path = arg_string(
+      argc, argv, "--listen", arg_string(argc, argv, "--socket", ""));
   if (!socket_path.empty()) {
 #ifndef _WIN32
-    return serve_unix_socket(engine, socket_path);
+    core::ServeFrontOptions front_options;
+    front_options.socket_path = socket_path;
+    const int max_line = arg_int(argc, argv, "--max-line-bytes", 0);
+    if (max_line > 0)
+      front_options.max_line_bytes = static_cast<size_t>(max_line);
+    core::ServeFront front(engine, front_options);
+    front.start();
+    std::fprintf(stderr,
+                 "aflow serve: listening on %s (up to %d concurrent "
+                 "sessions; send 'shutdown' to stop)\n",
+                 socket_path.c_str(), options.max_sessions);
+    front.run();
+    return 0;
 #else
-    std::fprintf(stderr, "error: --socket is not supported on this platform\n");
+    std::fprintf(stderr, "error: --listen is not supported on this platform\n");
     return 1;
 #endif
   }
 
+  // stdin mode: one session, ended by quit/shutdown or EOF.
   std::string line;
   while (!engine.done() && std::getline(std::cin, line)) {
     const std::string response = engine.handle(line);

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Multi-client smoke for `aflow serve --listen`.
+
+Starts one serving process on a Unix socket, then drives N parallel client
+threads, each holding its own session and streaming a mixed request script.
+Validates, per client:
+
+  - every response line parses as JSON with schema aflow-serve-v1;
+  - per-session request ids are 1..M in order and carry the session id;
+  - every scripted request succeeds (ok:true);
+  - exact solves return the expected flow for the client's topology.
+
+Then probes the session cap (one connection beyond --max-sessions must get
+a single ok:false rejection line and EOF), sends `shutdown`, and requires
+the server process to exit cleanly. Exit code 0 = smoke passed.
+
+Usage: serve_smoke_multiclient.py --aflow PATH [--clients N] [--requests M]
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+EXPECTED_GRID_FLOW = {4: 90.0, 5: 149.0, 6: 208.0}  # grid:side=S,seed=1
+
+
+class Client:
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(30)
+        self.sock.connect(path)
+        self.file = self.sock.makefile("rw", encoding="utf-8")
+
+    def request(self, line):
+        self.file.write(line + "\n")
+        self.file.flush()
+        raw = self.file.readline()
+        if not raw:
+            raise RuntimeError(f"server hung up after: {line}")
+        return json.loads(raw)
+
+    def close(self):
+        self.file.close()
+        self.sock.close()
+
+
+def run_client(path, index, requests, errors):
+    try:
+        side = 4 + index % 3
+        script = [f"load --spec grid:side={side},seed=1"]
+        while len(script) < requests:
+            i = len(script)
+            if i % 4 == 1:
+                script.append("solve --solver dinic")
+            elif i % 4 == 2:
+                script.append(f"reconfigure --seed {index * 17 + i}")
+            else:
+                script.append("solve --solver analog_dc_warm")
+        script.append("session")
+
+        # The cap-holder connections released just before the clients
+        # start; the server frees their slots asynchronously, so retry on
+        # rejection instead of racing it.
+        deadline = time.time() + 20
+        while True:
+            client = Client(path)
+            doc = client.request(script[0])
+            if doc["ok"]:
+                break
+            client.close()
+            assert "session limit" in doc["error"], doc
+            if time.time() > deadline:
+                raise RuntimeError("session slots never freed")
+            time.sleep(0.1)
+        session_id = None
+        reconfigured = False
+        for expect_id, line in enumerate(script, start=1):
+            if expect_id > 1:
+                doc = client.request(line)
+            assert doc["schema"] == "aflow-serve-v1", doc
+            assert doc["ok"] is True, f"{line} -> {doc}"
+            assert doc["id"] == expect_id, f"{line} -> {doc}"
+            if session_id is None:
+                session_id = doc["session"]
+            assert doc["session"] == session_id, f"{line} -> {doc}"
+            if line.startswith("reconfigure"):
+                reconfigured = True
+            if line == "solve --solver dinic":
+                if reconfigured:
+                    assert doc["flow"] > 0, f"{line} -> {doc}"
+                else:
+                    assert doc["flow"] == EXPECTED_GRID_FLOW[side], \
+                        f"{line} -> {doc}"
+        view = client.request("session")
+        assert view["requests"] == len(script) + 1, view
+        client.request("quit")
+        client.close()
+    except Exception as exc:  # noqa: BLE001 - smoke collects all failures
+        errors.append(f"client {index}: {exc!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--aflow", required=True)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=6)
+    args = parser.parse_args()
+
+    sock_path = os.path.join(
+        tempfile.mkdtemp(prefix="aflow_smoke_"), "serve.sock")
+    server = subprocess.Popen(
+        [args.aflow, "serve", "--listen", sock_path,
+         "--max-sessions", str(args.clients + 1), "--pool-budget-mb", "32"],
+        stderr=subprocess.PIPE, text=True)
+    try:
+        for _ in range(200):
+            if os.path.exists(sock_path):
+                break
+            if server.poll() is not None:
+                print("server exited early:", server.stderr.read())
+                return 1
+            time.sleep(0.05)
+        else:
+            print("server socket never appeared")
+            return 1
+
+        errors = []
+        threads = [
+            threading.Thread(target=run_client,
+                             args=(sock_path, k, args.requests, errors))
+            for k in range(args.clients)
+        ]
+
+        # Hold max_sessions slots open so the cap rejection is observable.
+        holders = [Client(sock_path) for _ in range(args.clients + 1)]
+        over = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        over.settimeout(30)
+        over.connect(sock_path)
+        reject = over.makefile("r", encoding="utf-8").readline()
+        doc = json.loads(reject)
+        assert doc["ok"] is False and "session limit" in doc["error"], doc
+        over.close()
+        for holder in holders:
+            holder.close()
+
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            print("\n".join(errors))
+            return 1
+
+        Client(sock_path).request("shutdown")
+        server.wait(timeout=30)
+        if server.returncode != 0:
+            print(f"server exited with {server.returncode}")
+            return 1
+        print(f"multi-client serve smoke: {args.clients} concurrent sessions "
+              f"x {args.requests}+ requests OK, cap rejection OK, clean "
+              "shutdown")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
