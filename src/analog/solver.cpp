@@ -46,6 +46,43 @@ AnalogFlowResult AnalogMaxFlowSolver::solve(const graph::FlowNetwork& net) const
   return {};
 }
 
+AnalogFlowResult AnalogMaxFlowSolver::solve_delta(
+    const graph::FlowNetwork& net, const flow::CapacityDelta& delta) const {
+  const auto fallback = [&] {
+    AnalogFlowResult out = solve(net);
+    out.delta_fallbacks = 1;
+    out.edges_touched = delta.distinct_edges();
+    return out;
+  };
+  // Transient must start from rest (the settling time is the measurement),
+  // and without pooled state there is no operating point to carry.
+  if (options_.method != SolveMethod::kSteadyState || !has_reuse_pool())
+    return fallback();
+  // Trust region: outside it the pooled operating point is too far from
+  // the edited instance's for a reliable warm Newton re-convergence.
+  // max_relative_change() is +inf for unmeasured deltas, so those fall
+  // back too. (The comparisons are written to reject NaN as well.)
+  if (!(delta.max_relative_change() <= options_.delta_trust_relative))
+    return fallback();
+  if (net.num_edges() > 0 &&
+      !(delta.distinct_edges() <=
+        options_.delta_max_edge_fraction * net.num_edges()))
+    return fallback();
+
+  // Inside the trust region the steady-state path already is the delta
+  // path: it re-converges from the pooled same-pattern operating point via
+  // DcSolver::solve_warm at full drive, skipping the Vflow homotopy. Count
+  // a delta_solve only when the warm carry actually happened (a pool miss
+  // or failed warm attempt ran the cold ramp — that is a fallback).
+  AnalogFlowResult out = solve_steady_state(net);
+  if (out.warm_started)
+    out.delta_solves = 1;
+  else
+    out.delta_fallbacks = 1;
+  out.edges_touched = delta.distinct_edges();
+  return out;
+}
+
 AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
     const graph::FlowNetwork& net) const {
   // The explicit-NIC circuit adds op-amp rail states to the DC
@@ -98,7 +135,11 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
     const std::shared_ptr<const core::ReuseEntry> warm = pool->find(pool_key);
     out.pool_hits = warm ? 1 : 0;
     out.pool_misses = warm ? 0 : 1;
-    if (warm && warm->lu) solver.set_lu_prototype(warm->lu);
+    if (warm && warm->lu) {
+      sim::WarmStart seed;
+      seed.lu_prototype = warm->lu;
+      solver.warm_start(seed);
+    }
     if (warm &&
         warm->shapes_match(c.netlist, solver.assembler().num_unknowns())) {
       c.netlist.set_vsource_value(c.vflow_source, v_target);
@@ -152,7 +193,7 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
 
   if (pool) {
     core::ReuseEntry entry;
-    entry.lu = solver.share_factorization();
+    entry.lu = solver.export_warm_start().lu_prototype;
     entry.state = std::make_shared<const circuit::DeviceState>(state);
     entry.x = std::make_shared<const std::vector<double>>(x);
     out.pool_evictions = pool->store(pool_key, std::move(entry));

@@ -16,6 +16,7 @@
 #include "analog/mapper.hpp"
 #include "analog/substrate_config.hpp"
 #include "core/reuse_pool.hpp"
+#include "flow/delta.hpp"
 #include "flow/maxflow.hpp"
 #include "sim/transient.hpp"
 
@@ -63,6 +64,15 @@ struct AnalogSolveOptions {
   /// Iteration cap for the warm full-drive attempt before falling back to
   /// the cold homotopy ramp (bounds the cost of a failed warm start).
   int warm_iteration_budget = 48;
+
+  /// Trust region for solve_delta: the delta path re-converges Newton from
+  /// the pooled previous operating point, which is only a good initial
+  /// guess while the edits keep the new operating point nearby. A delta
+  /// whose largest per-edge relative change exceeds delta_trust_relative,
+  /// or that touches more than delta_max_edge_fraction of the edges, takes
+  /// the full solve (homotopy ramp) instead — counted as a delta fallback.
+  double delta_trust_relative = 0.5;
+  double delta_max_edge_fraction = 0.25;
 };
 
 struct AnalogFlowResult {
@@ -99,6 +109,13 @@ struct AnalogFlowResult {
   long long pool_hits = 0;
   long long pool_misses = 0;
   long long pool_evictions = 0;
+  /// Delta-path telemetry (solve_delta): exactly one of delta_solves /
+  /// delta_fallbacks per solve_delta call — fast path (warm re-convergence
+  /// from the pooled operating point) vs full solve; edges_touched counts
+  /// the delta's distinct edited edges either way.
+  long long delta_solves = 0;
+  long long delta_fallbacks = 0;
+  long long edges_touched = 0;
 
   /// Relative error against an exact flow value.
   double relative_error(double exact) const {
@@ -112,6 +129,26 @@ class AnalogMaxFlowSolver {
       : options_(std::move(options)) {}
 
   AnalogFlowResult solve(const graph::FlowNetwork& net) const;
+
+  /// Incremental re-solve for a capacity-edited instance. The analog
+  /// carry-over state is the ReusePool entry of the pattern (factored LU
+  /// prototype + previous converged operating point), not a caller-held
+  /// prior, so the signature takes only the post-edit network and the
+  /// delta. Within the trust region (AnalogSolveOptions::delta_trust_*)
+  /// the steady-state path re-converges Newton from the pooled operating
+  /// point at full drive, skipping the Vflow homotopy ramp; outside it —
+  /// or for the transient method, which must start from rest because the
+  /// settling time is the measured quantity — it falls back to solve().
+  /// delta_solves / delta_fallbacks in the result record which path ran.
+  AnalogFlowResult solve_delta(const graph::FlowNetwork& net,
+                               const flow::CapacityDelta& delta) const;
+
+  /// True when the solver carries cross-instance state (factored
+  /// prototypes + operating points) between solves — the precondition for
+  /// solve_delta's fast path.
+  bool has_reuse_pool() const {
+    return options_.reuse_pool != nullptr && options_.reuse_factorization;
+  }
 
   /// The circuit that `solve` would run, for inspection and tests.
   MaxFlowCircuit map(const graph::FlowNetwork& net) const {

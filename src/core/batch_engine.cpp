@@ -18,6 +18,18 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
+void aggregate_outcomes(BatchReport& report) {
+  for (const InstanceOutcome& out : report.outcomes) {
+    if (out.ok) {
+      report.total_flow += out.result.flow_value;
+      report.metrics += out.result.metrics;
+      if (out.result.metrics.warm_started) ++report.warm_started_instances;
+    } else {
+      ++report.failed;
+    }
+  }
+}
 } // namespace
 
 BatchEngine::BatchEngine(BatchOptions options) : options_(std::move(options)) {}
@@ -100,15 +112,87 @@ BatchReport BatchEngine::run(const std::vector<graph::FlowNetwork>& instances,
   }
 
   report.wall_seconds = seconds_since(batch_t0);
-  for (const InstanceOutcome& out : report.outcomes) {
-    if (out.ok) {
-      report.total_flow += out.result.flow_value;
-      report.metrics += out.result.metrics;
-      if (out.result.metrics.warm_started) ++report.warm_started_instances;
-    } else {
-      ++report.failed;
+  aggregate_outcomes(report);
+  return report;
+}
+
+InstanceOutcome BatchEngine::run_delta(const graph::FlowNetwork& net,
+                                       const flow::CapacityDelta& delta,
+                                       const flow::MaxFlowResult& prior,
+                                       const SolverPtr& solver) const {
+  if (!solver)
+    throw std::invalid_argument("BatchEngine::run_delta: solver is null");
+  InstanceOutcome out;
+  out.index = 0;
+  const auto t0 = Clock::now();
+  try {
+    net.validate();
+    out.result = solver->solve_delta(net, delta, prior);
+    if (options_.validate) {
+      const std::string err = flow::check_flow(net, out.result);
+      if (!err.empty()) throw std::runtime_error("infeasible flow: " + err);
     }
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
   }
+  out.seconds = seconds_since(t0);
+  return out;
+}
+
+BatchReport BatchEngine::run_delta(const graph::FlowNetwork& base,
+                                   std::span<const flow::CapacityDelta> deltas,
+                                   const SolverPtr& solver) const {
+  if (!solver)
+    throw std::invalid_argument("BatchEngine::run_delta: solver is null");
+  BatchReport report;
+  report.threads_used = 1;
+  const auto batch_t0 = Clock::now();
+
+  graph::FlowNetwork net = base;
+  flow::MaxFlowResult prior;
+
+  InstanceOutcome first;
+  first.index = 0;
+  {
+    const auto t0 = Clock::now();
+    try {
+      net.validate();
+      first.result = solver->solve(net);
+      if (options_.validate) {
+        const std::string err = flow::check_flow(net, first.result);
+        if (!err.empty()) throw std::runtime_error("infeasible flow: " + err);
+      }
+      first.ok = true;
+      prior = first.result;
+    } catch (const std::exception& e) {
+      first.ok = false;
+      first.error = e.what();
+    }
+    first.seconds = seconds_since(t0);
+  }
+  report.outcomes.push_back(std::move(first));
+
+  for (size_t k = 0; k < deltas.size(); ++k) {
+    InstanceOutcome out;
+    try {
+      flow::CapacityDelta d = deltas[k]; // apply() records old capacities
+      d.apply(net);
+      out = run_delta(net, d, prior, solver);
+    } catch (const std::exception& e) {
+      // A bad edit (index / capacity) fails this step; the network keeps
+      // the edits applied before the offending one, like any edit stream.
+      out.ok = false;
+      out.error = e.what();
+    }
+    out.index = static_cast<int>(k) + 1;
+    if (out.ok) prior = out.result;
+    report.outcomes.push_back(std::move(out));
+  }
+
+  report.wall_seconds = seconds_since(batch_t0);
+  aggregate_outcomes(report);
   return report;
 }
 

@@ -81,6 +81,29 @@ class BatchEngine {
   BatchReport run(const std::vector<graph::FlowNetwork>& instances,
                   const SolverPtr& shared_solver, int threads) const;
 
+  /// Single-step delta entry: solves the post-edit `net` through
+  /// solver->solve_delta(net, delta, prior) with the engine's usual timing,
+  /// optional validation, and failure isolation, as a one-instance outcome
+  /// (index 0; the caller re-indexes when threading a stream).
+  InstanceOutcome run_delta(const graph::FlowNetwork& net,
+                            const flow::CapacityDelta& delta,
+                            const flow::MaxFlowResult& prior,
+                            const SolverPtr& solver) const;
+
+  /// Reconfiguration-stream entry: outcome 0 solves `base` from scratch;
+  /// outcome k >= 1 applies deltas[k-1] to the running network and
+  /// re-solves it with the previous successful result as the prior. A
+  /// stream is inherently sequential (each step consumes its predecessor),
+  /// so it runs on the calling thread regardless of num_threads; a failed
+  /// step is isolated like any batch failure and the next step's prior is
+  /// the last successful result (an unusable prior just rides the
+  /// backend's from-scratch fallback). Delta traffic shows up in the
+  /// report's summed metrics (delta_solves / delta_fallbacks /
+  /// edges_touched).
+  BatchReport run_delta(const graph::FlowNetwork& base,
+                        std::span<const flow::CapacityDelta> deltas,
+                        const SolverPtr& solver) const;
+
   const BatchOptions& options() const { return options_; }
 
   /// The thread count `run` will actually use for `n` instances.

@@ -8,22 +8,40 @@ namespace aflow::core {
 
 namespace {
 
-/// Adapts a `flow::` free function to the ISolver interface.
+/// Adapts a `flow::` free function to the ISolver interface. Backends with
+/// an incremental companion (dinic_delta, push_relabel_delta) pass it as
+/// `delta_fn` and advertise SolverCapabilities::incremental; the rest keep
+/// the ISolver default (from-scratch fallback).
 class ClassicalSolver final : public ISolver {
  public:
   using Fn = flow::MaxFlowResult (*)(const graph::FlowNetwork&);
+  using DeltaFn = flow::MaxFlowResult (*)(const graph::FlowNetwork&,
+                                          const flow::CapacityDelta&,
+                                          const flow::MaxFlowResult&);
 
-  ClassicalSolver(std::string name, Fn fn) : name_(std::move(name)), fn_(fn) {}
+  ClassicalSolver(std::string name, Fn fn, DeltaFn delta_fn = nullptr)
+      : name_(std::move(name)), fn_(fn), delta_fn_(delta_fn) {}
 
   const std::string& name() const override { return name_; }
-  SolverCapabilities capabilities() const override { return {}; }
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities caps;
+    caps.incremental = delta_fn_ != nullptr;
+    return caps;
+  }
   flow::MaxFlowResult solve(const graph::FlowNetwork& net) const override {
     return fn_(net);
+  }
+  flow::MaxFlowResult solve_delta(
+      const graph::FlowNetwork& net, const flow::CapacityDelta& delta,
+      const flow::MaxFlowResult& prior) const override {
+    if (!delta_fn_) return ISolver::solve_delta(net, delta, prior);
+    return delta_fn_(net, delta, prior);
   }
 
  private:
   std::string name_;
   Fn fn_;
+  DeltaFn delta_fn_;
 };
 
 class AnalogSolverAdapter final : public ISolver {
@@ -39,11 +57,30 @@ class AnalogSolverAdapter final : public ISolver {
     caps.exact = false;
     caps.analog = true;
     caps.reports_operations = true; // linear-system solve count
+    // The analog delta path re-converges from the pooled operating point
+    // (DcSolver::solve_warm), so it needs a ReusePool to carry state
+    // between solves of one adapter — and only the steady-state method has
+    // an operating point to carry (transient must start from rest).
+    caps.incremental =
+        solver_.has_reuse_pool() &&
+        solver_.options().method == analog::SolveMethod::kSteadyState;
     return caps;
   }
 
   flow::MaxFlowResult solve(const graph::FlowNetwork& net) const override {
-    const analog::AnalogFlowResult r = solver_.solve(net);
+    return to_result(solver_.solve(net));
+  }
+
+  flow::MaxFlowResult solve_delta(
+      const graph::FlowNetwork& net, const flow::CapacityDelta& delta,
+      const flow::MaxFlowResult& prior) const override {
+    if (!solver_.has_reuse_pool()) return ISolver::solve_delta(net, delta, prior);
+    (void)prior; // the analog carry-over state lives in the ReusePool
+    return to_result(solver_.solve_delta(net, delta));
+  }
+
+ private:
+  static flow::MaxFlowResult to_result(const analog::AnalogFlowResult& r) {
     flow::MaxFlowResult out;
     out.flow_value = r.flow_value;
     out.edge_flow = r.edge_flow;
@@ -59,10 +96,12 @@ class AnalogSolverAdapter final : public ISolver {
     out.metrics.pool_hits = r.pool_hits;
     out.metrics.pool_misses = r.pool_misses;
     out.metrics.pool_evictions = r.pool_evictions;
+    out.metrics.delta_solves = r.delta_solves;
+    out.metrics.delta_fallbacks = r.delta_fallbacks;
+    out.metrics.edges_touched = r.edges_touched;
     return out;
   }
 
- private:
   // Each adapter instance owns an ordering cache, so same-shape instances
   // solved through one adapter share their symbolic analysis. BatchEngine
   // creates one solver per worker thread, which makes this exactly the
@@ -85,11 +124,14 @@ void register_builtins(SolverRegistry& reg) {
     return std::make_shared<ClassicalSolver>("edmonds_karp",
                                              &flow::edmonds_karp);
   });
-  reg.add("dinic",
-          [] { return std::make_shared<ClassicalSolver>("dinic", &flow::dinic); });
+  reg.add("dinic", [] {
+    return std::make_shared<ClassicalSolver>("dinic", &flow::dinic,
+                                             &flow::dinic_delta);
+  });
   reg.add("push_relabel", [] {
     return std::make_shared<ClassicalSolver>("push_relabel",
-                                             &flow::push_relabel);
+                                             &flow::push_relabel,
+                                             &flow::push_relabel_delta);
   });
   reg.add("analog_dc", [] {
     return make_analog_solver("analog_dc", *builtin_analog_options("analog_dc"));

@@ -91,8 +91,64 @@ void write_metrics_json(util::JsonWriter& j, const flow::SolveMetrics& m) {
   j.field("pool_hits", m.pool_hits);
   j.field("pool_misses", m.pool_misses);
   j.field("pool_evictions", m.pool_evictions);
+  j.field("delta_solves", m.delta_solves);
+  j.field("delta_fallbacks", m.delta_fallbacks);
+  j.field("edges_touched", m.edges_touched);
   j.end_object();
 }
+
+/// Parses the structured reconfigure edit list: `I:C[,I:C...]` (edge
+/// index, new capacity). Order matters; a later edit to the same edge wins.
+std::vector<flow::CapacityEdit> parse_edit_list(const std::string& spec) {
+  std::vector<flow::CapacityEdit> edits;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    const size_t colon = item.find(':');
+    if (item.empty() || colon == std::string::npos || colon == 0 ||
+        colon + 1 >= item.size())
+      throw std::runtime_error("bad --edits item '" + item +
+                               "' (want EDGE:CAPACITY)");
+    flow::CapacityEdit e;
+    try {
+      e.edge = static_cast<int>(std::stoll(item.substr(0, colon)));
+      e.capacity = std::stod(item.substr(colon + 1));
+    } catch (const std::exception&) {
+      throw std::runtime_error("bad --edits item '" + item +
+                               "' (want EDGE:CAPACITY)");
+    }
+    edits.push_back(e);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (edits.empty()) throw std::runtime_error("--edits list is empty");
+  return edits;
+}
+
+/// Wraps a single-outcome delta solve as a BatchReport so it folds into
+/// the session/bank telemetry scopes exactly like a run() report.
+BatchReport report_of(InstanceOutcome out) {
+  BatchReport report;
+  report.wall_seconds = out.seconds;
+  report.threads_used = 1;
+  if (out.ok) {
+    report.total_flow = out.result.flow_value;
+    report.metrics = out.result.metrics;
+    if (out.result.metrics.warm_started) report.warm_started_instances = 1;
+  } else {
+    report.failed = 1;
+  }
+  report.outcomes.push_back(std::move(out));
+  return report;
+}
+
+/// Bound on the per-session edit log: a reconfiguration stream that runs
+/// longer than this between solves of one backend just composes a gap and
+/// takes the scratch path — correctness never depends on log depth.
+constexpr size_t kEditLogCap = 256;
 
 /// Gauge/counter snapshot of one shared ReusePool (a bank's, or the
 /// sweep/min-cut pool). Point-in-time under concurrency: other sessions
@@ -308,6 +364,21 @@ void ServeSession::absorb_session(const BatchReport& report) {
   fold_report(report, solves_, failed_, seconds_, solve_metrics_);
 }
 
+bool ServeSession::compose_delta_since(long long from_rev,
+                                       flow::CapacityDelta& out) const {
+  // Reconfigures log contiguous revisions (structural_revision_+1 ..
+  // revision_), so walking forward from from_rev must see every step; a
+  // jump means the log was trimmed past the prior.
+  long long expect = from_rev;
+  for (const auto& [rev, edits] : edit_log_) {
+    if (rev <= from_rev) continue;
+    if (rev != expect + 1) return false;
+    expect = rev;
+    out.edits.insert(out.edits.end(), edits.begin(), edits.end());
+  }
+  return expect == revision_;
+}
+
 const graph::FlowNetwork& ServeSession::require_instance() const {
   if (!current_)
     throw std::runtime_error(
@@ -399,6 +470,12 @@ void ServeSession::cmd_load(const std::vector<std::string>& t,
       load_batch(input.empty() ? spec : input);
   base_ = instances.front();
   current_ = base_;
+  // A load may change the topology: restart the reconfiguration stream.
+  // Old priors become structurally stale (revision < structural_revision_)
+  // rather than deleted, so the check is one comparison.
+  ++revision_;
+  structural_revision_ = revision_;
+  edit_log_.clear();
   j.field("ok", true);
   j.field("instances_in_source", instances.size());
   j.field("vertices", current_->num_vertices());
@@ -410,35 +487,70 @@ void ServeSession::cmd_load(const std::vector<std::string>& t,
 void ServeSession::cmd_reconfigure(const std::vector<std::string>& t,
                                    util::JsonWriter& j) {
   require_instance();
+  // Every request form — including the --seed / --scale generators — is
+  // reduced to one CapacityDelta against the current instance, so the
+  // whole mutation surface feeds the delta solve path uniformly.
+  graph::FlowNetwork next = *current_;
   bool mutated = false;
+  bool deprecated_edge_form = false;
+
   const long long seed = tok_ll(t, "--seed", -1);
   if (seed >= 0) {
     // Deterministic capacity reprogramming of the *base* topology: same
     // seed, same instance, independent of reconfiguration history.
-    current_ = capacity_variants(*base_, 2,
-                                 static_cast<std::uint64_t>(seed))[1];
+    next = capacity_variants(*base_, 2, static_cast<std::uint64_t>(seed))[1];
     mutated = true;
   }
   if (!tok_string(t, "--scale", "").empty()) {
     const double scale = tok_double(t, "--scale", 0.0);
     if (!(scale > 0.0)) throw std::runtime_error("--scale must be positive");
-    current_ = current_->transform_capacities(
-        [scale](double c) { return c * scale; });
+    next = next.transform_capacities([scale](double c) { return c * scale; });
+    mutated = true;
+  }
+  const std::string edits_spec = tok_string(t, "--edits", "");
+  if (!edits_spec.empty()) {
+    flow::CapacityDelta d;
+    d.edits = parse_edit_list(edits_spec);
+    d.apply(next); // validates indices and capacities
     mutated = true;
   }
   const long long edge = tok_ll(t, "--edge", -1);
   if (edge >= 0) {
+    // Deprecated single-edge alias, kept for one release; --edits is the
+    // structured form.
     const double cap = tok_double(t, "--capacity", 0.0);
-    current_->set_capacity(static_cast<int>(edge), cap); // validates both
+    next.set_capacity(static_cast<int>(edge), cap); // validates both
     mutated = true;
+    deprecated_edge_form = true;
   }
   if (!mutated)
     throw std::runtime_error(
-        "reconfigure needs --seed K, --scale F, or --edge I --capacity C");
+        "reconfigure needs --edits I:C[,I:C...], --seed K, --scale F, or "
+        "--edge I --capacity C (deprecated alias for --edits I:C)");
+
+  // Normalized diff current -> next (old capacities recorded): what the
+  // log carries is independent of which request form produced it.
+  flow::CapacityDelta delta = flow::delta_between(*current_, next);
+  current_ = std::move(next);
+  ++revision_;
+  edit_log_.emplace_back(revision_, delta.edits);
+  if (edit_log_.size() > kEditLogCap)
+    edit_log_.erase(edit_log_.begin(),
+                    edit_log_.begin() +
+                        static_cast<long>(edit_log_.size() - kEditLogCap));
+
   j.field("ok", true);
   j.field("vertices", current_->num_vertices());
   j.field("edges", current_->num_edges());
   j.field("max_capacity", current_->max_capacity());
+  j.field("edits_applied", delta.edits.size());
+  j.field("revision", revision_);
+  if (deprecated_edge_form) {
+    j.key("telemetry").begin_object();
+    j.field("deprecated",
+            "--edge I --capacity C is deprecated; use --edits I:C[,I:C...]");
+    j.end_object();
+  }
 }
 
 void ServeSession::cmd_solve(const std::vector<std::string>& t,
@@ -451,18 +563,42 @@ void ServeSession::cmd_solve(const std::vector<std::string>& t,
   BatchOptions bo;
   bo.solver = name;
   bo.validate = tok_flag(t, "--check");
-  const std::vector<graph::FlowNetwork> one{net};
-  // A point solve runs on the calling session's thread, against the bank's
+
+  // Delta routing: ride ISolver::solve_delta when the backend is
+  // incremental, the session holds a usable prior for it (same loaded
+  // instance, log reaches back to its revision), and the client did not
+  // force --scratch. The composed delta is exactly the edits since that
+  // prior solved; an empty delta (re-solve without reconfigure) rides the
+  // path too — it is the cheapest case.
+  bool delta_path = false;
+  flow::CapacityDelta delta;
+  const auto prior_it = priors_.find(name);
+  if (!tok_flag(t, "--scratch") && prior_it != priors_.end() &&
+      prior_it->second.revision >= structural_revision_ &&
+      b.solver->capabilities().incremental)
+    delta_path = compose_delta_since(prior_it->second.revision, delta);
+
+  // Either path runs on the calling session's thread, against the bank's
   // shared solver — so every session's solves feed (and draw from) the same
   // per-pattern pool.
-  const BatchReport report = BatchEngine(bo).run(one, b.solver, 1);
+  BatchReport report;
+  if (delta_path) {
+    report = report_of(
+        BatchEngine(bo).run_delta(net, delta, prior_it->second.result,
+                                  b.solver));
+  } else {
+    const std::vector<graph::FlowNetwork> one{net};
+    report = BatchEngine(bo).run(one, b.solver, 1);
+  }
   engine_.absorb(b, report);
   absorb_session(report);
   const InstanceOutcome& out = report.outcomes.front();
   if (!out.ok) throw std::runtime_error(out.error);
+  priors_[name] = Prior{out.result, revision_};
 
   j.field("ok", true);
   j.field("solver", name);
+  j.field("delta", delta_path);
   j.field("flow", out.result.flow_value);
   j.key("telemetry").begin_object();
   j.field("ms", out.seconds * 1e3);
@@ -490,14 +626,30 @@ void ServeSession::cmd_batch(const std::vector<std::string>& t,
   bo.deterministic = engine_.options().deterministic;
   bo.num_threads = engine_.workers_per_bank();
   const std::vector<graph::FlowNetwork> instances = load_batch(spec);
-  const BatchReport report =
-      BatchEngine(bo).run(instances, b.solver, engine_.workers_per_bank());
+
+  // --delta: replay the batch as a reconfiguration stream — instance 0
+  // solves from scratch, instance k re-solves incrementally from k-1's
+  // result across their capacity diff. Requires every instance to share
+  // one topology (delta_between throws otherwise); inherently sequential.
+  const bool delta_stream = tok_flag(t, "--delta");
+  BatchReport report;
+  if (delta_stream) {
+    std::vector<flow::CapacityDelta> deltas;
+    deltas.reserve(instances.size() > 0 ? instances.size() - 1 : 0);
+    for (size_t k = 1; k < instances.size(); ++k)
+      deltas.push_back(flow::delta_between(instances[k - 1], instances[k]));
+    report = BatchEngine(bo).run_delta(instances.front(), deltas, b.solver);
+  } else {
+    report = BatchEngine(bo).run(instances, b.solver,
+                                 engine_.workers_per_bank());
+  }
   engine_.absorb(b, report);
   absorb_session(report);
 
   j.field("ok", true);
   j.field("solver", name);
   j.field("batch", spec);
+  j.field("delta", delta_stream);
   j.field("instances", report.outcomes.size());
   j.field("failed", report.failed);
   j.field("total_flow", report.total_flow);
@@ -618,6 +770,7 @@ void ServeSession::cmd_session(util::JsonWriter& j) {
   if (current_) {
     j.field("vertices", current_->num_vertices());
     j.field("edges", current_->num_edges());
+    j.field("revision", revision_);
   }
   j.end_object();
   j.key("telemetry").begin_object();

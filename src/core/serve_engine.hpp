@@ -26,15 +26,25 @@
 // stdin/stdout or a Unix socket via core::ServeFront):
 //
 //   load (--input FILE.dimacs | --spec GENSPEC)
-//   reconfigure [--seed K] [--scale F] [--edge I --capacity C]
-//   solve [--solver NAME] [--check]
-//   batch --spec GENSPEC [--solver NAME] [--check]
+//   reconfigure (--edits I:C[,I:C...] | --seed K | --scale F)
+//               [--edge I --capacity C]   (deprecated alias for --edits I:C)
+//   solve [--solver NAME] [--check] [--scratch]
+//   batch --spec GENSPEC [--solver NAME] [--check] [--delta]
 //   sweep [--points N] [--vmax V]
 //   mincut
 //   session            (this connection's stats view)
 //   stats              (engine-wide stats: banks, pools, sessions)
 //   quit               (ends this session; other sessions keep serving)
 //   shutdown           (ends this session AND stops the serving front)
+//
+// Reconfiguration streams ride the delta-first solver API (flow/delta.hpp):
+// every capacity mutation is recorded as a CapacityDelta in the session's
+// edit log, and `solve` routes through ISolver::solve_delta — carrying the
+// session's previous result for that backend across the edits — whenever
+// the backend advertises SolverCapabilities::incremental and the log still
+// reaches back to that result's revision. `--scratch` forces the cold path;
+// the response's top-level "delta" field says which path ran, and the
+// metrics carry delta_solves / delta_fallbacks / edges_touched.
 //
 // Responses put schedule-independent result fields at the top level and
 // everything timing- or schedule-dependent (wall clock, warm/iteration
@@ -55,6 +65,7 @@
 #include "core/batch_engine.hpp"
 #include "core/reuse_pool.hpp"
 #include "core/solver.hpp"
+#include "flow/delta.hpp"
 #include "graph/network.hpp"
 #include "la/lu.hpp"
 #include "util/json.hpp"
@@ -121,6 +132,12 @@ class ServeSession {
   /// bank share is folded separately by ServeEngine::absorb).
   void absorb_session(const BatchReport& report);
 
+  /// Concatenates the logged edits of every revision in (from_rev,
+  /// revision_] into `out`. Returns false when the log no longer reaches
+  /// back to from_rev (trimmed, or from_rev predates the loaded instance)
+  /// — the caller then solves from scratch.
+  bool compose_delta_since(long long from_rev, flow::CapacityDelta& out) const;
+
   const graph::FlowNetwork& require_instance() const;
 
   ServeEngine& engine_;
@@ -130,6 +147,23 @@ class ServeSession {
 
   std::optional<graph::FlowNetwork> base_;    // as loaded
   std::optional<graph::FlowNetwork> current_; // after reconfigurations
+
+  // Reconfiguration-stream state behind the delta solve path. Every
+  // capacity mutation bumps revision_ and logs its edits; load (a
+  // potential topology change) resets the log and invalidates priors by
+  // advancing structural_revision_. priors_ remembers, per backend name,
+  // the last successful solve result and the revision it solved — the
+  // prior threaded into ISolver::solve_delta. The log is bounded
+  // (kEditLogCap in the .cpp); trimmed history shows up as a composition
+  // gap and falls back to scratch.
+  struct Prior {
+    flow::MaxFlowResult result;
+    long long revision = -1;
+  };
+  long long revision_ = 0;
+  long long structural_revision_ = 0;
+  std::vector<std::pair<long long, std::vector<flow::CapacityEdit>>> edit_log_;
+  std::map<std::string, Prior> priors_;
 
   // Per-session telemetry (single-threaded: only this session's connection
   // handler touches it). The shared-bank counterpart lives in the engine;

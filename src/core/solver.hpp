@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "flow/delta.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/network.hpp"
 
@@ -24,6 +25,10 @@ struct SolverCapabilities {
   bool deterministic = true;
   /// MaxFlowResult::operations carries a meaningful work counter.
   bool reports_operations = true;
+  /// solve_delta has a real incremental fast path: small capacity edits are
+  /// re-solved in O(changed region) by carrying the prior solution, instead
+  /// of the default from-scratch fallback.
+  bool incremental = false;
 };
 
 class ISolver {
@@ -37,6 +42,23 @@ class ISolver {
   /// Solves one instance. Must be safe to call concurrently from multiple
   /// threads on distinct instances (all built-in backends are stateless).
   virtual flow::MaxFlowResult solve(const graph::FlowNetwork& net) const = 0;
+
+  /// Incremental re-solve: `net` is the post-edit instance, `delta` the
+  /// capacity edits that produced it, `prior` the solution of the pre-edit
+  /// instance. Backends with capabilities().incremental carry `prior` across
+  /// the edits (residual repair for the classical solvers, operating-point
+  /// warm re-convergence for the analog substrate); the default rides the
+  /// from-scratch solve() and counts a metrics.delta_fallbacks. Either way
+  /// the returned flow value matches a from-scratch solve of `net`.
+  virtual flow::MaxFlowResult solve_delta(const graph::FlowNetwork& net,
+                                          const flow::CapacityDelta& delta,
+                                          const flow::MaxFlowResult& prior) const {
+    (void)prior;
+    flow::MaxFlowResult r = solve(net);
+    r.metrics.delta_fallbacks += 1;
+    r.metrics.edges_touched += delta.distinct_edges();
+    return r;
+  }
 };
 
 using SolverPtr = std::shared_ptr<const ISolver>;

@@ -1,0 +1,99 @@
+// First-class capacity deltas: the reconfiguration-stream currency of the
+// serving layer (PR 6).
+//
+// The paper's core pitch is cheap *reconfiguration*: the substrate re-solves
+// a perturbed instance far faster than a from-scratch run. A CapacityDelta
+// is the batch of edge-capacity edits between two same-topology instances;
+// the incremental digital solvers here carry the previous solution's
+// residual graph across the edits and repair it instead of re-solving:
+//
+//  1. carry: rebuild the residual from the post-edit capacities and the
+//     prior per-edge flow, clamping flow into [0, capacity] (an edit that
+//     decreased a capacity below its carried flow leaves a capacity-feasible
+//     pseudo-flow with conservation violations at the edge's endpoints);
+//  2. repair: drain every conservation violation with shortest residual
+//     paths — surplus inflow routes to a deficit node, the sink, or back to
+//     the source; residual paths for both directions are guaranteed by flow
+//     decomposition of the carried pseudo-flow, so the repair is total and
+//     needs O(|changed region|) path searches for a k-edge edit;
+//  3. re-augment: run the backend's own maximum-flow machinery from the
+//     repaired feasible flow (Dinic blocking flows, or FIFO push-relabel
+//     seeded as a preflow), which only does work where the edits opened new
+//     slack. The result is a true maximum flow of the edited network — the
+//     invalidation rule and its soundness argument live in DESIGN.md
+//     "Incremental re-solve: the delta path".
+//
+// The delta path never trades correctness for speed: a prior of the wrong
+// shape (or a repair that fails to make progress numerically) falls back to
+// the from-scratch solver, counted in SolveMetrics::delta_fallbacks.
+#pragma once
+
+#include <vector>
+
+#include "flow/maxflow.hpp"
+#include "graph/network.hpp"
+
+namespace aflow::flow {
+
+/// One edge-capacity edit. `old_capacity` is recorded when the edit is
+/// applied (CapacityDelta::apply) or diffed (delta_between), making the
+/// delta invertible and its magnitude measurable; a negative value means
+/// "not recorded".
+struct CapacityEdit {
+  int edge = -1;
+  double capacity = 0.0;      // new capacity (validated: must be positive)
+  double old_capacity = -1.0; // pre-edit capacity, when known
+};
+
+/// A batch of capacity edits against one fixed topology. Edits apply in
+/// order; a later edit to the same edge wins.
+struct CapacityDelta {
+  std::vector<CapacityEdit> edits;
+
+  bool empty() const { return edits.empty(); }
+
+  /// Distinct edges touched (after last-edit-wins merging).
+  int distinct_edges() const;
+
+  /// Applies the edits to `net` in order (each validated by
+  /// FlowNetwork::set_capacity) and records every edit's old_capacity.
+  /// Throws std::invalid_argument on a bad index or non-positive capacity;
+  /// edits before the offending one stay applied.
+  void apply(graph::FlowNetwork& net);
+
+  /// Largest |capacity - old_capacity| / max(old_capacity, 1) over the
+  /// edits — the analog trust-region measure. 0 for an empty delta;
+  /// +infinity when any edit lacks a recorded old_capacity (an unmeasured
+  /// delta never passes a trust test).
+  double max_relative_change() const;
+};
+
+/// Structural diff: the edits (with old_capacity recorded) that turn
+/// `before` into `after`. Throws std::invalid_argument when the two differ
+/// in topology (vertex count, edge count, endpoints, source/sink).
+CapacityDelta delta_between(const graph::FlowNetwork& before,
+                            const graph::FlowNetwork& after);
+
+/// True when `prior` can seed an incremental re-solve of `net`: the
+/// edge-flow vector matches the edge count and every entry is finite. (The
+/// repair tolerates any such vector — feasibility is restored from
+/// arbitrary pseudo-flows — so this is a shape check, not a semantic one.)
+bool delta_prior_usable(const graph::FlowNetwork& net,
+                        const MaxFlowResult& prior);
+
+/// Incremental re-solves. `net` is the post-edit network, `prior` the
+/// solution of the pre-edit instance; `delta` names the edited edges (used
+/// for telemetry and the repair's work accounting — correctness does not
+/// depend on it being exact). Returns a maximum flow of `net` whose value
+/// (and min-cut value) is identical to a from-scratch solve; edge flows may
+/// differ where maximum flows are non-unique. Falls back to the
+/// from-scratch solver when `prior` is unusable, counted in
+/// metrics.delta_fallbacks (metrics.delta_solves counts the fast path).
+MaxFlowResult dinic_delta(const graph::FlowNetwork& net,
+                          const CapacityDelta& delta,
+                          const MaxFlowResult& prior);
+MaxFlowResult push_relabel_delta(const graph::FlowNetwork& net,
+                                 const CapacityDelta& delta,
+                                 const MaxFlowResult& prior);
+
+} // namespace aflow::flow

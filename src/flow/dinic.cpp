@@ -9,25 +9,26 @@ namespace aflow::flow {
 
 namespace {
 
+/// Blocking-flow augmenter over an externally owned residual, so the cold
+/// solve (fresh residual) and the incremental delta path (carried residual,
+/// flow/delta.hpp) share one implementation.
 class DinicSolver {
  public:
-  DinicSolver(const graph::FlowNetwork& net)
-      : r_(net), s_(net.source()), t_(net.sink()),
-        level_(r_.n), it_(r_.n) {}
+  DinicSolver(detail::Residual& r, int s, int t)
+      : r_(r), s_(s), t_(t), level_(r.n), it_(r.n) {}
 
-  MaxFlowResult run(const graph::FlowNetwork& net) {
-    MaxFlowResult result;
+  double augment(long long& ops) {
+    double added = 0.0;
     while (bfs_levels()) {
       std::fill(it_.begin(), it_.end(), 0);
       for (;;) {
         const double pushed = dfs(s_, std::numeric_limits<double>::infinity());
         if (pushed <= 0.0) break;
-        result.flow_value += pushed;
-        result.operations++;
+        added += pushed;
+        ops++;
       }
     }
-    result.edge_flow = r_.edge_flows(net);
-    return result;
+    return added;
   }
 
  private:
@@ -39,7 +40,7 @@ class DinicSolver {
     while (!q.empty()) {
       const int v = q.front();
       q.pop();
-      for (int arc : r_.adj[v]) {
+      for (int arc : r_.arcs(v)) {
         const int u = r_.head[arc];
         if (level_[u] == -1 && r_.cap[arc] > 0.0) {
           level_[u] = level_[v] + 1;
@@ -52,8 +53,9 @@ class DinicSolver {
 
   double dfs(int v, double limit) {
     if (v == t_) return limit;
-    for (int& i = it_[v]; i < static_cast<int>(r_.adj[v].size()); ++i) {
-      const int arc = r_.adj[v][i];
+    const std::span<const int> arcs = r_.arcs(v);
+    for (int& i = it_[v]; i < static_cast<int>(arcs.size()); ++i) {
+      const int arc = arcs[i];
       const int u = r_.head[arc];
       if (r_.cap[arc] <= 0.0 || level_[u] != level_[v] + 1) continue;
       const double pushed = dfs(u, std::min(limit, r_.cap[arc]));
@@ -67,7 +69,7 @@ class DinicSolver {
     return 0.0;
   }
 
-  detail::Residual r_;
+  detail::Residual& r_;
   int s_, t_;
   std::vector<int> level_;
   std::vector<int> it_;
@@ -75,8 +77,21 @@ class DinicSolver {
 
 } // namespace
 
+namespace detail {
+
+double dinic_augment(Residual& r, int s, int t, long long& ops) {
+  return DinicSolver(r, s, t).augment(ops);
+}
+
+} // namespace detail
+
 MaxFlowResult dinic(const graph::FlowNetwork& net) {
-  return DinicSolver(net).run(net);
+  detail::Residual r(net);
+  MaxFlowResult result;
+  result.flow_value =
+      detail::dinic_augment(r, net.source(), net.sink(), result.operations);
+  result.edge_flow = r.edge_flows(net);
+  return result;
 }
 
 } // namespace aflow::flow

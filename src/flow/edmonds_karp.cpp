@@ -22,7 +22,7 @@ MaxFlowResult edmonds_karp(const graph::FlowNetwork& net) {
     while (!q.empty() && pred_arc[t] == -1) {
       const int v = q.front();
       q.pop();
-      for (int arc : r.adj[v]) {
+      for (int arc : r.arcs(v)) {
         const int u = r.head[arc];
         if (pred_arc[u] == -1 && r.cap[arc] > 0.0) {
           pred_arc[u] = arc;

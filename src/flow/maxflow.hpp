@@ -29,6 +29,14 @@ struct SolveMetrics {
   long long pool_hits = 0;
   long long pool_misses = 0;
   long long pool_evictions = 0;   // LRU entries evicted by this solve's store
+  // Delta-path telemetry (ISolver::solve_delta): a solve entered through the
+  // incremental entry either rode the delta fast path (delta_solves) or fell
+  // back to a from-scratch/full-warm solve (delta_fallbacks) — exactly one of
+  // the two per solve_delta call. edges_touched counts the distinct edited
+  // edges the delta carried (whichever path ran).
+  long long delta_solves = 0;
+  long long delta_fallbacks = 0;
+  long long edges_touched = 0;
 
   /// Accumulates another solve's counters (warm_started ORs). Every field
   /// is attributable to the request that produced it, so the same type
@@ -49,6 +57,9 @@ struct SolveMetrics {
     pool_hits += m.pool_hits;
     pool_misses += m.pool_misses;
     pool_evictions += m.pool_evictions;
+    delta_solves += m.delta_solves;
+    delta_fallbacks += m.delta_fallbacks;
+    edges_touched += m.edges_touched;
     return *this;
   }
 };

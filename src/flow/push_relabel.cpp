@@ -3,6 +3,15 @@
 //   - initial global relabeling (exact distance labels from a reverse BFS),
 //   - the gap heuristic (when a height level empties, every vertex above it
 //     is lifted past n, cutting off dead regions).
+//
+// The solver operates on an externally owned residual and starts from
+// whatever feasible flow it carries: a feasible flow is a preflow with no
+// excess, so the standard initialisation (saturate the source-adjacent
+// residual arcs, discharge) is valid from any carried flow. The cold entry
+// (flow::push_relabel) passes a fresh zero-flow residual; the incremental
+// delta path (flow/delta.hpp) passes a repaired carry-over residual, which
+// is what makes a k-edge capacity edit cost O(changed region): only the
+// arcs with fresh slack out of the source create excess to discharge.
 #include <algorithm>
 #include <queue>
 
@@ -15,38 +24,140 @@ namespace {
 
 class PushRelabelSolver {
  public:
-  explicit PushRelabelSolver(const graph::FlowNetwork& net)
-      : r_(net), s_(net.source()), t_(net.sink()), n_(r_.n),
+  PushRelabelSolver(detail::Residual& r, int s, int t)
+      : r_(r), s_(s), t_(t), n_(r.n),
         height_(n_, 0), excess_(n_, 0.0), current_arc_(n_, 0),
         height_count_(2 * static_cast<size_t>(n_) + 1, 0) {}
 
-  MaxFlowResult run(const graph::FlowNetwork& net) {
+  long long augment() {
     global_relabel();
 
-    // Saturate all source-adjacent arcs.
+    // Saturate the source-adjacent arcs with residual slack — except those
+    // into vertices the initial global relabel put at height n (no residual
+    // path to the sink). Heights never decrease and stay a valid labeling,
+    // so such a vertex can never reach the sink later either: flow pushed
+    // there could only round-trip back to s. Skipping it keeps the answer a
+    // maximum flow and matters most on the delta path, where the carried
+    // prior is near-maximal and almost all remaining source slack faces a
+    // saturated cut.
     height_count_[height_[s_]]--;
     height_[s_] = n_;
     height_count_[n_]++;
-    for (int arc : r_.adj[s_]) {
-      if (r_.cap[arc] <= 0.0) continue;
+    for (int arc : r_.arcs(s_)) {
+      if (r_.cap[arc] <= 0.0 || height_[r_.head[arc]] >= n_) continue;
       push(s_, arc);
     }
 
+    // Main loop: route as much excess as possible to the sink. A vertex
+    // already at height >= n when popped (lifted by the gap heuristic, or
+    // cut off by the initial relabel) can never reach the sink again, so
+    // its excess is parked for the return-to-source sweep below instead of
+    // being discharged uphill.
     while (!active_.empty()) {
       const int v = active_.front();
       active_.pop();
-      if (v == s_ || v == t_) continue;
+      if (v == s_ || v == t_ || height_[v] >= n_) continue;
       discharge(v);
     }
-
-    MaxFlowResult result;
-    result.flow_value = excess_[t_];
-    result.edge_flow = r_.edge_flows(net);
-    result.operations = pushes_ + relabels_;
-    return result;
+    if (!return_excess_to_source()) {
+      // Numerically degenerate drain (dust-capacity bottlenecks): finish
+      // with the legacy discharge walk, which returns excess by relabeling
+      // past n. Slow but unconditionally correct.
+      for (int v = 0; v < n_; ++v)
+        if (v != s_ && v != t_ && excess_[v] > 0.0) active_.push(v);
+      while (!active_.empty()) {
+        const int v = active_.front();
+        active_.pop();
+        if (v == s_ || v == t_) continue;
+        discharge(v);
+      }
+    }
+    return pushes_ + relabels_;
   }
 
  private:
+  /// Phase 2: every parked excess travels back to the source by retracing
+  /// flow-carrying in-arcs (odd arc ids: cap[2e+1] is exactly the flow on
+  /// input edge e). Flow decomposition of the preflow guarantees each
+  /// excess unit lies on an s -> v flow path, so the backward walk reaches
+  /// s — after cancelling any flow cycles it wanders into, each of which
+  /// zeroes at least one arc, so the whole phase terminates. Walking flow
+  /// arcs directly (instead of BFS over the full residual per push) keeps
+  /// the return cost proportional to the flow being unwound. Returns false
+  /// only on a numerically degenerate dead end (float-dust inflow); the
+  /// caller then finishes with the legacy discharge walk.
+  bool return_excess_to_source() {
+    // Well below check_flow's 1e-9 conservation tolerance, well above
+    // double rounding dust at the capacity scales in play.
+    constexpr double kExcessEps = 1e-11;
+    std::vector<int> mark(n_, 0);
+    std::vector<int> mark_pos(n_, -1);
+    std::vector<int> cur(n_, 0); // per-vertex in-arc scan position
+    std::vector<int> walk_v, walk_arc;
+    int stamp = 0;
+    for (int v0 = 0; v0 < n_; ++v0) {
+      if (v0 == s_ || v0 == t_) continue;
+      while (excess_[v0] > kExcessEps) {
+        ++stamp;
+        walk_v.assign(1, v0);
+        walk_arc.clear();
+        mark[v0] = stamp;
+        mark_pos[v0] = 0;
+        bool routed = false;
+        while (!routed) {
+          const int x = walk_v.back();
+          const std::span<const int> arcs = r_.arcs(x);
+          int& c = cur[x];
+          while (c < static_cast<int>(arcs.size()) &&
+                 (!(arcs[c] & 1) || r_.cap[arcs[c]] <= kExcessEps))
+            c++;
+          if (c == static_cast<int>(arcs.size())) return false; // dead end
+          const int arc = arcs[c];
+          const int u = r_.head[arc];
+          if (u == s_) {
+            // s -> ... -> v0 flow path found: unwind the excess along it.
+            double amount = excess_[v0];
+            for (int a : walk_arc) amount = std::min(amount, r_.cap[a]);
+            amount = std::min(amount, r_.cap[arc]);
+            for (int a : walk_arc) {
+              r_.cap[a] -= amount;
+              r_.cap[r_.rev(a)] += amount;
+            }
+            r_.cap[arc] -= amount;
+            r_.cap[r_.rev(arc)] += amount;
+            excess_[v0] -= amount;
+            pushes_++;
+            routed = true;
+          } else if (mark[u] == stamp) {
+            // Flow cycle u -> ... -> x -> u: cancel its bottleneck (zeroes
+            // at least one arc) and resume the walk from u.
+            const int p = mark_pos[u];
+            double amount = r_.cap[arc];
+            for (size_t i = p; i < walk_arc.size(); ++i)
+              amount = std::min(amount, r_.cap[walk_arc[i]]);
+            for (size_t i = p; i < walk_arc.size(); ++i) {
+              r_.cap[walk_arc[i]] -= amount;
+              r_.cap[r_.rev(walk_arc[i])] += amount;
+            }
+            r_.cap[arc] -= amount;
+            r_.cap[r_.rev(arc)] += amount;
+            for (size_t i = p + 1; i < walk_v.size(); ++i) mark[walk_v[i]] = 0;
+            walk_v.resize(p + 1);
+            walk_arc.resize(p);
+            pushes_++;
+          } else {
+            mark[u] = stamp;
+            mark_pos[u] = static_cast<int>(walk_v.size());
+            walk_v.push_back(u);
+            walk_arc.push_back(arc);
+          }
+        }
+      }
+      excess_[v0] = std::max(excess_[v0], 0.0);
+    }
+    return true;
+  }
+
   void global_relabel() {
     // Heights = BFS distance to sink in the residual graph; unreachable
     // vertices (and the source) sit at n.
@@ -58,7 +169,7 @@ class PushRelabelSolver {
     while (!q.empty()) {
       const int v = q.front();
       q.pop();
-      for (int arc : r_.adj[v]) {
+      for (int arc : r_.arcs(v)) {
         // Arc (v -> u) in adj; we need residual capacity on (u -> v).
         const int u = r_.head[arc];
         if (height_[u] == n_ && u != s_ && r_.cap[r_.rev(arc)] > 0.0) {
@@ -86,7 +197,7 @@ class PushRelabelSolver {
   void relabel(int v) {
     const int old_height = height_[v];
     int min_height = 2 * n_;
-    for (int arc : r_.adj[v])
+    for (int arc : r_.arcs(v))
       if (r_.cap[arc] > 0.0) min_height = std::min(min_height, height_[r_.head[arc]]);
     height_[v] = min_height + 1;
     relabels_++;
@@ -109,18 +220,15 @@ class PushRelabelSolver {
 
   void discharge(int v) {
     while (excess_[v] > 0.0) {
-      if (current_arc_[v] == static_cast<int>(r_.adj[v].size())) {
+      if (current_arc_[v] == static_cast<int>(r_.arcs(v).size())) {
         relabel(v);
         current_arc_[v] = 0;
-        // Defensive bound only: a vertex with excess always has a residual
-        // path back to the source (its inflow came from s), which caps its
-        // valid height at h(s) + n - 1 = 2n - 1, so this break can never
-        // strand excess — the excess-return phase completes inside the
-        // main loop. test_flow's conservation audit enforces this.
-        if (height_[v] > 2 * n_) break; // disconnected from both terminals
+        // Defensive bound only: heights are capped at 2n+1 by relabel's
+        // scan, so a vertex above 2n has walked its excess back to s.
+        if (height_[v] > 2 * n_) break;
         continue;
       }
-      const int arc = r_.adj[v][current_arc_[v]];
+      const int arc = r_.arcs(v)[current_arc_[v]];
       const int u = r_.head[arc];
       if (r_.cap[arc] > 0.0 && height_[v] == height_[u] + 1)
         push(v, arc);
@@ -129,7 +237,7 @@ class PushRelabelSolver {
     }
   }
 
-  detail::Residual r_;
+  detail::Residual& r_;
   int s_, t_, n_;
   std::vector<int> height_;
   std::vector<double> excess_;
@@ -142,8 +250,22 @@ class PushRelabelSolver {
 
 } // namespace
 
+namespace detail {
+
+long long push_relabel_augment(Residual& r, int s, int t) {
+  return PushRelabelSolver(r, s, t).augment();
+}
+
+} // namespace detail
+
 MaxFlowResult push_relabel(const graph::FlowNetwork& net) {
-  return PushRelabelSolver(net).run(net);
+  detail::Residual r(net);
+  MaxFlowResult result;
+  result.operations =
+      detail::push_relabel_augment(r, net.source(), net.sink());
+  result.flow_value = r.flow_value_at(net, net.source());
+  result.edge_flow = r.edge_flows(net);
+  return result;
 }
 
 } // namespace aflow::flow

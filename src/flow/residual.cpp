@@ -1,21 +1,52 @@
 #include "flow/residual.hpp"
 
+#include <algorithm>
+
 namespace aflow::flow::detail {
 
 Residual::Residual(const graph::FlowNetwork& net) : n(net.num_vertices()) {
   const int m = net.num_edges();
   cap.resize(2 * static_cast<size_t>(m));
   head.resize(2 * static_cast<size_t>(m));
-  adj.resize(n);
+  arc_start.assign(static_cast<size_t>(n) + 1, 0);
   for (int e = 0; e < m; ++e) {
     const auto& edge = net.edge(e);
     cap[2 * static_cast<size_t>(e)] = edge.capacity;
     cap[2 * static_cast<size_t>(e) + 1] = 0.0;
     head[2 * static_cast<size_t>(e)] = edge.to;
     head[2 * static_cast<size_t>(e) + 1] = edge.from;
-    adj[edge.from].push_back(2 * e);
-    adj[edge.to].push_back(2 * e + 1);
+    arc_start[static_cast<size_t>(edge.from) + 1]++;
+    arc_start[static_cast<size_t>(edge.to) + 1]++;
   }
+  for (int v = 0; v < n; ++v) arc_start[v + 1] += arc_start[v];
+  arc_ids.resize(2 * static_cast<size_t>(m));
+  std::vector<int> cursor(arc_start.begin(), arc_start.end() - 1);
+  for (int e = 0; e < m; ++e) {
+    const auto& edge = net.edge(e);
+    arc_ids[cursor[edge.from]++] = 2 * e;
+    arc_ids[cursor[edge.to]++] = 2 * e + 1;
+  }
+}
+
+Residual::Residual(const graph::FlowNetwork& net,
+                   std::span<const double> prior_flow)
+    : Residual(net) {
+  const int m = net.num_edges();
+  for (int e = 0; e < m; ++e) {
+    const double c = net.edge(e).capacity;
+    const double f = std::clamp(prior_flow[e], 0.0, c);
+    cap[2 * static_cast<size_t>(e)] = c - f;
+    cap[2 * static_cast<size_t>(e) + 1] = f;
+  }
+}
+
+double Residual::flow_value_at(const graph::FlowNetwork& net, int s) const {
+  double value = 0.0;
+  for (int e : net.out_edges(s))
+    value += net.edge(e).capacity - cap[2 * static_cast<size_t>(e)];
+  for (int e : net.in_edges(s))
+    value -= net.edge(e).capacity - cap[2 * static_cast<size_t>(e)];
+  return value;
 }
 
 std::vector<double> Residual::edge_flows(const graph::FlowNetwork& net) const {

@@ -3,6 +3,7 @@
 // arc i^1 the reverse of arc i.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/network.hpp"
@@ -12,17 +13,54 @@ namespace aflow::flow::detail {
 struct Residual {
   explicit Residual(const graph::FlowNetwork& net);
 
+  /// Builds the residual of `net` carrying a prior per-edge flow (clamped
+  /// into [0, capacity], so a flow that an edit made infeasible enters as a
+  /// capacity-feasible pseudo-flow whose conservation violations the delta
+  /// repair then drains). This is the carry-over seam of the incremental
+  /// re-solve path (flow/delta.hpp).
+  Residual(const graph::FlowNetwork& net, std::span<const double> prior_flow);
+
   /// Residual capacity per arc; arcs 2e / 2e+1 are the forward / reverse
   /// pair of input edge e.
   std::vector<double> cap;
-  std::vector<int> head;              // arc -> target vertex
-  std::vector<std::vector<int>> adj;  // vertex -> incident arc ids
+  std::vector<int> head; // arc -> target vertex
+  // Incident arcs in CSR form (arc_ids[arc_start[v] .. arc_start[v+1])):
+  // two flat arrays instead of a vector-of-vectors, so building a residual
+  // is two O(E) passes with no per-vertex allocations — that build is the
+  // fixed cost of every delta re-solve (flow/delta.hpp), where it would
+  // otherwise dominate small-edit steps.
+  std::vector<int> arc_start; // n + 1 offsets
+  std::vector<int> arc_ids;
   int n = 0;
 
   int rev(int arc) const { return arc ^ 1; }
 
+  /// Arcs leaving `v` (forward arcs of v's out-edges plus reverse arcs of
+  /// its in-edges).
+  std::span<const int> arcs(int v) const {
+    return {arc_ids.data() + arc_start[v],
+            static_cast<size_t>(arc_start[v + 1] - arc_start[v])};
+  }
+
   /// Extracts per-input-edge flow (forward capacity consumed).
   std::vector<double> edge_flows(const graph::FlowNetwork& net) const;
+
+  /// Flow value currently carried: net flow out of `s` (forward consumption
+  /// minus reverse consumption over s-incident arcs).
+  double flow_value_at(const graph::FlowNetwork& net, int s) const;
 };
+
+/// Augments the (feasible-flow) residual `r` to a maximum flow with Dinic
+/// blocking flows; returns the flow value added and counts augmenting paths
+/// into `ops`. Cold solves pass a fresh Residual (zero flow); the delta path
+/// passes a repaired carry-over residual.
+double dinic_augment(Residual& r, int s, int t, long long& ops);
+
+/// Runs FIFO push-relabel (gap heuristic, initial global relabel) from the
+/// feasible flow currently held in `r`, leaving `r` a maximum flow; returns
+/// pushes + relabels. A feasible flow is a preflow with no excess, so the
+/// standard initialisation (saturate s-adjacent residual arcs, discharge)
+/// is valid from any carried flow, not just the zero flow.
+long long push_relabel_augment(Residual& r, int s, int t);
 
 } // namespace aflow::flow::detail

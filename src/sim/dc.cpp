@@ -76,13 +76,25 @@ std::vector<double> DcSolver::solve_warm(circuit::DeviceState& state,
   return solve_impl(state, x_warm, iteration_budget);
 }
 
-void DcSolver::prime(const circuit::DeviceState& state) {
-  if (!options_.reuse_factorization) return;
-  circuit::StampOptions opt;
-  opt.transient = false;
-  opt.gmin = options_.gmin;
-  assembler_.assemble(state, opt, pattern_);
-  la::factor_with_cache(lu_, pattern_.matrix(), options_.ordering_cache.get());
+void DcSolver::warm_start(const WarmStart& w) {
+  if (!w.column_order.empty()) lu_.seed_column_order(w.column_order);
+  if (w.lu_prototype) lu_prototype_ = w.lu_prototype;
+  if (w.prime_state && options_.reuse_factorization) {
+    circuit::StampOptions opt;
+    opt.transient = false;
+    opt.gmin = options_.gmin;
+    assembler_.assemble(*w.prime_state, opt, pattern_);
+    la::factor_with_cache(lu_, pattern_.matrix(),
+                          options_.ordering_cache.get());
+  }
+}
+
+WarmStart DcSolver::export_warm_start() const {
+  WarmStart w;
+  if (!lu_.factored()) return w;
+  w.lu_prototype = std::make_shared<const la::SparseLU>(lu_);
+  w.column_order = lu_.column_order();
+  return w;
 }
 
 std::uint64_t DcSolver::pattern_key() {
@@ -96,11 +108,6 @@ std::uint64_t DcSolver::pattern_key() {
     assembler_.assemble(s0, opt, pattern_);
   }
   return pattern_.matrix().pattern_key();
-}
-
-std::shared_ptr<const la::SparseLU> DcSolver::share_factorization() const {
-  if (!lu_.factored()) return nullptr;
-  return std::make_shared<const la::SparseLU>(lu_);
 }
 
 std::vector<double> DcSolver::solve_impl(circuit::DeviceState& state,
@@ -189,14 +196,19 @@ PooledWarmStart pooled_warm_start(
 
   // Bit-safe ordering seed: the prototype's column order is the pure
   // pattern function a cold run would compute itself.
-  if (warm->lu && warm->lu->factored())
-    solver.seed_column_order(warm->lu->column_order());
+  if (warm->lu && warm->lu->factored()) {
+    WarmStart seed;
+    seed.column_order = warm->lu->column_order();
+    solver.warm_start(seed);
+  }
   const circuit::Netlist& net = solver.assembler().netlist();
   if (!warm->shapes_match(net, solver.assembler().num_unknowns())) return out;
 
   // Canonical priming: freeze the factorisation provenance the cold path
   // would have, then attempt the seeded solve.
-  solver.prime(state);
+  WarmStart primer;
+  primer.prime_state = &state;
+  solver.warm_start(primer);
   out.primed = true;
   circuit::DeviceState attempt = *warm->state;
   auto failed = [&] {

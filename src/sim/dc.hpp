@@ -69,6 +69,32 @@ struct DcStats {
   long long prototype_refactors = 0;
 };
 
+/// Aggregated warm-start carry-over between same-pattern DcSolver
+/// instances — the single options struct behind what used to be four
+/// separate entry points (set_lu_prototype, seed_column_order, prime,
+/// share_factorization; all kept as thin forwarding shims). Populate the
+/// pieces you have and hand the struct to DcSolver::warm_start; the donor
+/// side snapshots its own with DcSolver::export_warm_start.
+///
+/// The pieces trade speed against bit-stability independently:
+///  - lu_prototype: factored donor SparseLU; the first factorisation
+///    clones it and enters through the numeric-only refactor (no symbolic
+///    analysis, no pivoting). Fastest, but the donor's pivot order can
+///    differ from a cold run's in the last bit.
+///  - column_order: fill-reducing ordering seed. Bit-safe — the ordering
+///    is a pure function of the MNA pattern, so a seeded solve is
+///    bit-identical to one that computes the order itself.
+///  - prime_state: when non-null, the solver assembles and fully factors
+///    at this device state (exactly the cold path's first factorisation)
+///    so every subsequent solve rides the numeric refactor over a frozen,
+///    cold-identical pivot structure. Borrowed for the duration of the
+///    warm_start call only.
+struct WarmStart {
+  std::shared_ptr<const la::SparseLU> lu_prototype;
+  std::vector<int> column_order;
+  const circuit::DeviceState* prime_state = nullptr;
+};
+
 class DcSolver {
  public:
   explicit DcSolver(const circuit::Netlist& net, DcOptions options = {})
@@ -98,50 +124,58 @@ class DcSolver {
                                  std::span<const double> x_warm,
                                  int iteration_budget = 0);
 
-  /// Installs a factored same-pattern SparseLU prototype from a previous
-  /// instance. The first factorisation clones it and enters through
-  /// `refactor` (numeric-only, no symbolic analysis); on pivot degradation
-  /// or a pattern mismatch it falls back to a full factorisation as usual.
-  /// Note this trades bit-stability for speed: the prototype's pivot order
-  /// was chosen on the donor's values, so results can differ from a cold
-  /// run in the last bit (see solve_warm). Callers that need warm == cold
-  /// bitwise use prime() instead.
+  /// Installs warm-start carry-over from a previous same-pattern instance:
+  /// every populated piece of `w` is applied (ordering seed, then LU
+  /// prototype, then canonical priming — see WarmStart for what each piece
+  /// buys and costs). Priming is a no-op when reuse_factorization is off
+  /// (there is no persistent factorisation to prime) and is not counted in
+  /// the per-solve DcStats; callers that reconcile factor counters account
+  /// for it separately. Call before solve()/solve_warm().
+  void warm_start(const WarmStart& w);
+
+  /// Snapshot of this solver's shareable warm-start state (factored LU as
+  /// prototype + its pattern-pure column order), for publishing to the
+  /// next same-pattern instance. Both fields are empty when nothing has
+  /// been factored yet (e.g. reuse_factorization off); prime_state is
+  /// never set — the receiver chooses its own canonical state.
+  WarmStart export_warm_start() const;
+
+  /// Shim for warm_start({.lu_prototype = ...}): fast, last-bit unstable
+  /// (see WarmStart). Callers that need warm == cold bitwise prime instead.
   void set_lu_prototype(std::shared_ptr<const la::SparseLU> prototype) {
-    lu_prototype_ = std::move(prototype);
+    WarmStart w;
+    w.lu_prototype = std::move(prototype);
+    warm_start(w);
   }
 
-  /// Seeds the fill-reducing column order for the first full factorisation,
-  /// skipping the ordering analysis. Bit-safe, unlike set_lu_prototype: the
-  /// ordering is a pure function of the MNA pattern, so a seeded solve is
-  /// bit-identical to one that computes the order itself (a wrong-size seed
-  /// is ignored, and any valid permutation costs fill, never correctness).
+  /// Shim for warm_start({.column_order = ...}): bit-safe ordering seed (a
+  /// wrong-size seed is ignored, and any valid permutation costs fill,
+  /// never correctness).
   void seed_column_order(std::vector<int> order) {
-    lu_.seed_column_order(std::move(order));
+    WarmStart w;
+    w.column_order = std::move(order);
+    warm_start(w);
   }
 
-  /// Canonical priming for bit-stable warm starts (the quasi-static sweep
-  /// and min-cut dual consumers of core::ReusePool): assembles the MNA
-  /// system at `state` with the nominal gmin and fully factors it — exactly
-  /// the factorisation a cold solve() would compute first. Every subsequent
-  /// solve (warm-seeded or not) then rides the numeric refactor fast path
-  /// over this frozen pivot structure, and since a refactor's output
-  /// depends only on (frozen structure, current values), the converged
-  /// solution is bit-identical to the cold path's as long as both converge
-  /// to the same device-state set. Call with DeviceState::initial and the
-  /// cold path's source values before seeding warm state. No-op when
-  /// reuse_factorization is off (there is no persistent factorisation to
-  /// prime). Not counted in the per-solve DcStats; callers that reconcile
-  /// factor counters account for it separately.
-  void prime(const circuit::DeviceState& state);
+  /// Shim for warm_start({.prime_state = &state}): canonical priming for
+  /// bit-stable warm starts (the quasi-static sweep and min-cut dual
+  /// consumers of core::ReusePool). Call with DeviceState::initial and the
+  /// cold path's source values before seeding warm state.
+  void prime(const circuit::DeviceState& state) {
+    WarmStart w;
+    w.prime_state = &state;
+    warm_start(w);
+  }
 
   /// Fingerprint of this circuit's MNA pattern (captures the pattern on
   /// first call; the pattern is state-independent). Keys core::ReusePool.
   std::uint64_t pattern_key();
 
-  /// Snapshot of the current factorisation, for publishing as a
-  /// cross-instance prototype. Null when nothing has been factored (e.g.
-  /// reuse_factorization off).
-  std::shared_ptr<const la::SparseLU> share_factorization() const;
+  /// Shim for export_warm_start().lu_prototype: the current factorisation
+  /// as a cross-instance prototype; null when nothing has been factored.
+  std::shared_ptr<const la::SparseLU> share_factorization() const {
+    return export_warm_start().lu_prototype;
+  }
 
   const circuit::MnaAssembler& assembler() const { return assembler_; }
   /// Statistics of the most recent solve() call.

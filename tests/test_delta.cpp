@@ -1,0 +1,401 @@
+// Delta-first solver API (flow/delta.hpp + ISolver::solve_delta): the
+// incremental re-solves must be value-identical to from-scratch solves —
+// max-flow value and min-cut value — on every edit shape (single edge,
+// k-edge batch, decrease-below-flow, saturating increase), and the serving
+// layer's reconfigure streams must replay to the same values with the
+// delta path on or off.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/batch_engine.hpp"
+#include "core/registry.hpp"
+#include "core/serve_engine.hpp"
+#include "core/workload.hpp"
+#include "flow/delta.hpp"
+#include "flow/maxflow.hpp"
+#include "graph/generators.hpp"
+
+namespace core = aflow::core;
+namespace flow = aflow::flow;
+namespace graph = aflow::graph;
+
+namespace {
+
+using DeltaFn = flow::MaxFlowResult (*)(const graph::FlowNetwork&,
+                                        const flow::CapacityDelta&,
+                                        const flow::MaxFlowResult&);
+
+const std::vector<std::pair<const char*, DeltaFn>> kDeltaSolvers = {
+    {"dinic_delta", flow::dinic_delta},
+    {"push_relabel_delta", flow::push_relabel_delta},
+};
+
+/// Asserts `r` is a maximum flow of `net`: feasible, and value-identical
+/// (flow AND extracted min-cut value) to an independent scratch solve.
+void expect_max_flow(const graph::FlowNetwork& net, const flow::MaxFlowResult& r,
+                     const char* what) {
+  EXPECT_EQ(flow::check_flow(net, r), "") << what;
+  const flow::MaxFlowResult scratch = flow::edmonds_karp(net);
+  EXPECT_NEAR(r.flow_value, scratch.flow_value, 1e-6) << what;
+  const flow::MinCutResult cut = flow::min_cut_from_flow(net, r);
+  EXPECT_NEAR(cut.cut_value, scratch.flow_value, 1e-6) << what;
+}
+
+flow::CapacityDelta edit_edges(graph::FlowNetwork& net,
+                               const std::vector<std::pair<int, double>>& edits) {
+  flow::CapacityDelta d;
+  for (const auto& [e, c] : edits) d.edits.push_back({e, c, -1.0});
+  d.apply(net);
+  return d;
+}
+
+/// Minimal extractors for aflow-serve-v1 single-line JSON responses.
+double json_double(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  EXPECT_NE(at, std::string::npos) << "missing key " << key << " in " << json;
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+bool json_bool(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  EXPECT_NE(at, std::string::npos) << "missing key " << key << " in " << json;
+  return at != std::string::npos &&
+         json.compare(at + needle.size(), 4, "true") == 0;
+}
+
+} // namespace
+
+TEST(CapacityDelta, ApplyRecordsOldCapacitiesAndValidates) {
+  graph::FlowNetwork g(3, 0, 2);
+  g.add_edge(0, 1, 4.0);
+  g.add_edge(1, 2, 6.0);
+
+  flow::CapacityDelta d;
+  d.edits.push_back({1, 2.5, -1.0});
+  EXPECT_EQ(d.max_relative_change(),
+            std::numeric_limits<double>::infinity()); // unmeasured
+  d.apply(g);
+  EXPECT_DOUBLE_EQ(g.edge(1).capacity, 2.5);
+  EXPECT_DOUBLE_EQ(d.edits[0].old_capacity, 6.0);
+  EXPECT_NEAR(d.max_relative_change(), 3.5 / 6.0, 1e-12);
+  EXPECT_EQ(d.distinct_edges(), 1);
+
+  flow::CapacityDelta bad;
+  bad.edits.push_back({7, 1.0, -1.0});
+  EXPECT_THROW(bad.apply(g), std::invalid_argument);
+}
+
+TEST(CapacityDelta, DeltaBetweenDiffsCapacitiesAndRejectsTopologyChanges) {
+  const graph::FlowNetwork before = graph::layered_random(3, 4, 2, 16, 7);
+  graph::FlowNetwork after = before;
+  after.set_capacity(0, after.edge(0).capacity + 3.0);
+  after.set_capacity(2, 1.0);
+
+  const flow::CapacityDelta d = flow::delta_between(before, after);
+  ASSERT_EQ(d.edits.size(), 2u);
+  EXPECT_EQ(d.edits[0].edge, 0);
+  EXPECT_DOUBLE_EQ(d.edits[0].old_capacity, before.edge(0).capacity);
+  EXPECT_EQ(d.edits[1].edge, 2);
+
+  graph::FlowNetwork other(before.num_vertices() + 1, 0, 1);
+  EXPECT_THROW(flow::delta_between(before, other), std::invalid_argument);
+}
+
+TEST(DeltaSolve, SingleEdgeEditsMatchScratch) {
+  for (const auto& [name, solve_delta] : kDeltaSolvers) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const graph::FlowNetwork base = graph::uniform_random(40, 160, 32, seed);
+      const flow::MaxFlowResult prior = flow::dinic(base);
+
+      // Increase and decrease, one edge each.
+      for (const double cap : {40.0, 1.0}) {
+        graph::FlowNetwork edited = base;
+        const int e = static_cast<int>(seed * 7) % base.num_edges();
+        const flow::CapacityDelta d = edit_edges(edited, {{e, cap}});
+        const flow::MaxFlowResult r = solve_delta(edited, d, prior);
+        expect_max_flow(edited, r, name);
+        EXPECT_EQ(r.metrics.delta_solves, 1) << name;
+        EXPECT_EQ(r.metrics.delta_fallbacks, 0) << name;
+        EXPECT_EQ(r.metrics.edges_touched, 1) << name;
+      }
+    }
+  }
+}
+
+TEST(DeltaSolve, KEdgeBatchesMatchScratch) {
+  for (const auto& [name, solve_delta] : kDeltaSolvers) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const graph::FlowNetwork base =
+          graph::layered_random(4, 6, 3, 32, seed);
+      const flow::MaxFlowResult prior = flow::push_relabel(base);
+
+      std::mt19937_64 rng(seed * 1234567);
+      graph::FlowNetwork edited = base;
+      std::vector<std::pair<int, double>> edits;
+      for (int k = 0; k < 6; ++k)
+        edits.push_back({static_cast<int>(rng() % base.num_edges()),
+                         1.0 + static_cast<double>(rng() % 40)});
+      const flow::CapacityDelta d = edit_edges(edited, edits);
+      const flow::MaxFlowResult r = solve_delta(edited, d, prior);
+      expect_max_flow(edited, r, name);
+      EXPECT_EQ(r.metrics.delta_solves, 1) << name;
+      EXPECT_EQ(r.metrics.edges_touched, d.distinct_edges()) << name;
+    }
+  }
+}
+
+TEST(DeltaSolve, DecreaseBelowCarriedFlowRepairs) {
+  // 0->1->3 carries 10, 0->2->3 carries 5; cutting 0->1 to 3 strands 7
+  // units of carried flow that the repair must drain before re-augmenting.
+  graph::FlowNetwork g(4, 0, 3);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 3, 10.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(2, 3, 5.0);
+  const flow::MaxFlowResult prior = flow::dinic(g);
+  ASSERT_DOUBLE_EQ(prior.flow_value, 15.0);
+
+  for (const auto& [name, solve_delta] : kDeltaSolvers) {
+    graph::FlowNetwork edited = g;
+    const flow::CapacityDelta d = edit_edges(edited, {{0, 3.0}});
+    const flow::MaxFlowResult r = solve_delta(edited, d, prior);
+    EXPECT_DOUBLE_EQ(r.flow_value, 8.0) << name;
+    expect_max_flow(edited, r, name);
+    EXPECT_EQ(r.metrics.delta_solves, 1) << name;
+  }
+}
+
+TEST(DeltaSolve, SaturatingIncreaseReaugments) {
+  // Widening the bottleneck opens fresh slack the re-augment must claim.
+  graph::FlowNetwork g(4, 0, 3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 10.0);
+  g.add_edge(2, 3, 10.0);
+  const flow::MaxFlowResult prior = flow::push_relabel(g);
+  ASSERT_DOUBLE_EQ(prior.flow_value, 2.0);
+
+  for (const auto& [name, solve_delta] : kDeltaSolvers) {
+    graph::FlowNetwork edited = g;
+    const flow::CapacityDelta d = edit_edges(edited, {{0, 8.0}});
+    const flow::MaxFlowResult r = solve_delta(edited, d, prior);
+    EXPECT_DOUBLE_EQ(r.flow_value, 8.0) << name;
+    expect_max_flow(edited, r, name);
+  }
+}
+
+TEST(DeltaSolve, UnusablePriorFallsBackToScratch) {
+  const graph::FlowNetwork g = graph::layered_random(3, 4, 2, 16, 11);
+  flow::MaxFlowResult bogus; // empty edge_flow: wrong shape
+  for (const auto& [name, solve_delta] : kDeltaSolvers) {
+    graph::FlowNetwork edited = g;
+    const flow::CapacityDelta d = edit_edges(edited, {{0, 2.0}});
+    const flow::MaxFlowResult r = solve_delta(edited, d, bogus);
+    expect_max_flow(edited, r, name);
+    EXPECT_EQ(r.metrics.delta_solves, 0) << name;
+    EXPECT_EQ(r.metrics.delta_fallbacks, 1) << name;
+  }
+}
+
+TEST(DeltaSolve, RegistryIncrementalBackendsMatchScratch) {
+  // Every backend advertising SolverCapabilities::incremental must return
+  // a scratch-identical flow value through solve_delta (exact backends to
+  // solver tolerance; the near-ideal analog entries to substrate accuracy
+  // — fig5 keeps the capacity range quantization-friendly).
+  const graph::FlowNetwork base = graph::paper_example_fig5();
+  bool any_incremental = false;
+  for (const std::string& name : core::SolverRegistry::instance().names()) {
+    const core::SolverPtr s = core::SolverRegistry::instance().create(name);
+    if (!s->capabilities().incremental) continue;
+    any_incremental = true;
+
+    const flow::MaxFlowResult prior = s->solve(base);
+    graph::FlowNetwork edited = base;
+    const int e = 0;
+    flow::CapacityDelta d =
+        edit_edges(edited, {{e, base.edge(e).capacity + 1.0}});
+    const flow::MaxFlowResult r = s->solve_delta(edited, d, prior);
+    EXPECT_EQ(r.metrics.delta_solves + r.metrics.delta_fallbacks, 1) << name;
+
+    const double exact = flow::dinic(edited).flow_value;
+    const double tol = s->capabilities().exact ? 1e-6 : 0.05 * exact + 1e-6;
+    EXPECT_NEAR(r.flow_value, exact, tol) << name;
+  }
+  EXPECT_TRUE(any_incremental);
+  // The non-incremental baseline still answers through the default
+  // (scratch) path, counted as a fallback.
+  const core::SolverPtr ek = core::SolverRegistry::instance().create("edmonds_karp");
+  EXPECT_FALSE(ek->capabilities().incremental);
+  graph::FlowNetwork edited = base;
+  flow::CapacityDelta d = edit_edges(edited, {{0, 9.0}});
+  const flow::MaxFlowResult r = ek->solve_delta(edited, d, flow::dinic(base));
+  EXPECT_EQ(r.metrics.delta_fallbacks, 1);
+  EXPECT_NEAR(r.flow_value, flow::dinic(edited).flow_value, 1e-9);
+}
+
+TEST(DeltaSolve, AnalogLargeDeltaTakesTrustRegionFallback) {
+  const core::SolverPtr s =
+      core::SolverRegistry::instance().create("analog_dc_warm");
+  ASSERT_TRUE(s->capabilities().incremental);
+  const graph::FlowNetwork base = graph::paper_example_fig5();
+  const flow::MaxFlowResult prior = s->solve(base);
+
+  // 2x on one edge (relative change 1.0) blows delta_trust_relative (0.5):
+  // full solve, counted as a fallback, still a valid answer.
+  graph::FlowNetwork edited = base;
+  flow::CapacityDelta d =
+      edit_edges(edited, {{0, base.edge(0).capacity * 2.0}});
+  const flow::MaxFlowResult r = s->solve_delta(edited, d, prior);
+  EXPECT_EQ(r.metrics.delta_solves, 0);
+  EXPECT_EQ(r.metrics.delta_fallbacks, 1);
+  // The fallback is a full solve, so its value matches a fresh adapter's
+  // cold answer on the edited instance (same substrate quantization).
+  const core::SolverPtr cold =
+      core::SolverRegistry::instance().create("analog_dc_warm");
+  EXPECT_NEAR(r.flow_value, cold->solve(edited).flow_value, 1e-6);
+}
+
+TEST(BatchEngine, DeltaStreamMatchesSerialReplay) {
+  // vary=K capacity variants share one topology: exactly the
+  // reconfiguration-stream shape run_delta consumes.
+  const std::vector<graph::FlowNetwork> instances =
+      core::load_batch("grid:side=5,seed=3,vary=6");
+  ASSERT_GE(instances.size(), 2u);
+  std::vector<flow::CapacityDelta> deltas;
+  for (size_t k = 1; k < instances.size(); ++k)
+    deltas.push_back(flow::delta_between(instances[k - 1], instances[k]));
+
+  core::BatchOptions bo;
+  bo.solver = "push_relabel";
+  bo.validate = true;
+  bo.deterministic = true;
+  const core::SolverPtr solver =
+      core::SolverRegistry::instance().create(bo.solver);
+  const core::BatchReport stream =
+      core::BatchEngine(bo).run_delta(instances.front(), deltas, solver);
+  const core::BatchReport replay = core::BatchEngine(bo).run(instances);
+
+  ASSERT_EQ(stream.outcomes.size(), replay.outcomes.size());
+  EXPECT_EQ(stream.failed, 0);
+  for (size_t k = 0; k < stream.outcomes.size(); ++k) {
+    ASSERT_TRUE(stream.outcomes[k].ok) << stream.outcomes[k].error;
+    EXPECT_NEAR(stream.outcomes[k].result.flow_value,
+                replay.outcomes[k].result.flow_value, 1e-6)
+        << "instance " << k;
+  }
+  // Every post-base step rode the fast path.
+  EXPECT_EQ(stream.metrics.delta_solves,
+            static_cast<long long>(deltas.size()));
+  EXPECT_EQ(stream.metrics.delta_fallbacks, 0);
+}
+
+TEST(ServeDelta, ReconfigureStreamMatchesScratchReplay) {
+  // The same session stream, once with delta routing and once with
+  // --scratch forced, must report identical flow values — the serve-level
+  // value-identity contract of the delta path.
+  const auto run_stream = [](bool scratch) {
+    core::ServeOptions opt;
+    opt.deterministic = true;
+    core::ServeEngine engine(opt);
+    const std::string load = engine.handle("load --spec grid:side=5,seed=2");
+    EXPECT_TRUE(json_bool(load, "ok")) << load;
+    const int edges = static_cast<int>(json_double(load, "edges"));
+    EXPECT_GT(edges, 8);
+
+    std::vector<double> flows;
+    std::vector<bool> delta_flags;
+    for (int k = 0; k < 6; ++k) {
+      if (k > 0) {
+        const int e1 = (5 * k + 1) % edges;
+        const int e2 = (11 * k + 3) % edges;
+        const std::string reconf = engine.handle(
+            "reconfigure --edits " + std::to_string(e1) + ":" +
+            std::to_string(2.0 + k) + "," + std::to_string(e2) + ":1.5");
+        EXPECT_TRUE(json_bool(reconf, "ok")) << reconf;
+      }
+      const std::string solve = engine.handle(
+          std::string("solve --solver push_relabel --check") +
+          (scratch ? " --scratch" : ""));
+      EXPECT_TRUE(json_bool(solve, "ok")) << solve;
+      flows.push_back(json_double(solve, "flow"));
+      delta_flags.push_back(json_bool(solve, "delta"));
+    }
+    // First solve has no prior; afterwards the delta path engages unless
+    // --scratch suppressed it.
+    EXPECT_FALSE(delta_flags.front());
+    for (size_t k = 1; k < delta_flags.size(); ++k)
+      EXPECT_EQ(delta_flags[k], !scratch) << k;
+    return flows;
+  };
+
+  const std::vector<double> with_delta = run_stream(false);
+  const std::vector<double> with_scratch = run_stream(true);
+  ASSERT_EQ(with_delta.size(), with_scratch.size());
+  for (size_t k = 0; k < with_delta.size(); ++k)
+    EXPECT_NEAR(with_delta[k], with_scratch[k], 1e-6) << "solve " << k;
+}
+
+TEST(ServeDelta, RequestSchemaAndDeprecationSurface) {
+  core::ServeOptions opt;
+  opt.deterministic = true;
+  core::ServeEngine engine(opt);
+  engine.handle("load --spec grid:side=4,seed=1");
+
+  // Structured edits form. Fractional capacities guarantee both edits
+  // differ from the integral generator capacities: edits_applied counts
+  // edges whose capacity actually changed (delta_between normalization).
+  const std::string edits = engine.handle("reconfigure --edits 0:3.25,1:2.75");
+  EXPECT_TRUE(json_bool(edits, "ok")) << edits;
+  EXPECT_EQ(json_double(edits, "edits_applied"), 2.0) << edits;
+
+  // Deprecated single-edge alias still works, with the deprecation note in
+  // telemetry.
+  const std::string legacy = engine.handle("reconfigure --edge 0 --capacity 4.5");
+  EXPECT_TRUE(json_bool(legacy, "ok")) << legacy;
+  EXPECT_NE(legacy.find("\"deprecated\":"), std::string::npos) << legacy;
+  EXPECT_NE(legacy.find("--edits"), std::string::npos) << legacy;
+
+  // The no-op-arguments error must advertise the new form...
+  const std::string noargs = engine.handle("reconfigure");
+  EXPECT_FALSE(json_bool(noargs, "ok"));
+  EXPECT_NE(noargs.find("--edits I:C[,I:C...]"), std::string::npos) << noargs;
+
+  // ...malformed edit lists fail cleanly...
+  const std::string badedit = engine.handle("reconfigure --edits nope");
+  EXPECT_FALSE(json_bool(badedit, "ok"));
+  EXPECT_NE(badedit.find("EDGE:CAPACITY"), std::string::npos) << badedit;
+
+  // ...and the unknown-request help lists shutdown alongside quit.
+  const std::string unknown = engine.handle("frobnicate");
+  EXPECT_FALSE(json_bool(unknown, "ok"));
+  EXPECT_NE(unknown.find("quit shutdown"), std::string::npos) << unknown;
+}
+
+TEST(ServeDelta, BatchDeltaStreamMatchesPlainBatch) {
+  core::ServeOptions opt;
+  opt.deterministic = true;
+  core::ServeEngine engine(opt);
+  engine.handle("load --spec grid:side=4,seed=1");
+
+  const std::string spec = "grid:side=5,seed=3,vary=4";
+  const std::string plain =
+      engine.handle("batch --spec " + spec + " --solver dinic --check");
+  const std::string delta =
+      engine.handle("batch --spec " + spec + " --solver dinic --check --delta");
+  EXPECT_TRUE(json_bool(plain, "ok")) << plain;
+  EXPECT_TRUE(json_bool(delta, "ok")) << delta;
+  EXPECT_FALSE(json_bool(plain, "delta"));
+  EXPECT_TRUE(json_bool(delta, "delta"));
+  EXPECT_EQ(json_double(plain, "failed"), 0.0) << plain;
+  EXPECT_EQ(json_double(delta, "failed"), 0.0) << delta;
+  EXPECT_NEAR(json_double(delta, "total_flow"), json_double(plain, "total_flow"),
+              1e-6);
+  EXPECT_GT(json_double(delta, "delta_solves"), 0.0) << delta;
+}

@@ -100,6 +100,9 @@ void write_bench_json(const std::string& path, const std::string& batch,
   j.field("pool_hits", m.pool_hits);
   j.field("pool_misses", m.pool_misses);
   j.field("pool_evictions", m.pool_evictions);
+  j.field("delta_solves", m.delta_solves);
+  j.field("delta_fallbacks", m.delta_fallbacks);
+  j.field("edges_touched", m.edges_touched);
   j.end_object();
 
   j.key("per_instance").begin_array();

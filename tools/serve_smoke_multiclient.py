@@ -11,8 +11,10 @@ Validates, per client:
   - exact solves return the expected flow for the client's topology.
 
 Then probes the session cap (one connection beyond --max-sessions must get
-a single ok:false rejection line and EOF), sends `shutdown`, and requires
-the server process to exit cleanly. Exit code 0 = smoke passed.
+a single ok:false rejection line and EOF), drives one reconfiguration-stream
+session through the structured `--edits` form (incremental solves checked
+against forced `--scratch` re-solves every revision), sends `shutdown`, and
+requires the server process to exit cleanly. Exit code 0 = smoke passed.
 
 Usage: serve_smoke_multiclient.py --aflow PATH [--clients N] [--requests M]
 """
@@ -20,6 +22,7 @@ Usage: serve_smoke_multiclient.py --aflow PATH [--clients N] [--requests M]
 import argparse
 import json
 import os
+import random
 import socket
 import subprocess
 import sys
@@ -105,6 +108,52 @@ def run_client(path, index, requests, errors):
         errors.append(f"client {index}: {exc!r}")
 
 
+def run_reconfigure_stream(path):
+    """One session streaming capacity-edit revisions via `--edits`.
+
+    Every revision: apply a small structured edit batch, then check that
+    the incremental solve (delta:true) matches a forced from-scratch
+    re-solve of the same revision. Also probes the deprecated
+    `--edge/--capacity` alias for its deprecation notice.
+    """
+    client = Client(path)
+    doc = client.request("load --spec grid:side=6,seed=2")
+    assert doc["ok"] is True, doc
+    edges = doc["edges"]
+
+    doc = client.request("solve --solver dinic")
+    assert doc["ok"] is True and doc["delta"] is False, doc
+
+    rng = random.Random(42)
+    revision = None
+    for _ in range(5):
+        batch = {e: round(rng.uniform(1.0, 9.0), 2)
+                 for e in rng.sample(range(edges), 3)}
+        spec = ",".join(f"{e}:{c}" for e, c in batch.items())
+        doc = client.request(f"reconfigure --edits {spec}")
+        assert doc["ok"] is True, doc
+        # edits_applied counts the normalized diff (no-op edits drop out).
+        assert 0 <= doc["edits_applied"] <= len(batch), doc
+        if revision is not None:
+            assert doc["revision"] == revision + 1, doc
+        revision = doc["revision"]
+
+        inc = client.request("solve --solver dinic")
+        assert inc["ok"] is True and inc["delta"] is True, inc
+        ref = client.request("solve --solver dinic --scratch")
+        assert ref["ok"] is True and ref["delta"] is False, ref
+        scale = max(1.0, abs(ref["flow"]))
+        assert abs(inc["flow"] - ref["flow"]) <= 1e-9 * scale, (inc, ref)
+
+    doc = client.request("reconfigure --edge 0 --capacity 4.5")
+    assert doc["ok"] is True, doc
+    note = doc["telemetry"]["deprecated"]
+    assert "--edits" in note, doc
+
+    client.request("quit")
+    client.close()
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--aflow", required=True)
@@ -157,14 +206,16 @@ def main():
             print("\n".join(errors))
             return 1
 
+        run_reconfigure_stream(sock_path)
+
         Client(sock_path).request("shutdown")
         server.wait(timeout=30)
         if server.returncode != 0:
             print(f"server exited with {server.returncode}")
             return 1
         print(f"multi-client serve smoke: {args.clients} concurrent sessions "
-              f"x {args.requests}+ requests OK, cap rejection OK, clean "
-              "shutdown")
+              f"x {args.requests}+ requests OK, cap rejection OK, "
+              "reconfigure stream (delta vs scratch) OK, clean shutdown")
         return 0
     finally:
         if server.poll() is None:
