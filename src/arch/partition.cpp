@@ -192,4 +192,183 @@ PartitionResult partition_into_islands(const graph::FlowNetwork& net,
   return out;
 }
 
+namespace {
+
+/// BFS order over a flat undirected adjacency (CSR offsets + neighbour
+/// array — no per-vertex vectors, since the first bisection of a huge
+/// instance runs through here), started from local vertex 0, with further
+/// components appended in local order. The prefix of this order makes a
+/// contiguous-ish split at any target size.
+std::vector<int> bfs_order(int size, const std::vector<std::int64_t>& adj_start,
+                           const std::vector<int>& adj) {
+  std::vector<char> seen(static_cast<size_t>(size), 0);
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(size));
+  for (int start = 0; start < size; ++start) {
+    if (seen[start]) continue;
+    seen[start] = 1;
+    order.push_back(start);
+    for (size_t head = order.size() - 1; head < order.size(); ++head) {
+      const int x = order[head];
+      for (std::int64_t a = adj_start[static_cast<size_t>(x)];
+           a < adj_start[static_cast<size_t>(x) + 1]; ++a) {
+        const int u = adj[static_cast<size_t>(a)];
+        if (seen[u]) continue;
+        seen[u] = 1;
+        order.push_back(u);
+      }
+    }
+  }
+  return order;
+}
+
+/// Shared k-way recursion over any edge-list view (FlowNetwork or CsrGraph):
+/// `edge_at(e)` yields endpoints, `cap_at(e)` the capacity.
+template <typename EdgeAt, typename CapAt>
+RegionPartition partition_regions_impl(int n, std::int64_t m, EdgeAt edge_at,
+                                       CapAt cap_at,
+                                       const RegionPartitionOptions& opts) {
+  if (opts.regions < 1)
+    throw std::invalid_argument("partition_regions: need at least one region");
+  if (opts.regions > n)
+    throw std::invalid_argument(
+        "partition_regions: more regions than vertices");
+
+  RegionPartition out;
+  out.region.assign(static_cast<size_t>(n), -1);
+
+  struct Group {
+    std::vector<int> verts;
+    int parts;
+  };
+  std::vector<Group> stack;
+  {
+    std::vector<int> all(static_cast<size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    stack.push_back({std::move(all), opts.regions});
+  }
+
+  std::vector<int> local(static_cast<size_t>(n), -1);
+  std::uint64_t salt = 0;
+  while (!stack.empty()) {
+    Group g = std::move(stack.back());
+    stack.pop_back();
+    if (g.parts == 1) {
+      for (int v : g.verts) out.region[static_cast<size_t>(v)] =
+          out.num_regions;
+      out.num_regions++;
+      continue;
+    }
+    const int size = static_cast<int>(g.verts.size());
+    const int k1 = g.parts / 2;
+    const int k2 = g.parts - k1;
+    // Proportional target, clamped so both halves can still host one vertex
+    // per remaining region.
+    int target = static_cast<int>(
+        (static_cast<std::int64_t>(size) * k1 + g.parts / 2) / g.parts);
+    target = std::clamp(target, k1, size - k2);
+
+    for (int i = 0; i < size; ++i) local[g.verts[static_cast<size_t>(i)]] = i;
+    std::vector<std::pair<int, int>> edges;
+    for (std::int64_t e = 0; e < m; ++e) {
+      const auto [fu, fv] = edge_at(e);
+      const int u = local[static_cast<size_t>(fu)];
+      const int v = local[static_cast<size_t>(fv)];
+      if (u >= 0 && v >= 0 && u != v) edges.emplace_back(u, v);
+    }
+
+    std::vector<char> in_left(static_cast<size_t>(size), 0);
+    bool split_ok = false;
+    if (k1 == k2 && size <= opts.fm_threshold) {
+      const auto bi = fm_bipartition(size, edges, opts.balance_tolerance,
+                                     opts.seed + (++salt));
+      int left = 0;
+      for (int i = 0; i < size; ++i)
+        if (bi.side[static_cast<size_t>(i)] == 0) {
+          in_left[static_cast<size_t>(i)] = 1;
+          ++left;
+        }
+      split_ok = left >= k1 && size - left >= k2;
+    }
+    if (!split_ok) {
+      std::vector<std::int64_t> adj_start(static_cast<size_t>(size) + 1, 0);
+      for (const auto& [u, v] : edges) {
+        ++adj_start[static_cast<size_t>(u) + 1];
+        ++adj_start[static_cast<size_t>(v) + 1];
+      }
+      for (int i = 0; i < size; ++i)
+        adj_start[static_cast<size_t>(i) + 1] +=
+            adj_start[static_cast<size_t>(i)];
+      std::vector<int> adj(2 * edges.size());
+      std::vector<std::int64_t> cursor(adj_start.begin(), adj_start.end() - 1);
+      for (const auto& [u, v] : edges) {
+        adj[static_cast<size_t>(cursor[static_cast<size_t>(u)]++)] = v;
+        adj[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = u;
+      }
+      const std::vector<int> order = bfs_order(size, adj_start, adj);
+      std::fill(in_left.begin(), in_left.end(), 0);
+      for (int i = 0; i < target; ++i)
+        in_left[static_cast<size_t>(order[static_cast<size_t>(i)])] = 1;
+    }
+
+    Group left{{}, k1}, right{{}, k2};
+    for (int i = 0; i < size; ++i)
+      (in_left[static_cast<size_t>(i)] ? left.verts : right.verts)
+          .push_back(g.verts[static_cast<size_t>(i)]);
+    for (int v : g.verts) local[static_cast<size_t>(v)] = -1;
+    // Right first so the left half is processed (and numbered) first.
+    stack.push_back(std::move(right));
+    stack.push_back(std::move(left));
+  }
+
+  out.vertices.resize(static_cast<size_t>(out.num_regions));
+  for (int v = 0; v < n; ++v)
+    out.vertices[static_cast<size_t>(out.region[static_cast<size_t>(v)])]
+        .push_back(v);
+
+  std::vector<char> on_boundary(static_cast<size_t>(n), 0);
+  for (std::int64_t e = 0; e < m; ++e) {
+    const auto [u, v] = edge_at(e);
+    if (out.region[static_cast<size_t>(u)] ==
+        out.region[static_cast<size_t>(v)])
+      continue;
+    out.cut_arcs.push_back(e);
+    out.cut_capacity += cap_at(e);
+    on_boundary[static_cast<size_t>(u)] = 1;
+    on_boundary[static_cast<size_t>(v)] = 1;
+  }
+  out.boundary.resize(static_cast<size_t>(out.num_regions));
+  for (int v = 0; v < n; ++v)
+    if (on_boundary[static_cast<size_t>(v)])
+      out.boundary[static_cast<size_t>(out.region[static_cast<size_t>(v)])]
+          .push_back(v);
+  return out;
+}
+
+} // namespace
+
+RegionPartition partition_regions(const graph::FlowNetwork& net,
+                                  const RegionPartitionOptions& opts) {
+  return partition_regions_impl(
+      net.num_vertices(), static_cast<std::int64_t>(net.num_edges()),
+      [&net](std::int64_t e) {
+        const auto& ed = net.edge(static_cast<int>(e));
+        return std::pair<int, int>{ed.from, ed.to};
+      },
+      [&net](std::int64_t e) {
+        return net.edge(static_cast<int>(e)).capacity;
+      },
+      opts);
+}
+
+RegionPartition partition_regions(const graph::CsrGraph& g,
+                                  const RegionPartitionOptions& opts) {
+  return partition_regions_impl(
+      g.num_vertices(), g.num_edges(),
+      [&g](std::int64_t e) {
+        return std::pair<int, int>{g.edge_from(e), g.edge_to(e)};
+      },
+      [&g](std::int64_t e) { return g.edge_capacity(e); }, opts);
+}
+
 } // namespace aflow::arch

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/network.hpp"
 
 namespace aflow::arch {
@@ -34,5 +35,41 @@ struct PartitionResult {
 /// vertices, minimising edge cut.
 PartitionResult partition_into_islands(const graph::FlowNetwork& net,
                                        int capacity, std::uint64_t seed = 1);
+
+struct RegionPartitionOptions {
+  int regions = 4;
+  std::uint64_t seed = 1;
+  /// Per-bisection side slack, as in fm_bipartition.
+  double balance_tolerance = 0.1;
+  /// Groups larger than this split by BFS layering instead of FM passes:
+  /// the quadratic FM pass is fine for island-sized groups but would make a
+  /// million-vertex first bisection take hours. BFS prefixes keep regions
+  /// connected-ish on mesh-like instances at O(group edges) per split.
+  int fm_threshold = 4096;
+};
+
+/// One region's view of the k-way split, plus the global cut manifest.
+struct RegionPartition {
+  int num_regions = 0;
+  std::vector<int> region;                // region id per vertex
+  std::vector<std::vector<int>> vertices; // per-region vertex lists
+  /// Vertices with at least one incident cut arc, per region (the stitch
+  /// points of the sharded solve).
+  std::vector<std::vector<int>> boundary;
+  /// Edge ids whose endpoints land in different regions, ascending.
+  std::vector<std::int64_t> cut_arcs;
+  double cut_capacity = 0.0; // total capacity over cut_arcs
+};
+
+/// K-way region partitioner: recursive bisection (FM below fm_threshold,
+/// BFS-prefix above), deterministic per (graph, options). Generalizes the
+/// island bisection to the sharded-solve decomposition: regions are
+/// balanced to within the per-split tolerances and every region is
+/// non-empty. Throws std::invalid_argument when regions < 1 or regions
+/// exceeds the vertex count.
+RegionPartition partition_regions(const graph::FlowNetwork& net,
+                                  const RegionPartitionOptions& opts = {});
+RegionPartition partition_regions(const graph::CsrGraph& g,
+                                  const RegionPartitionOptions& opts = {});
 
 } // namespace aflow::arch

@@ -116,6 +116,66 @@ BatchReport BatchEngine::run(const std::vector<graph::FlowNetwork>& instances,
   return report;
 }
 
+BatchReport BatchEngine::run_streamed(
+    int count, const std::function<graph::FlowNetwork(int)>& make,
+    const std::function<void(InstanceOutcome&)>& consume) const {
+  if (count < 0)
+    throw std::invalid_argument("BatchEngine::run_streamed: negative count");
+  if (!make || !consume)
+    throw std::invalid_argument(
+        "BatchEngine::run_streamed: make/consume must be callable");
+  BatchReport report;
+  report.outcomes.resize(count);
+  report.threads_used = resolve_threads(count);
+  std::vector<SolverPtr> workers;
+  workers.reserve(report.threads_used);
+  for (int t = 0; t < report.threads_used; ++t)
+    workers.push_back(SolverRegistry::instance().create(options_.solver));
+
+  const auto batch_t0 = Clock::now();
+  std::atomic<int> next{0};
+  const auto worker = [&](int t) {
+    const SolverPtr& solver = workers[t];
+    for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      InstanceOutcome& out = report.outcomes[i];
+      out.index = i;
+      const auto t0 = Clock::now();
+      try {
+        const graph::FlowNetwork net = make(i);
+        net.validate();
+        out.result = solver->solve(net);
+        if (options_.validate) {
+          const std::string err = flow::check_flow(net, out.result);
+          if (!err.empty()) throw std::runtime_error("infeasible flow: " + err);
+        }
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.ok = false;
+        out.error = e.what();
+      }
+      out.seconds = seconds_since(t0);
+      if (out.ok) consume(out);
+      // The consumer has scattered what it needs; keep the report light so
+      // k huge regions never accumulate k huge flow vectors.
+      out.result.edge_flow.clear();
+      out.result.edge_flow.shrink_to_fit();
+    }
+  };
+
+  if (report.threads_used <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(report.threads_used);
+    for (int t = 0; t < report.threads_used; ++t) pool.emplace_back(worker, t);
+    for (std::thread& t : pool) t.join();
+  }
+
+  report.wall_seconds = seconds_since(batch_t0);
+  aggregate_outcomes(report);
+  return report;
+}
+
 InstanceOutcome BatchEngine::run_delta(const graph::FlowNetwork& net,
                                        const flow::CapacityDelta& delta,
                                        const flow::MaxFlowResult& prior,

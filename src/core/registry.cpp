@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/sharded_solver.hpp"
+
 namespace aflow::core {
 
 namespace {
@@ -133,6 +135,9 @@ void register_builtins(SolverRegistry& reg) {
                                              &flow::push_relabel,
                                              &flow::push_relabel_delta);
   });
+  // Default-configured sharded decomposition solver; callers needing a
+  // specific shard count / region backend construct ShardedSolver directly.
+  reg.add("sharded", [] { return std::make_shared<ShardedSolver>(); });
   reg.add("analog_dc", [] {
     return make_analog_solver("analog_dc", *builtin_analog_options("analog_dc"));
   });

@@ -8,6 +8,7 @@
 
 #include "analog/solver.hpp"
 #include "core/registry.hpp"
+#include "core/sharded_solver.hpp"
 #include "core/workload.hpp"
 #include "mincut/dual_circuit.hpp"
 #include "sim/sweep.hpp"
@@ -492,7 +493,6 @@ void ServeSession::cmd_reconfigure(const std::vector<std::string>& t,
   // whole mutation surface feeds the delta solve path uniformly.
   graph::FlowNetwork next = *current_;
   bool mutated = false;
-  bool deprecated_edge_form = false;
 
   const long long seed = tok_ll(t, "--seed", -1);
   if (seed >= 0) {
@@ -514,19 +514,14 @@ void ServeSession::cmd_reconfigure(const std::vector<std::string>& t,
     d.apply(next); // validates indices and capacities
     mutated = true;
   }
-  const long long edge = tok_ll(t, "--edge", -1);
-  if (edge >= 0) {
-    // Deprecated single-edge alias, kept for one release; --edits is the
-    // structured form.
-    const double cap = tok_double(t, "--capacity", 0.0);
-    next.set_capacity(static_cast<int>(edge), cap); // validates both
-    mutated = true;
-    deprecated_edge_form = true;
-  }
+  if (tok_ll(t, "--edge", -1) >= 0)
+    // The single-edge alias was removed after its one-release deprecation
+    // window; point old clients at the structured form.
+    throw std::runtime_error(
+        "--edge I --capacity C was removed; use --edits I:C[,I:C...]");
   if (!mutated)
     throw std::runtime_error(
-        "reconfigure needs --edits I:C[,I:C...], --seed K, --scale F, or "
-        "--edge I --capacity C (deprecated alias for --edits I:C)");
+        "reconfigure needs --edits I:C[,I:C...], --seed K, or --scale F");
 
   // Normalized diff current -> next (old capacities recorded): what the
   // log carries is independent of which request form produced it.
@@ -545,17 +540,44 @@ void ServeSession::cmd_reconfigure(const std::vector<std::string>& t,
   j.field("max_capacity", current_->max_capacity());
   j.field("edits_applied", delta.edits.size());
   j.field("revision", revision_);
-  if (deprecated_edge_form) {
-    j.key("telemetry").begin_object();
-    j.field("deprecated",
-            "--edge I --capacity C is deprecated; use --edits I:C[,I:C...]");
-    j.end_object();
-  }
 }
 
 void ServeSession::cmd_solve(const std::vector<std::string>& t,
                              util::JsonWriter& j) {
   const graph::FlowNetwork& net = require_instance();
+
+  const long long shards = tok_ll(t, "--shards", 0);
+  if (shards >= 2) {
+    // Sharded decomposition solve of the loaded instance (DESIGN.md
+    // "Sharded solve"). Runs outside the bank/prior machinery on purpose:
+    // the region subproblems are throwaway networks with no reuse state
+    // worth pooling, and the exact result is not a valid warm prior for the
+    // per-solver delta path (different backend name, different metrics).
+    ShardOptions so;
+    so.shards = static_cast<int>(std::min<long long>(shards, 1 << 20));
+    so.region_solver = tok_string(t, "--region-solver", "dinic");
+    so.num_threads = static_cast<int>(tok_ll(t, "--threads", 0));
+    so.deterministic = engine_.options().deterministic;
+    const ShardedSolver solver(so);
+    ShardReport rep;
+    const flow::MaxFlowResult r =
+        solver.solve_csr(graph::CsrGraph::from_network(net), &rep);
+    j.field("ok", true);
+    j.field("solver", "sharded");
+    j.field("region_solver", so.region_solver);
+    j.field("flow", r.flow_value);
+    j.key("shards").begin_object();
+    j.field("regions", rep.regions);
+    j.field("cut_arcs", static_cast<long long>(rep.cut_arcs));
+    j.field("cut_capacity", rep.cut_capacity);
+    j.field("upper_bound", rep.upper_bound);
+    j.field("stitched_value", rep.stitched_value);
+    j.field("refined_added", rep.refined_added);
+    j.field("threads", rep.threads_used);
+    j.end_object();
+    return;
+  }
+
   const std::string name =
       tok_string(t, "--solver", engine_.options().default_solver);
   ServeEngine::Bank& b = engine_.bank(name);

@@ -27,8 +27,10 @@
 //
 //   load (--input FILE.dimacs | --spec GENSPEC)
 //   reconfigure (--edits I:C[,I:C...] | --seed K | --scale F)
-//               [--edge I --capacity C]   (deprecated alias for --edits I:C)
 //   solve [--solver NAME] [--check] [--scratch]
+//         [--shards K [--region-solver NAME] [--threads N]]
+//                      (K >= 2: sharded decomposition solve, DESIGN.md
+//                      "Sharded solve"; skips the bank/prior machinery)
 //   batch --spec GENSPEC [--solver NAME] [--check] [--delta]
 //   sweep [--points N] [--vmax V]
 //   mincut

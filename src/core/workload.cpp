@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <random>
 #include <sstream>
@@ -156,11 +157,17 @@ std::vector<graph::FlowNetwork> expand(const SourceSpec& spec) {
           graph::uniform_random(positive(spec.get_int("n", 500), "n"),
                                 positive(spec.get_int("m", 2500), "m"),
                                 positive(spec.get_int("cap", 64), "cap"), seed));
+    } else if (spec.kind == "gridflow") {
+      spec.require_keys({"height", "width", "cap"});
+      out.push_back(graph::gridflow(
+          positive(spec.get_int("height", 32), "height"),
+          positive(spec.get_int("width", 32), "width"),
+          positive(spec.get_int("cap", 64), "cap"), seed));
     } else {
       throw std::invalid_argument(
           "unknown workload kind '" + spec.kind +
-          "' (known: grid, rmat_sparse, rmat_dense, layered, uniform; or pass "
-          "a DIMACS file / directory path)");
+          "' (known: grid, rmat_sparse, rmat_dense, layered, uniform, "
+          "gridflow; or pass a DIMACS file / directory path)");
     }
   }
 
@@ -233,6 +240,38 @@ std::vector<graph::FlowNetwork> generate_batch(const std::string& spec) {
 
 std::vector<graph::FlowNetwork> load_batch(const std::string& spec_or_path) {
   return generate_batch(spec_or_path);
+}
+
+void write_spec_dimacs(const std::string& spec, const std::string& path) {
+  const std::string source = trim(spec);
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("write_spec_dimacs: cannot open " + path);
+
+  if (!fs::is_regular_file(source) && !fs::is_directory(source)) {
+    const SourceSpec parsed = parse_source(source);
+    if (parsed.kind == "gridflow") {
+      // Stream straight from the generator walk: a 1000x1000 gridflow is
+      // ~3M arcs, and this path never holds more than one of them.
+      parsed.require_keys({"height", "width", "cap"});
+      if (parsed.get_int("count", 1) != 1 || parsed.get_int("vary", 1) != 1)
+        throw std::invalid_argument(
+            "write_spec_dimacs: expects a single instance (count=1, vary=1)");
+      graph::write_gridflow_dimacs(
+          out, positive(parsed.get_int("height", 32), "height"),
+          positive(parsed.get_int("width", 32), "width"),
+          positive(parsed.get_int("cap", 64), "cap"),
+          static_cast<std::uint64_t>(parsed.get("seed", 1)));
+      return;
+    }
+  }
+
+  const std::vector<graph::FlowNetwork> nets = generate_batch(source);
+  if (nets.size() != 1)
+    throw std::invalid_argument(
+        "write_spec_dimacs: spec expands to " + std::to_string(nets.size()) +
+        " instances, expected exactly 1");
+  graph::write_dimacs(out, nets.front());
 }
 
 std::vector<graph::FlowNetwork> capacity_variants(

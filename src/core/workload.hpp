@@ -9,6 +9,7 @@
 //   rmat_dense:n=480,count=4,seed=7
 //   layered:layers=6,width=20,fanout=4,cap=32,count=4,seed=5
 //   uniform:n=500,m=2500,cap=64,count=4,seed=11
+//   gridflow:height=1000,width=1000,cap=64,seed=3
 // `count` (default 1) emits that many instances with seeds seed, seed+1, ...
 // `vary=K` (default 1, any generator kind) replaces each generated instance
 // by K same-topology capacity variants (see capacity_variants) — the
@@ -40,6 +41,13 @@ std::vector<graph::FlowNetwork> generate_batch(const std::string& spec);
 /// Synonym for generate_batch, kept as the entry-point name used by callers
 /// that may pass either a bare path or a spec.
 std::vector<graph::FlowNetwork> load_batch(const std::string& spec_or_path);
+
+/// Writes the single instance described by `spec` (one source, count=1) as a
+/// DIMACS file at `path`. The gridflow kind is emitted directly from its
+/// generator walk in O(1) memory — the way to put a million-node instance on
+/// disk for `aflow solve --shards` without ever materialising it — while the
+/// other kinds materialise the FlowNetwork and write it out.
+void write_spec_dimacs(const std::string& spec, const std::string& path);
 
 /// Reconfiguration batch: `count` same-topology copies of `base` with every
 /// capacity rescaled by an i.i.d. factor drawn uniformly from [0.5, 1.5]

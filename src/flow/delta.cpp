@@ -13,159 +13,6 @@ namespace aflow::flow {
 
 namespace {
 
-/// Imbalances below this are float dust, not repair work: digital priors
-/// carry integral flows, so genuine violations are >= 1 capacity unit.
-constexpr double kImbalanceEps = 1e-9;
-
-/// Conservation surplus per vertex under the flow carried by `r`:
-/// inflow - outflow (source/sink entries are computed but never repaired).
-std::vector<double> imbalances(const graph::FlowNetwork& net,
-                               const detail::Residual& r) {
-  std::vector<double> im(net.num_vertices(), 0.0);
-  for (int e = 0; e < net.num_edges(); ++e) {
-    const double f =
-        net.edge(e).capacity - r.cap[2 * static_cast<size_t>(e)];
-    im[net.edge(e).to] += f;
-    im[net.edge(e).from] -= f;
-  }
-  return im;
-}
-
-/// Shortest-path repair pusher over the carried residual. Both directions
-/// terminate by flow decomposition of the carried pseudo-flow: a surplus
-/// node's extra inflow is reversible back to the source, a deficit node's
-/// extra outflow is reversible back from the sink.
-class DeltaRepair {
- public:
-  DeltaRepair(const graph::FlowNetwork& net, detail::Residual& r)
-      : net_(net), r_(r), s_(net.source()), t_(net.sink()),
-        im_(imbalances(net, r)), parent_arc_(r.n, -1), seen_(r.n, 0) {}
-
-  /// Restores conservation at every ordinary vertex. All excesses drain
-  /// before any deficit fills: once no excess nodes remain, decomposing the
-  /// carried pseudo-flow shows every deficit node's surplus outflow reaches
-  /// the sink, so the reverse search in fill_deficit always finds a terminal
-  /// supplier. Returns false when a search or push fails to make progress
-  /// (numerically degenerate prior) — the caller then falls back to a
-  /// from-scratch solve.
-  bool run(long long& ops) {
-    for (int v = 0; v < r_.n; ++v) {
-      if (v == s_ || v == t_) continue;
-      while (im_[v] > kImbalanceEps) {
-        if (!drain_excess(v)) return false;
-        ops++;
-      }
-    }
-    for (int v = 0; v < r_.n; ++v) {
-      if (v == s_ || v == t_) continue;
-      while (im_[v] < -kImbalanceEps) {
-        if (!fill_deficit(v)) return false;
-        ops++;
-      }
-    }
-    return true;
-  }
-
- private:
-  bool is_deficit(int v) const {
-    return v != s_ && v != t_ && im_[v] < -kImbalanceEps;
-  }
-
-  /// BFS forward from `v` to the nearest of {s, t, any deficit vertex};
-  /// pushes the bottleneck (capped by both imbalances) along the path.
-  bool drain_excess(int v) {
-    ++stamp_;
-    std::queue<int> q;
-    q.push(v);
-    seen_[v] = stamp_;
-    int target = -1;
-    while (!q.empty() && target < 0) {
-      const int x = q.front();
-      q.pop();
-      for (int arc : r_.arcs(x)) {
-        // Dust-capacity arcs (rounding residue of earlier pushes) are
-        // saturated for repair purposes: routing through one would cap the
-        // push at float noise and stall the repair.
-        const int u = r_.head[arc];
-        if (seen_[u] == stamp_ || r_.cap[arc] <= kImbalanceEps) continue;
-        seen_[u] = stamp_;
-        parent_arc_[u] = arc;
-        if (u == s_ || u == t_ || is_deficit(u)) {
-          target = u;
-          break;
-        }
-        q.push(u);
-      }
-    }
-    if (target < 0) return false;
-
-    double amount = im_[v];
-    if (is_deficit(target)) amount = std::min(amount, -im_[target]);
-    for (int x = target; x != v; x = r_.head[r_.rev(parent_arc_[x])])
-      amount = std::min(amount, r_.cap[parent_arc_[x]]);
-    if (amount <= kImbalanceEps) return false;
-
-    for (int x = target; x != v; x = r_.head[r_.rev(parent_arc_[x])]) {
-      r_.cap[parent_arc_[x]] -= amount;
-      r_.cap[r_.rev(parent_arc_[x])] += amount;
-    }
-    im_[v] -= amount;
-    if (target != s_ && target != t_) im_[target] += amount;
-    return true;
-  }
-
-  /// BFS backward from `v` to the nearest of {s, t} (all surplus vertices
-  /// are drained before any fill runs, so only terminals can supply);
-  /// pushes the bottleneck along the found u -> ... -> v residual path.
-  bool fill_deficit(int v) {
-    ++stamp_;
-    std::queue<int> q;
-    q.push(v);
-    seen_[v] = stamp_;
-    int source_node = -1;
-    while (!q.empty() && source_node < 0) {
-      const int x = q.front();
-      q.pop();
-      for (int arc : r_.arcs(x)) {
-        // Predecessor u = head[arc] supplies x through the arc's reverse
-        // (u -> x), which must have residual capacity above the dust
-        // threshold (see drain_excess).
-        const int u = r_.head[arc];
-        if (seen_[u] == stamp_ || r_.cap[r_.rev(arc)] <= kImbalanceEps)
-          continue;
-        seen_[u] = stamp_;
-        parent_arc_[u] = r_.rev(arc); // the u -> x residual arc
-        if (u == s_ || u == t_) {
-          source_node = u;
-          break;
-        }
-        q.push(u);
-      }
-    }
-    if (source_node < 0) return false;
-
-    double amount = -im_[v];
-    for (int x = source_node; x != v; x = r_.head[parent_arc_[x]])
-      amount = std::min(amount, r_.cap[parent_arc_[x]]);
-    if (amount <= kImbalanceEps) return false;
-
-    for (int x = source_node; x != v; x = r_.head[parent_arc_[x]]) {
-      r_.cap[parent_arc_[x]] -= amount;
-      r_.cap[r_.rev(parent_arc_[x])] += amount;
-    }
-    im_[v] += amount;
-    return true;
-  }
-
-  const graph::FlowNetwork& net_;
-  detail::Residual& r_;
-  int s_, t_;
-  std::vector<double> im_;
-  std::vector<int> parent_arc_;
-  std::vector<int> seen_; // visit stamps: seen_[u] == stamp_ means visited
-  int stamp_ = 0;
-};
-
 MaxFlowResult solve_delta_impl(const graph::FlowNetwork& net,
                                const CapacityDelta& delta,
                                const MaxFlowResult& prior,
@@ -180,7 +27,10 @@ MaxFlowResult solve_delta_impl(const graph::FlowNetwork& net,
 
   detail::Residual r(net, prior.edge_flow);
   MaxFlowResult result;
-  if (!DeltaRepair(net, r).run(result.operations))
+  // The shared conservation repair (flow/residual.hpp) drains the carry's
+  // imbalances; a false return means a numerically degenerate prior.
+  if (!detail::repair_conservation(r, net.source(), net.sink(),
+                                   result.operations))
     return scratch(/*fallback=*/true);
 
   if (use_push_relabel)

@@ -1,6 +1,10 @@
 #include "flow/residual.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <stdexcept>
 
 namespace aflow::flow::detail {
 
@@ -40,6 +44,44 @@ Residual::Residual(const graph::FlowNetwork& net,
   }
 }
 
+Residual::Residual(const graph::CsrGraph& g) : n(g.num_vertices()) {
+  const std::int64_t m = g.num_edges();
+  if (2 * m >= std::numeric_limits<int>::max())
+    throw std::length_error(
+        "Residual: 2m arcs exceed the int arc index; the refinement residual "
+        "caps sharded instances below 2^30 edges");
+  cap.resize(2 * static_cast<size_t>(m));
+  head.resize(2 * static_cast<size_t>(m));
+  arc_start.assign(static_cast<size_t>(n) + 1, 0);
+  for (std::int64_t e = 0; e < m; ++e) {
+    cap[2 * static_cast<size_t>(e)] = g.edge_capacity(e);
+    cap[2 * static_cast<size_t>(e) + 1] = 0.0;
+    head[2 * static_cast<size_t>(e)] = g.edge_to(e);
+    head[2 * static_cast<size_t>(e) + 1] = g.edge_from(e);
+  }
+  // The CSR view already holds the incidence lists in the same arc encoding;
+  // copy them down to int instead of re-counting.
+  for (int v = 0; v < n; ++v)
+    arc_start[static_cast<size_t>(v) + 1] =
+        arc_start[static_cast<size_t>(v)] +
+        static_cast<int>(g.arcs(v).size());
+  arc_ids.resize(2 * static_cast<size_t>(m));
+  size_t w = 0;
+  for (int v = 0; v < n; ++v)
+    for (std::int64_t a : g.arcs(v)) arc_ids[w++] = static_cast<int>(a);
+}
+
+Residual::Residual(const graph::CsrGraph& g, std::span<const double> prior_flow)
+    : Residual(g) {
+  const std::int64_t m = g.num_edges();
+  for (std::int64_t e = 0; e < m; ++e) {
+    const double c = g.edge_capacity(e);
+    const double f = std::clamp(prior_flow[static_cast<size_t>(e)], 0.0, c);
+    cap[2 * static_cast<size_t>(e)] = c - f;
+    cap[2 * static_cast<size_t>(e) + 1] = f;
+  }
+}
+
 double Residual::flow_value_at(const graph::FlowNetwork& net, int s) const {
   double value = 0.0;
   for (int e : net.out_edges(s))
@@ -54,6 +96,177 @@ std::vector<double> Residual::edge_flows(const graph::FlowNetwork& net) const {
   for (int e = 0; e < net.num_edges(); ++e)
     flows[e] = net.edge(e).capacity - cap[2 * static_cast<size_t>(e)];
   return flows;
+}
+
+std::vector<double> Residual::carried_edge_flows() const {
+  const size_t m = cap.size() / 2;
+  std::vector<double> flows(m);
+  for (size_t e = 0; e < m; ++e) flows[e] = cap[2 * e + 1];
+  return flows;
+}
+
+double Residual::carried_flow_at(int s) const {
+  // Even incident arcs are out-edges of s (flow = reverse cap), odd ones are
+  // in-edges (flow = the odd arc's own cap).
+  double value = 0.0;
+  for (int a : arcs(s))
+    value += (a & 1) ? -cap[static_cast<size_t>(a)]
+                     : cap[static_cast<size_t>(a ^ 1)];
+  return value;
+}
+
+std::vector<double> Residual::imbalances() const {
+  std::vector<double> im(static_cast<size_t>(n), 0.0);
+  const size_t m = cap.size() / 2;
+  for (size_t e = 0; e < m; ++e) {
+    const double f = cap[2 * e + 1];
+    im[static_cast<size_t>(head[2 * e])] += f;     // edge head gains inflow
+    im[static_cast<size_t>(head[2 * e + 1])] -= f; // edge tail pays outflow
+  }
+  return im;
+}
+
+namespace {
+
+/// Imbalances below this are float dust, not repair work: digital priors
+/// carry integral flows, so genuine violations are >= 1 capacity unit.
+constexpr double kImbalanceEps = 1e-9;
+
+/// Shortest-path repair pusher over a carried residual. Both directions
+/// terminate by flow decomposition of the carried pseudo-flow: a surplus
+/// node's extra inflow is reversible back to the source, a deficit node's
+/// extra outflow is reversible back from the sink.
+class ConservationRepair {
+ public:
+  ConservationRepair(Residual& r, int s, int t)
+      : r_(r), s_(s), t_(t), im_(r.imbalances()), parent_arc_(r.n, -1),
+        seen_(r.n, 0) {}
+
+  /// All excesses drain before any deficit fills: once no excess nodes
+  /// remain, decomposing the carried pseudo-flow shows every deficit node's
+  /// surplus outflow reaches the sink, so the reverse search in fill_deficit
+  /// always finds a terminal supplier.
+  bool run(long long& ops) {
+    for (int v = 0; v < r_.n; ++v) {
+      if (v == s_ || v == t_) continue;
+      while (im_[v] > kImbalanceEps) {
+        if (!drain_excess(v)) return false;
+        ops++;
+      }
+    }
+    for (int v = 0; v < r_.n; ++v) {
+      if (v == s_ || v == t_) continue;
+      while (im_[v] < -kImbalanceEps) {
+        if (!fill_deficit(v)) return false;
+        ops++;
+      }
+    }
+    return true;
+  }
+
+ private:
+  bool is_deficit(int v) const {
+    return v != s_ && v != t_ && im_[v] < -kImbalanceEps;
+  }
+
+  /// BFS forward from `v` to the nearest of {s, t, any deficit vertex};
+  /// pushes the bottleneck (capped by both imbalances) along the path.
+  bool drain_excess(int v) {
+    ++stamp_;
+    std::queue<int> q;
+    q.push(v);
+    seen_[v] = stamp_;
+    int target = -1;
+    while (!q.empty() && target < 0) {
+      const int x = q.front();
+      q.pop();
+      for (int arc : r_.arcs(x)) {
+        // Dust-capacity arcs (rounding residue of earlier pushes) are
+        // saturated for repair purposes: routing through one would cap the
+        // push at float noise and stall the repair.
+        const int u = r_.head[arc];
+        if (seen_[u] == stamp_ || r_.cap[arc] <= kImbalanceEps) continue;
+        seen_[u] = stamp_;
+        parent_arc_[u] = arc;
+        if (u == s_ || u == t_ || is_deficit(u)) {
+          target = u;
+          break;
+        }
+        q.push(u);
+      }
+    }
+    if (target < 0) return false;
+
+    double amount = im_[v];
+    if (is_deficit(target)) amount = std::min(amount, -im_[target]);
+    for (int x = target; x != v; x = r_.head[r_.rev(parent_arc_[x])])
+      amount = std::min(amount, r_.cap[parent_arc_[x]]);
+    if (amount <= kImbalanceEps) return false;
+
+    for (int x = target; x != v; x = r_.head[r_.rev(parent_arc_[x])]) {
+      r_.cap[parent_arc_[x]] -= amount;
+      r_.cap[r_.rev(parent_arc_[x])] += amount;
+    }
+    im_[v] -= amount;
+    if (target != s_ && target != t_) im_[target] += amount;
+    return true;
+  }
+
+  /// BFS backward from `v` to the nearest of {s, t} (all surplus vertices
+  /// are drained before any fill runs, so only terminals can supply);
+  /// pushes the bottleneck along the found u -> ... -> v residual path.
+  bool fill_deficit(int v) {
+    ++stamp_;
+    std::queue<int> q;
+    q.push(v);
+    seen_[v] = stamp_;
+    int source_node = -1;
+    while (!q.empty() && source_node < 0) {
+      const int x = q.front();
+      q.pop();
+      for (int arc : r_.arcs(x)) {
+        // Predecessor u = head[arc] supplies x through the arc's reverse
+        // (u -> x), which must have residual capacity above the dust
+        // threshold (see drain_excess).
+        const int u = r_.head[arc];
+        if (seen_[u] == stamp_ || r_.cap[r_.rev(arc)] <= kImbalanceEps)
+          continue;
+        seen_[u] = stamp_;
+        parent_arc_[u] = r_.rev(arc); // the u -> x residual arc
+        if (u == s_ || u == t_) {
+          source_node = u;
+          break;
+        }
+        q.push(u);
+      }
+    }
+    if (source_node < 0) return false;
+
+    double amount = -im_[v];
+    for (int x = source_node; x != v; x = r_.head[parent_arc_[x]])
+      amount = std::min(amount, r_.cap[parent_arc_[x]]);
+    if (amount <= kImbalanceEps) return false;
+
+    for (int x = source_node; x != v; x = r_.head[parent_arc_[x]]) {
+      r_.cap[parent_arc_[x]] -= amount;
+      r_.cap[r_.rev(parent_arc_[x])] += amount;
+    }
+    im_[v] += amount;
+    return true;
+  }
+
+  Residual& r_;
+  int s_, t_;
+  std::vector<double> im_;
+  std::vector<int> parent_arc_;
+  std::vector<int> seen_; // visit stamps: seen_[u] == stamp_ means visited
+  int stamp_ = 0;
+};
+
+} // namespace
+
+bool repair_conservation(Residual& r, int s, int t, long long& ops) {
+  return ConservationRepair(r, s, t).run(ops);
 }
 
 } // namespace aflow::flow::detail

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/network.hpp"
 
 namespace aflow::flow::detail {
@@ -19,6 +20,13 @@ struct Residual {
   /// repair then drains). This is the carry-over seam of the incremental
   /// re-solve path (flow/delta.hpp).
   Residual(const graph::FlowNetwork& net, std::span<const double> prior_flow);
+
+  /// CSR twins of the two constructors above — the huge-instance path
+  /// (core::ShardedSolver) never materialises a FlowNetwork. Throws
+  /// std::length_error when 2m overflows the int arc index (the residual is
+  /// the one structure of the sharded path still bounded by int).
+  explicit Residual(const graph::CsrGraph& g);
+  Residual(const graph::CsrGraph& g, std::span<const double> prior_flow);
 
   /// Residual capacity per arc; arcs 2e / 2e+1 are the forward / reverse
   /// pair of input edge e.
@@ -48,7 +56,30 @@ struct Residual {
   /// Flow value currently carried: net flow out of `s` (forward consumption
   /// minus reverse consumption over s-incident arcs).
   double flow_value_at(const graph::FlowNetwork& net, int s) const;
+
+  /// Graph-free twins: augmentation preserves cap[2e] + cap[2e+1] =
+  /// capacity(e), so the flow on edge e is recoverable as cap[2e+1] without
+  /// consulting the input graph. These let the CSR path read results (and
+  /// the repair below find imbalances) from the residual alone.
+  std::vector<double> carried_edge_flows() const;
+  double carried_flow_at(int s) const;
+  /// Conservation surplus (inflow - outflow) per vertex under the carried
+  /// flow; source/sink entries are reported but are not repair targets.
+  std::vector<double> imbalances() const;
 };
+
+/// Restores conservation at every ordinary vertex of a capacity-feasible
+/// pseudo-flow held in `r`, by shortest-path pushes over the residual: every
+/// excess drains to {s, t, nearest deficit}, then every deficit fills from a
+/// terminal. Termination follows from flow decomposition of the carried
+/// pseudo-flow (DESIGN.md "Incremental re-solve: the delta path"). Counts
+/// one op per push into `ops`; returns false when no progress is possible
+/// (numerically degenerate carry), in which case the caller should discard
+/// the carry and solve from scratch. Shared by the delta re-solve path and
+/// the sharded-solve boundary stitch (core/sharded_solver.hpp), whose
+/// min-matched cut-arc flows violate conservation exactly at region
+/// boundaries.
+bool repair_conservation(Residual& r, int s, int t, long long& ops);
 
 /// Augments the (feasible-flow) residual `r` to a maximum flow with Dinic
 /// blocking flows; returns the flow value added and counts augmenting paths

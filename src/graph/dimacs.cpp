@@ -1,9 +1,14 @@
 #include "graph/dimacs.hpp"
 
+#include <cerrno>
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace aflow::graph {
@@ -35,6 +40,15 @@ FlowNetwork read_dimacs(std::istream& in) {
         if (n < 0 || m < 0)
           throw std::runtime_error(
               "read_dimacs: negative node or arc count in problem line");
+        // FlowNetwork indexes edges with int; past 2^31 arcs the counts
+        // would silently narrow. Refuse loudly and point at the path built
+        // for that scale.
+        if (m >= std::numeric_limits<int>::max())
+          throw std::runtime_error(
+              "read_dimacs: " + std::to_string(m) +
+              " arcs exceeds the in-memory FlowNetwork's int edge index; "
+              "use read_dimacs_stream for instances of this size");
+        arcs.reserve(static_cast<size_t>(m));
         break;
       }
       case 'n': {
@@ -92,6 +106,141 @@ FlowNetwork read_dimacs_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("read_dimacs_file: cannot open " + path);
   return read_dimacs(in);
+}
+
+namespace {
+
+const char* skip_ws(const char* p, const char* end) {
+  while (p != end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  return p;
+}
+
+bool parse_i64(const char*& p, const char* end, std::int64_t& out) {
+  p = skip_ws(p, end);
+  const auto [next, ec] = std::from_chars(p, end, out);
+  if (ec != std::errc()) return false;
+  p = next;
+  return true;
+}
+
+// The capacity field is the last token of an arc line and the line buffer is
+// NUL-terminated, so strtod's unbounded scan is safe; from_chars for doubles
+// is still spotty across the toolchains CI builds with.
+bool parse_cap(const char*& p, const char* end, double& out) {
+  p = skip_ws(p, end);
+  char* next = nullptr;
+  errno = 0;
+  out = std::strtod(p, &next);
+  if (next == p || errno == ERANGE) return false;
+  p = next;
+  return true;
+}
+
+} // namespace
+
+CsrGraph read_dimacs_stream(std::istream& in) {
+  std::string line;
+  std::int64_t n = -1, m = -1, arcs_seen = 0;
+  int source = -1, sink = -1;
+  std::vector<int> from, to;
+  std::vector<double> cap;
+
+  while (std::getline(in, line)) {
+    const char* p = line.c_str();
+    const char* end = p + line.size();
+    p = skip_ws(p, end);
+    if (p == end) continue;
+    const char kind = *p++;
+    switch (kind) {
+      case 'c':
+        break;
+      case 'p': {
+        if (n != -1)
+          throw std::runtime_error(
+              "read_dimacs_stream: duplicate problem line");
+        p = skip_ws(p, end);
+        if (end - p < 3 || p[0] != 'm' || p[1] != 'a' || p[2] != 'x')
+          throw std::runtime_error("read_dimacs_stream: expected 'p max N M'");
+        p += 3;
+        if (!parse_i64(p, end, n) || !parse_i64(p, end, m) || n < 0 || m < 0)
+          throw std::runtime_error("read_dimacs_stream: expected 'p max N M'");
+        if (n >= std::numeric_limits<int>::max())
+          throw std::runtime_error(
+              "read_dimacs_stream: node count " + std::to_string(n) +
+              " exceeds the int vertex index");
+        from.reserve(static_cast<size_t>(m));
+        to.reserve(static_cast<size_t>(m));
+        cap.reserve(static_cast<size_t>(m));
+        break;
+      }
+      case 'n': {
+        std::int64_t v = 0;
+        p = skip_ws(p, end);
+        if (!parse_i64(p, end, v))
+          throw std::runtime_error("read_dimacs_stream: malformed node line");
+        p = skip_ws(p, end);
+        if (p == end)
+          throw std::runtime_error("read_dimacs_stream: malformed node line");
+        if (*p == 's') {
+          if (source != -1)
+            throw std::runtime_error("read_dimacs_stream: duplicate source");
+          source = static_cast<int>(v - 1);
+        } else if (*p == 't') {
+          if (sink != -1)
+            throw std::runtime_error("read_dimacs_stream: duplicate sink");
+          sink = static_cast<int>(v - 1);
+        } else {
+          throw std::runtime_error(
+              "read_dimacs_stream: node role must be 's' or 't'");
+        }
+        break;
+      }
+      case 'a': {
+        std::int64_t u = 0, v = 0;
+        double c = 0.0;
+        if (!parse_i64(p, end, u) || !parse_i64(p, end, v) ||
+            !parse_cap(p, end, c))
+          throw std::runtime_error("read_dimacs_stream: malformed arc line");
+        if (n < 0)
+          throw std::runtime_error(
+              "read_dimacs_stream: arc line before problem line");
+        if (u < 1 || u > n || v < 1 || v > n)
+          throw std::runtime_error(
+              "read_dimacs_stream: arc endpoint out of range");
+        ++arcs_seen;
+        if (u == v || c <= 0.0) break; // same skip semantics as read_dimacs
+        from.push_back(static_cast<int>(u - 1));
+        to.push_back(static_cast<int>(v - 1));
+        cap.push_back(c);
+        break;
+      }
+      default:
+        throw std::runtime_error("read_dimacs_stream: unknown line kind '" +
+                                 std::string(1, kind) + "'");
+    }
+  }
+  if (n < 2)
+    throw std::runtime_error("read_dimacs_stream: missing problem line");
+  if (source < 0 || sink < 0)
+    throw std::runtime_error(
+        "read_dimacs_stream: missing source or sink designator");
+  if (source == sink)
+    throw std::runtime_error(
+        "read_dimacs_stream: source and sink designate the same node " +
+        std::to_string(source + 1));
+  if (arcs_seen != m)
+    throw std::runtime_error(
+        "read_dimacs_stream: problem line declares " + std::to_string(m) +
+        " arcs but the file contains " + std::to_string(arcs_seen));
+  return CsrGraph(static_cast<int>(n), source, sink, std::move(from),
+                  std::move(to), std::move(cap));
+}
+
+CsrGraph read_dimacs_stream_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("read_dimacs_stream_file: cannot open " + path);
+  return read_dimacs_stream(in);
 }
 
 void write_dimacs(std::ostream& out, const FlowNetwork& net) {

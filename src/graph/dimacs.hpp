@@ -6,15 +6,26 @@
 #include <iosfwd>
 #include <string>
 
+#include "graph/csr.hpp"
 #include "graph/network.hpp"
 
 namespace aflow::graph {
 
 /// Parses a DIMACS max-flow problem. Throws std::runtime_error on malformed
 /// input (missing problem line, bad arc endpoints, duplicate node
-/// designators, ...).
+/// designators, ...). Refuses instances with >= 2^31 arcs — those only fit
+/// the streaming CSR path (read_dimacs_stream).
 FlowNetwork read_dimacs(std::istream& in);
 FlowNetwork read_dimacs_file(const std::string& path);
+
+/// Streaming reader for huge instances: one pass, a reused line buffer with
+/// std::from_chars field parsing (no istringstream churn), arc arrays
+/// preallocated from the problem line, and 64-bit arc counts throughout.
+/// Skip semantics match read_dimacs (self loops and non-positive capacities
+/// are dropped). Returns the compact CSR view instead of a FlowNetwork so a
+/// million-node instance never pays the per-vertex adjacency-vector tax.
+CsrGraph read_dimacs_stream(std::istream& in);
+CsrGraph read_dimacs_stream_file(const std::string& path);
 
 /// Writes `net` in DIMACS max-flow format.
 void write_dimacs(std::ostream& out, const FlowNetwork& net);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <ostream>
 #include <set>
 #include <stdexcept>
 
@@ -165,6 +166,76 @@ FlowNetwork layered_random(int layers, int width, int fanout, int max_capacity,
   for (int slot = 0; slot < width; ++slot)
     net.add_edge(vid(layers - 1, slot), sink, uniform_capacity(max_capacity, rng));
   return net;
+}
+
+namespace {
+
+/// Emits every gridflow edge in one deterministic order (s->left column per
+/// row, right column->t per row, then per-cell right/down/up arcs row-major)
+/// through `emit(from, to, cap)`. Both the in-memory generator and the
+/// DIMACS writer run through this single walk, so the two renditions of a
+/// (height, width, max_capacity, seed) instance are edge-for-edge identical.
+template <typename Emit>
+void gridflow_walk(int height, int width, int max_capacity, std::uint64_t seed,
+                   Emit&& emit) {
+  if (height < 1 || width < 1)
+    throw std::invalid_argument("gridflow: bad shape");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> cap(1, std::max(1, max_capacity));
+  const std::int64_t pixels =
+      static_cast<std::int64_t>(height) * static_cast<std::int64_t>(width);
+  const std::int64_t source = pixels;
+  const std::int64_t sink = pixels + 1;
+  auto pid = [width](int y, int x) {
+    return static_cast<std::int64_t>(y) * width + x;
+  };
+  for (int y = 0; y < height; ++y) emit(source, pid(y, 0), cap(rng));
+  for (int y = 0; y < height; ++y) emit(pid(y, width - 1), sink, cap(rng));
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (x + 1 < width) emit(pid(y, x), pid(y, x + 1), cap(rng));
+      if (y + 1 < height) emit(pid(y, x), pid(y + 1, x), cap(rng));
+      if (y > 0) emit(pid(y, x), pid(y - 1, x), cap(rng));
+    }
+  }
+}
+
+std::int64_t gridflow_num_edges(int height, int width) {
+  const std::int64_t h = height, w = width;
+  // 2h terminal arcs + h(w-1) right + 2w(h-1) down/up.
+  return 2 * h + h * (w - 1) + 2 * w * (h - 1);
+}
+
+} // namespace
+
+FlowNetwork gridflow(int height, int width, int max_capacity,
+                     std::uint64_t seed) {
+  const std::int64_t pixels =
+      static_cast<std::int64_t>(height) * static_cast<std::int64_t>(width);
+  FlowNetwork net(static_cast<int>(pixels + 2), static_cast<int>(pixels),
+                  static_cast<int>(pixels + 1));
+  gridflow_walk(height, width, max_capacity, seed,
+                [&net](std::int64_t u, std::int64_t v, int c) {
+                  net.add_edge(static_cast<int>(u), static_cast<int>(v),
+                               static_cast<double>(c));
+                });
+  return net;
+}
+
+void write_gridflow_dimacs(std::ostream& out, int height, int width,
+                           int max_capacity, std::uint64_t seed) {
+  const std::int64_t pixels =
+      static_cast<std::int64_t>(height) * static_cast<std::int64_t>(width);
+  out << "c analogflow gridflow " << height << 'x' << width << " cap "
+      << max_capacity << " seed " << seed << '\n';
+  out << "p max " << pixels + 2 << ' ' << gridflow_num_edges(height, width)
+      << '\n';
+  out << "n " << pixels + 1 << " s\n";
+  out << "n " << pixels + 2 << " t\n";
+  gridflow_walk(height, width, max_capacity, seed,
+                [&out](std::int64_t u, std::int64_t v, int c) {
+                  out << "a " << u + 1 << ' ' << v + 1 << ' ' << c << '\n';
+                });
 }
 
 FlowNetwork uniform_random(int num_vertices, int num_edges, int max_capacity,

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <random>
 
 #include "graph/network.hpp"
@@ -59,5 +60,18 @@ FlowNetwork layered_random(int layers, int width, int fanout, int max_capacity,
 /// Erdos-Renyi-style random digraph with ensured s-t connectivity.
 FlowNetwork uniform_random(int num_vertices, int num_edges, int max_capacity,
                            std::uint64_t seed);
+
+/// Large-graph workload: an H x W lattice with flow entering at the left
+/// column and draining at the right — s feeds (y, 0) on every row, (y, W-1)
+/// feeds t, and every pixel has right/down/up lattice arcs with capacities
+/// drawn uniformly from [1, max_cap]. At height = width = 1000 this is the
+/// ~1M-vertex / ~3M-arc sharded-solve scale instance. Deterministic per
+/// seed, and `write_gridflow_dimacs` emits the identical instance straight
+/// to a DIMACS stream without materialising it, so huge workloads are
+/// generated at O(1) memory and read back through read_dimacs_stream.
+FlowNetwork gridflow(int height, int width, int max_capacity,
+                     std::uint64_t seed);
+void write_gridflow_dimacs(std::ostream& out, int height, int width,
+                           int max_capacity, std::uint64_t seed);
 
 } // namespace aflow::graph

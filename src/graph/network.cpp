@@ -1,6 +1,7 @@
 #include "graph/network.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 
@@ -24,6 +25,13 @@ int FlowNetwork::add_edge(int from, int to, double capacity) {
     throw std::invalid_argument("FlowNetwork::add_edge: self loops not supported");
   if (!(capacity > 0.0))
     throw std::invalid_argument("FlowNetwork::add_edge: capacity must be positive");
+  // num_edges() narrows edges_.size() to int; refuse the edge that would
+  // make that cast wrap instead of silently corrupting every index after it.
+  if (edges_.size() >=
+      static_cast<size_t>(std::numeric_limits<int>::max()))
+    throw std::length_error(
+        "FlowNetwork::add_edge: edge count at the int index limit; "
+        "instances of this size belong in graph::CsrGraph");
   const int id = static_cast<int>(edges_.size());
   edges_.push_back({from, to, capacity});
   out_[from].push_back(id);

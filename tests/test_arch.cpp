@@ -2,6 +2,10 @@
 // placement, channel routing, and the utilisation argument.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
 #include "arch/clustered.hpp"
 #include "arch/partition.hpp"
 #include "graph/generators.hpp"
@@ -129,4 +133,150 @@ TEST(Clustered, RejectsBadSpecs) {
   bad2.style = arch::RoutingStyle::kGrid2D;
   bad2.grid_columns = 0;
   EXPECT_THROW(arch::map_to_islands(g, bad2), std::invalid_argument);
+}
+
+// ---- Seed-determinism and balance-tolerance pins (satellite battery) ----
+
+TEST(Partition, FmIsSeedDeterministicOnLargerRandomGraphs) {
+  // Two calls with identical (graph, tolerance, seed) must agree exactly:
+  // downstream consumers (island mapping, sharded solve) rely on replayable
+  // partitions.
+  const auto g = graph::rmat_sparse(400, 21);
+  std::vector<std::pair<int, int>> edges;
+  for (const auto& e : g.edges()) edges.emplace_back(e.from, e.to);
+  for (const std::uint64_t seed : {1ull, 7ull, 31ull}) {
+    const auto a = arch::fm_bipartition(g.num_vertices(), edges, 0.1, seed);
+    const auto b = arch::fm_bipartition(g.num_vertices(), edges, 0.1, seed);
+    EXPECT_EQ(a.side, b.side) << "seed " << seed;
+    EXPECT_EQ(a.cut_edges, b.cut_edges) << "seed " << seed;
+  }
+}
+
+TEST(Partition, FmHonorsBalanceToleranceOnLargerRandomGraphs) {
+  const auto g = graph::rmat_sparse(500, 13);
+  std::vector<std::pair<int, int>> edges;
+  for (const auto& e : g.edges()) edges.emplace_back(e.from, e.to);
+  const int n = g.num_vertices();
+  for (const double tol : {0.05, 0.1, 0.3}) {
+    for (const std::uint64_t seed : {2ull, 11ull}) {
+      const auto r = arch::fm_bipartition(n, edges, tol, seed);
+      // The documented bound: each side <= ceil(n/2)(1 + tol).
+      const int cap =
+          static_cast<int>(std::ceil(((n + 1) / 2) * (1.0 + tol)));
+      int left = 0;
+      for (char s : r.side) left += s == 0;
+      EXPECT_LE(left, cap) << "tol " << tol << " seed " << seed;
+      EXPECT_LE(n - left, cap) << "tol " << tol << " seed " << seed;
+    }
+  }
+}
+
+TEST(Partition, IslandsAreSeedDeterministicOnLargerRandomGraphs) {
+  const auto g = graph::rmat_sparse(300, 17);
+  const auto a = arch::partition_into_islands(g, 48, 9);
+  const auto b = arch::partition_into_islands(g, 48, 9);
+  EXPECT_EQ(a.part, b.part);
+  EXPECT_EQ(a.num_parts, b.num_parts);
+  EXPECT_EQ(a.cut_edges, b.cut_edges);
+}
+
+// ---- K-way region partitioner (sharded solve's decomposition) ----
+
+TEST(Partition, RegionsCoverEveryVertexExactlyOnce) {
+  const auto g = graph::rmat(220, 900, {}, 5);
+  for (const int k : {2, 3, 4, 8}) {
+    arch::RegionPartitionOptions opt;
+    opt.regions = k;
+    const auto p = arch::partition_regions(g, opt);
+    ASSERT_EQ(p.num_regions, k);
+    ASSERT_EQ(static_cast<int>(p.region.size()), g.num_vertices());
+    std::vector<int> seen(g.num_vertices(), 0);
+    for (int r = 0; r < k; ++r) {
+      EXPECT_FALSE(p.vertices[r].empty()) << "region " << r;
+      for (const int v : p.vertices[r]) {
+        EXPECT_EQ(p.region[v], r);
+        seen[v]++;
+      }
+      // Vertex lists are ascending (the sharded solver binary-searches
+      // them for global->local mapping).
+      EXPECT_TRUE(std::is_sorted(p.vertices[r].begin(), p.vertices[r].end()));
+    }
+    for (int v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(seen[v], 1) << v;
+  }
+}
+
+TEST(Partition, RegionCutManifestIsExact) {
+  const auto g = graph::uniform_random(150, 700, 24, 3);
+  arch::RegionPartitionOptions opt;
+  opt.regions = 4;
+  const auto p = arch::partition_regions(g, opt);
+
+  std::vector<std::int64_t> expect_cut;
+  double expect_capacity = 0.0;
+  for (int e = 0; e < g.num_edges(); ++e)
+    if (p.region[g.edge(e).from] != p.region[g.edge(e).to]) {
+      expect_cut.push_back(e);
+      expect_capacity += g.edge(e).capacity;
+    }
+  EXPECT_EQ(p.cut_arcs, expect_cut);
+  EXPECT_NEAR(p.cut_capacity, expect_capacity, 1e-9);
+
+  // Boundary lists are exactly the cut-arc endpoints, per region.
+  std::vector<std::vector<int>> expect_boundary(4);
+  std::vector<char> on_boundary(g.num_vertices(), 0);
+  for (const std::int64_t e : p.cut_arcs) {
+    on_boundary[g.edge(static_cast<int>(e)).from] = 1;
+    on_boundary[g.edge(static_cast<int>(e)).to] = 1;
+  }
+  for (int v = 0; v < g.num_vertices(); ++v)
+    if (on_boundary[v]) expect_boundary[p.region[v]].push_back(v);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(p.boundary[r], expect_boundary[r]);
+}
+
+TEST(Partition, RegionsAreDeterministicAndAgreeAcrossGraphViews) {
+  const auto net = graph::rmat(260, 1100, {}, 8);
+  const graph::CsrGraph csr = graph::CsrGraph::from_network(net);
+  arch::RegionPartitionOptions opt;
+  opt.regions = 6;
+  opt.seed = 17;
+  const auto a = arch::partition_regions(net, opt);
+  const auto b = arch::partition_regions(net, opt);
+  const auto c = arch::partition_regions(csr, opt);
+  EXPECT_EQ(a.region, b.region);
+  // The FlowNetwork and CsrGraph overloads walk identical edge lists, so
+  // the result must not depend on which view the caller holds.
+  EXPECT_EQ(a.region, c.region);
+  EXPECT_EQ(a.cut_arcs, c.cut_arcs);
+  EXPECT_EQ(a.boundary, c.boundary);
+}
+
+TEST(Partition, RegionsValidateArguments) {
+  const auto g = graph::rmat(30, 120, {}, 2);
+  arch::RegionPartitionOptions bad;
+  bad.regions = 0;
+  EXPECT_THROW(arch::partition_regions(g, bad), std::invalid_argument);
+  bad.regions = g.num_vertices() + 1;
+  EXPECT_THROW(arch::partition_regions(g, bad), std::invalid_argument);
+
+  arch::RegionPartitionOptions one;
+  one.regions = 1;
+  const auto p = arch::partition_regions(g, one);
+  EXPECT_EQ(p.num_regions, 1);
+  EXPECT_TRUE(p.cut_arcs.empty());
+  EXPECT_EQ(static_cast<int>(p.vertices[0].size()), g.num_vertices());
+}
+
+TEST(Partition, RegionsStayRoughlyBalanced) {
+  // Recursive bisection with per-split tolerance 0.1 cannot produce a
+  // pathological region; allow generous slack but pin the order of
+  // magnitude so a regression to one-giant-region fails loudly.
+  const auto g = graph::gridflow(40, 40, 8, 6);
+  arch::RegionPartitionOptions opt;
+  opt.regions = 8;
+  const auto p = arch::partition_regions(g, opt);
+  const int ideal = g.num_vertices() / 8;
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_GE(static_cast<int>(p.vertices[r].size()), ideal / 3) << r;
+    EXPECT_LE(static_cast<int>(p.vertices[r].size()), ideal * 3) << r;
+  }
 }

@@ -355,11 +355,11 @@ TEST(ServeDelta, RequestSchemaAndDeprecationSurface) {
   EXPECT_TRUE(json_bool(edits, "ok")) << edits;
   EXPECT_EQ(json_double(edits, "edits_applied"), 2.0) << edits;
 
-  // Deprecated single-edge alias still works, with the deprecation note in
-  // telemetry.
+  // The single-edge alias is gone (its one-release deprecation window
+  // closed): the request fails and the error points at the structured form.
   const std::string legacy = engine.handle("reconfigure --edge 0 --capacity 4.5");
-  EXPECT_TRUE(json_bool(legacy, "ok")) << legacy;
-  EXPECT_NE(legacy.find("\"deprecated\":"), std::string::npos) << legacy;
+  EXPECT_FALSE(json_bool(legacy, "ok")) << legacy;
+  EXPECT_NE(legacy.find("removed"), std::string::npos) << legacy;
   EXPECT_NE(legacy.find("--edits"), std::string::npos) << legacy;
 
   // The no-op-arguments error must advertise the new form...

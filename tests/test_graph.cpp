@@ -222,3 +222,190 @@ TEST(Dimacs, RoundTripPreservesFullCapacityPrecision) {
     EXPECT_EQ(g2.edge(e).capacity, g.edge(e).capacity)
         << "capacity corrupted on edge " << e;
 }
+
+TEST(Csr, RoundTripsThroughFlowNetwork) {
+  const auto net = graph::rmat(50, 240, {}, 11);
+  const graph::CsrGraph g = graph::CsrGraph::from_network(net);
+  ASSERT_EQ(g.num_vertices(), net.num_vertices());
+  ASSERT_EQ(g.num_edges(), net.num_edges());
+  EXPECT_EQ(g.source(), net.source());
+  EXPECT_EQ(g.sink(), net.sink());
+  for (int e = 0; e < net.num_edges(); ++e) {
+    EXPECT_EQ(g.edge_from(e), net.edge(e).from);
+    EXPECT_EQ(g.edge_to(e), net.edge(e).to);
+    EXPECT_DOUBLE_EQ(g.edge_capacity(e), net.edge(e).capacity);
+  }
+  // Incidence covers every edge endpoint exactly once per direction.
+  std::int64_t arcs = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    for (const std::int64_t a : g.arcs(v)) {
+      const std::int64_t e = graph::CsrGraph::arc_edge(a);
+      EXPECT_EQ(graph::CsrGraph::arc_is_out(a) ? g.edge_from(e) : g.edge_to(e),
+                v);
+      ++arcs;
+    }
+  }
+  EXPECT_EQ(arcs, 2 * g.num_edges());
+
+  const graph::FlowNetwork back = g.to_network();
+  ASSERT_EQ(back.num_edges(), net.num_edges());
+  for (int e = 0; e < net.num_edges(); ++e) {
+    EXPECT_EQ(back.edge(e).from, net.edge(e).from);
+    EXPECT_EQ(back.edge(e).to, net.edge(e).to);
+    EXPECT_DOUBLE_EQ(back.edge(e).capacity, net.edge(e).capacity);
+  }
+  double source_out = 0.0;
+  for (int e : net.out_edges(net.source()))
+    source_out += net.edge(e).capacity;
+  EXPECT_DOUBLE_EQ(g.source_out_capacity(), source_out);
+}
+
+TEST(Csr, RejectsMalformedEdges) {
+  EXPECT_THROW(graph::CsrGraph(3, 0, 2, {0}, {0}, {1.0}),
+               std::invalid_argument); // self loop
+  EXPECT_THROW(graph::CsrGraph(3, 0, 2, {0}, {1}, {0.0}),
+               std::invalid_argument); // non-positive capacity
+  EXPECT_THROW(graph::CsrGraph(3, 0, 2, {0}, {7}, {1.0}),
+               std::invalid_argument); // endpoint out of range
+  EXPECT_THROW(graph::CsrGraph(1, 0, 0, {}, {}, {}),
+               std::invalid_argument); // source == sink
+}
+
+TEST(Dimacs, StreamReaderMatchesClassicReader) {
+  const auto net = graph::uniform_random(60, 300, 40, 5);
+  std::stringstream ss;
+  graph::write_dimacs(ss, net);
+  const std::string text = ss.str();
+
+  std::stringstream classic_in(text), stream_in(text);
+  const graph::FlowNetwork classic = graph::read_dimacs(classic_in);
+  const graph::CsrGraph streamed = graph::read_dimacs_stream(stream_in);
+  ASSERT_EQ(streamed.num_vertices(), classic.num_vertices());
+  ASSERT_EQ(streamed.num_edges(), classic.num_edges());
+  EXPECT_EQ(streamed.source(), classic.source());
+  EXPECT_EQ(streamed.sink(), classic.sink());
+  for (int e = 0; e < classic.num_edges(); ++e) {
+    EXPECT_EQ(streamed.edge_from(e), classic.edge(e).from);
+    EXPECT_EQ(streamed.edge_to(e), classic.edge(e).to);
+    EXPECT_EQ(streamed.edge_capacity(e), classic.edge(e).capacity);
+  }
+}
+
+TEST(Dimacs, StreamReaderSkipSemanticsMatchClassicReader) {
+  // Self loops and non-positive capacities are dropped silently by both
+  // readers, and both still require the declared arc count to match the
+  // a-lines seen (not the arcs kept).
+  const std::string text =
+      "c skip semantics\n"
+      "p max 4 4\n"
+      "n 1 s\n"
+      "n 4 t\n"
+      "a 1 2 5\n"
+      "a 2 2 9\n" // self loop: dropped
+      "a 2 3 0\n" // zero capacity: dropped
+      "a 3 4 6\n";
+  std::stringstream classic_in(text), stream_in(text);
+  const graph::FlowNetwork classic = graph::read_dimacs(classic_in);
+  const graph::CsrGraph streamed = graph::read_dimacs_stream(stream_in);
+  EXPECT_EQ(classic.num_edges(), 2);
+  EXPECT_EQ(streamed.num_edges(), 2);
+  EXPECT_EQ(streamed.edge_to(1), 3);
+}
+
+TEST(Dimacs, StreamReaderRejectsMalformedInput) {
+  { // truncated: fewer a-lines than declared
+    std::stringstream ss("p max 3 2\nn 1 s\nn 3 t\na 1 2 7\n");
+    EXPECT_THROW(graph::read_dimacs_stream(ss), std::runtime_error);
+  }
+  { // arc endpoint out of range
+    std::stringstream ss("p max 2 1\nn 1 s\nn 2 t\na 1 9 3\n");
+    EXPECT_THROW(graph::read_dimacs_stream(ss), std::runtime_error);
+  }
+  { // no problem line
+    std::stringstream ss("a 1 2 3\n");
+    EXPECT_THROW(graph::read_dimacs_stream(ss), std::runtime_error);
+  }
+  { // garbage field
+    std::stringstream ss("p max 2 1\nn 1 s\nn 2 t\na 1 2 bogus\n");
+    EXPECT_THROW(graph::read_dimacs_stream(ss), std::runtime_error);
+  }
+}
+
+TEST(Dimacs, ClassicReaderRefusesHugeArcCounts) {
+  // >= 2^31 arcs cannot be held by FlowNetwork's int edge ids; the classic
+  // reader must refuse up front (before consuming gigabytes) and point at
+  // the streaming path.
+  std::stringstream ss("p max 4 2147483648\nn 1 s\nn 4 t\n");
+  try {
+    graph::read_dimacs(ss);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("read_dimacs_stream"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Generators, GridflowIsDeterministicAndWellFormed) {
+  const auto a = graph::gridflow(6, 9, 16, 3);
+  const auto b = graph::gridflow(6, 9, 16, 3);
+  const auto c = graph::gridflow(6, 9, 16, 4);
+  const int h = 6, w = 9;
+  EXPECT_EQ(a.num_vertices(), h * w + 2);
+  EXPECT_EQ(a.num_edges(), 2 * h + h * (w - 1) + 2 * w * (h - 1));
+  EXPECT_EQ(a.source(), h * w);
+  EXPECT_EQ(a.sink(), h * w + 1);
+  a.validate();
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  bool differs = false;
+  for (int e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).from, b.edge(e).from);
+    EXPECT_DOUBLE_EQ(a.edge(e).capacity, b.edge(e).capacity);
+    if (a.edge(e).capacity != c.edge(e).capacity) differs = true;
+  }
+  EXPECT_TRUE(differs) << "seed must matter";
+}
+
+TEST(Generators, GridflowDimacsRenditionIsEdgeForEdgeIdentical) {
+  // The in-memory generator and the O(1)-memory DIMACS emitter share one
+  // walk, so the two renditions must agree edge for edge — that identity is
+  // what lets the sharded-solve battery compare the streamed path against
+  // the in-memory path on "the same" instance.
+  const auto net = graph::gridflow(7, 5, 12, 9);
+  std::stringstream ss;
+  graph::write_gridflow_dimacs(ss, 7, 5, 12, 9);
+  const graph::CsrGraph streamed = graph::read_dimacs_stream(ss);
+  ASSERT_EQ(streamed.num_vertices(), net.num_vertices());
+  ASSERT_EQ(streamed.num_edges(), net.num_edges());
+  EXPECT_EQ(streamed.source(), net.source());
+  EXPECT_EQ(streamed.sink(), net.sink());
+  for (int e = 0; e < net.num_edges(); ++e) {
+    EXPECT_EQ(streamed.edge_from(e), net.edge(e).from) << e;
+    EXPECT_EQ(streamed.edge_to(e), net.edge(e).to) << e;
+    EXPECT_EQ(streamed.edge_capacity(e), net.edge(e).capacity) << e;
+  }
+}
+
+TEST(Csr, CheckCsrFlowValidatesConservationAndCapacity) {
+  graph::FlowNetwork net(4, 0, 3);
+  net.add_edge(0, 1, 2.0);
+  net.add_edge(1, 3, 2.0);
+  net.add_edge(0, 2, 1.0);
+  net.add_edge(2, 3, 1.0);
+  const graph::CsrGraph g = graph::CsrGraph::from_network(net);
+
+  const std::vector<double> good{2.0, 2.0, 1.0, 1.0};
+  EXPECT_TRUE(graph::check_csr_flow(g, good, 3.0).empty());
+
+  std::vector<double> over = good;
+  over[0] = 2.5; // above capacity
+  EXPECT_FALSE(graph::check_csr_flow(g, over, 3.5).empty());
+
+  std::vector<double> leaky = good;
+  leaky[1] = 1.0; // vertex 1 no longer conserves
+  EXPECT_FALSE(graph::check_csr_flow(g, leaky, 2.0).empty());
+
+  EXPECT_FALSE(graph::check_csr_flow(g, good, 2.0).empty()); // wrong value
+  const std::vector<double> short_flow{1.0};
+  EXPECT_FALSE(graph::check_csr_flow(g, short_flow, 1.0).empty()); // shape
+}

@@ -1,6 +1,9 @@
 // Analog min-cut dual circuit (Sec. 6.3) and dual decomposition (Sec. 6.4).
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
 #include "flow/maxflow.hpp"
 #include "graph/generators.hpp"
 #include "mincut/decomposition.hpp"
@@ -134,4 +137,99 @@ TEST(Decomposition, AnalogOracleCanDriveSubproblems) {
   // optimality — only that the merged labelling is consistent; it should
   // still land near the optimum.
   EXPECT_LE(r.cut_value, 1.25 * exact.cut_value);
+}
+
+// ---- K-band generalisation of the decomposition (sharded-solve PR) ----
+
+TEST(Decomposition, SplitIsDeterministicOnLargerRandomGraphs) {
+  const auto g = graph::rmat(400, 1800, {}, 12);
+  const auto a = mincut::split_by_bfs(g, 2);
+  const auto b = mincut::split_by_bfs(g, 2);
+  EXPECT_EQ(a.in_m, b.in_m);
+  EXPECT_EQ(a.in_n, b.in_n);
+  EXPECT_EQ(a.overlap, b.overlap);
+}
+
+TEST(Decomposition, TwoBandSplitReproducesLegacySplit) {
+  // BandSplit with num_regions == 2 must be membership-identical to the
+  // original M/N split: band 0 == M, band 1 == N.
+  for (const int seed : {1, 5, 9}) {
+    const auto g = graph::rmat(150, 640, {}, seed);
+    for (const int rings : {1, 2, 3}) {
+      const auto legacy = mincut::split_by_bfs(g, rings);
+      const auto bands = mincut::split_bands_by_bfs(g, 2, rings);
+      ASSERT_EQ(bands.num_regions, 2);
+      for (int v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_EQ((bands.mask[v] & 1) != 0, legacy.in_m[v] != 0)
+            << "seed " << seed << " rings " << rings << " v " << v;
+        EXPECT_EQ((bands.mask[v] & 2) != 0, legacy.in_n[v] != 0)
+            << "seed " << seed << " rings " << rings << " v " << v;
+      }
+    }
+  }
+}
+
+TEST(Decomposition, KBandSplitCoversWithConsecutiveOverlap) {
+  const auto g = graph::rmat(300, 1300, {}, 4);
+  for (const int k : {3, 4, 8}) {
+    const auto bands = mincut::split_bands_by_bfs(g, k, 1);
+    const std::uint64_t all = (std::uint64_t{1} << k) - 1;
+    EXPECT_EQ(bands.mask[g.source()], all);
+    EXPECT_EQ(bands.mask[g.sink()], all);
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_NE(bands.mask[v], 0u) << v; // every vertex is in some band
+      if (v == g.source() || v == g.sink()) continue;
+      // Ordinary vertices occupy a consecutive run of bands (a BFS-distance
+      // range extended into its predecessor), never disjoint bands.
+      const std::uint64_t m = bands.mask[v];
+      const std::uint64_t shifted = m >> std::countr_zero(m);
+      EXPECT_EQ((shifted & (shifted + 1)), 0u)
+          << "vertex " << v << " mask not consecutive";
+    }
+  }
+}
+
+TEST(Decomposition, BandSplitValidatesArguments) {
+  const auto g = graph::rmat(40, 160, {}, 2);
+  EXPECT_THROW(mincut::split_bands_by_bfs(g, 1), std::invalid_argument);
+  EXPECT_THROW(mincut::split_bands_by_bfs(g, 65), std::invalid_argument);
+  EXPECT_THROW(mincut::split_bands_by_bfs(g, 4, 0), std::invalid_argument);
+}
+
+class KRegionDecompositionParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(KRegionDecompositionParam, KRegionSolveStaysValidAndOptimalOnAgreement) {
+  const auto g = graph::rmat(72, 380, {}, GetParam());
+  const auto exact = flow::min_cut_from_flow(g, flow::push_relabel(g));
+  mincut::DecompositionOptions opt;
+  opt.num_regions = 3 + GetParam() % 2; // 3 or 4 bands
+  const auto r = mincut::solve_by_decomposition(g, opt);
+  EXPECT_TRUE(r.side[g.source()]);
+  EXPECT_FALSE(r.side[g.sink()]);
+  EXPECT_EQ(static_cast<int>(r.region_vertices.size()), opt.num_regions);
+  EXPECT_EQ(r.subproblem_vertices_m, r.region_vertices.front());
+  EXPECT_EQ(r.subproblem_vertices_n, r.region_vertices.back());
+  EXPECT_NEAR(r.cut_value, cut_value_of_side(g, r.side), 1e-9);
+  EXPECT_GE(r.cut_value, exact.cut_value - 1e-9);
+  if (r.agreed) {
+    EXPECT_NEAR(r.cut_value, exact.cut_value, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KRegionDecompositionParam,
+                         ::testing::Range(1, 7));
+
+TEST(Decomposition, ThreadedDefaultOracleMatchesSequential) {
+  // The BatchEngine fan-out of the per-iteration subproblems must not
+  // change the result: same solver per band, deterministic subgradient.
+  const auto g = graph::rmat(72, 380, {}, 3);
+  mincut::DecompositionOptions seq;
+  seq.num_threads = 1;
+  mincut::DecompositionOptions par;
+  par.num_threads = 0; // hardware concurrency
+  const auto a = mincut::solve_by_decomposition(g, seq);
+  const auto b = mincut::solve_by_decomposition(g, par);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.side, b.side);
+  EXPECT_DOUBLE_EQ(a.cut_value, b.cut_value);
 }

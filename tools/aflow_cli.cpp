@@ -2,9 +2,20 @@
 //
 //   aflow solvers
 //   aflow solve --solver dinic --input x.dimacs [--check] [--expect-flow V]
+//   aflow solve --shards K --input huge.dimacs [--region-solver NAME]
+//               [--threads N] [--seed S] [--check]
+//   aflow gen --spec "gridflow:height=1000,width=1000,cap=64,seed=3"
+//             --output huge.dimacs
 //   aflow bench --solver push_relabel --batch "grid:side=31,count=64,seed=1"
 //               [--threads N] [--deterministic] [--check] [--per-instance]
 //               [--json FILE]
+//
+// `solve --shards K` is the huge-instance path (DESIGN.md "Sharded solve"):
+// the input streams from disk into a compact CSR view — the full
+// FlowNetwork adjacency structure is never materialised — then k-way region
+// decomposition, parallel region solves, and an exact refinement pass.
+// `gen` writes a generator spec as a DIMACS file; the gridflow kind streams
+// in O(1) memory, so generating a million-node instance costs no RAM.
 //
 //   aflow serve [--solver NAME] [--threads N] [--deterministic]
 //               [--pool-budget-mb M] [--listen PATH] [--max-sessions N]
@@ -21,6 +32,7 @@
 // JSON response per line either way. Both schemas are documented in
 // docs/BENCH_FORMAT.md.
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -31,6 +43,7 @@
 #include "core/batch_engine.hpp"
 #include "core/registry.hpp"
 #include "core/serve_engine.hpp"
+#include "core/sharded_solver.hpp"
 #include "core/serve_front.hpp"
 #include "core/workload.hpp"
 #include "graph/dimacs.hpp"
@@ -51,6 +64,9 @@ int usage() {
       "  aflow solvers\n"
       "  aflow solve --solver NAME --input FILE.dimacs [--check] "
       "[--expect-flow V]\n"
+      "  aflow solve --shards K --input FILE.dimacs [--region-solver NAME]\n"
+      "              [--threads N] [--seed S] [--check] [--expect-flow V]\n"
+      "  aflow gen --spec GENSPEC --output FILE.dimacs\n"
       "  aflow bench --solver NAME --batch SPEC_OR_PATH [--threads N]\n"
       "              [--deterministic] [--check] [--per-instance] "
       "[--json FILE]\n"
@@ -140,9 +156,70 @@ int cmd_solvers() {
   return 0;
 }
 
+/// `solve --shards K`: stream the instance from disk into the compact CSR
+/// view and run the sharded decomposition solver on it. The in-memory
+/// FlowNetwork path is never touched, which is the whole point — a
+/// million-node instance fits where the per-vertex adjacency vectors don't.
+int cmd_solve_sharded(int argc, char** argv, const std::string& input,
+                      int shards) {
+  core::ShardOptions options;
+  options.shards = shards;
+  options.region_solver =
+      arg_string(argc, argv, "--region-solver", options.region_solver);
+  options.num_threads = arg_int(argc, argv, "--threads", 0);
+  options.seed = static_cast<std::uint64_t>(arg_int(argc, argv, "--seed", 1));
+
+  const graph::CsrGraph g = graph::read_dimacs_stream_file(input);
+  const core::ShardedSolver solver(options);
+  core::ShardReport rep;
+  const flow::MaxFlowResult result = solver.solve_csr(g, &rep);
+
+  std::printf("instance:  %s (%d vertices, %lld edges)\n", input.c_str(),
+              g.num_vertices(), static_cast<long long>(g.num_edges()));
+  std::printf("solver:    sharded (%d regions, region solver %s, %d threads)\n",
+              rep.regions, options.region_solver.c_str(), rep.threads_used);
+  std::printf("cut arcs:  %lld (capacity %.10g)\n",
+              static_cast<long long>(rep.cut_arcs), rep.cut_capacity);
+  std::printf("bound:     %.10g (pre-refinement upper bound)\n",
+              rep.upper_bound);
+  std::printf("stitched:  %.10g  refined: +%.10g\n", rep.stitched_value,
+              rep.refined_added);
+  std::printf("flow:      %.10g\n", result.flow_value);
+  std::printf("ops:       %lld\n", result.operations);
+  std::printf("stages:    partition %.3f ms, regions %.3f ms, stitch %.3f ms, "
+              "refine %.3f ms\n",
+              rep.partition_seconds * 1e3, rep.region_seconds * 1e3,
+              rep.stitch_seconds * 1e3, rep.refine_seconds * 1e3);
+
+  if (arg_flag(argc, argv, "--check")) {
+    const std::string err =
+        graph::check_csr_flow(g, result.edge_flow, result.flow_value);
+    if (!err.empty()) {
+      std::fprintf(stderr, "FAIL: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("check:     feasible\n");
+  }
+
+  const std::string expect = arg_string(argc, argv, "--expect-flow", "");
+  if (!expect.empty()) {
+    const double want = std::stod(expect);
+    if (std::abs(result.flow_value - want) > 1e-6 * std::max(1.0, want)) {
+      std::fprintf(stderr, "FAIL: expected flow %.10g, got %.10g\n", want,
+                   result.flow_value);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int cmd_solve(int argc, char** argv) {
   const std::string input = arg_string(argc, argv, "--input", "");
   if (input.empty()) return usage();
+
+  const int shards = arg_int(argc, argv, "--shards", 0);
+  if (shards >= 2) return cmd_solve_sharded(argc, argv, input, shards);
+
   const std::string solver_name = arg_string(argc, argv, "--solver", "dinic");
 
   const graph::FlowNetwork net = graph::read_dimacs_file(input);
@@ -173,6 +250,15 @@ int cmd_solve(int argc, char** argv) {
       return 1;
     }
   }
+  return 0;
+}
+
+int cmd_gen(int argc, char** argv) {
+  const std::string spec = arg_string(argc, argv, "--spec", "");
+  const std::string output = arg_string(argc, argv, "--output", "");
+  if (spec.empty() || output.empty()) return usage();
+  core::write_spec_dimacs(spec, output);
+  std::printf("wrote %s (%s)\n", output.c_str(), spec.c_str());
   return 0;
 }
 
@@ -285,6 +371,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "solvers") return cmd_solvers();
     if (cmd == "solve") return cmd_solve(argc, argv);
+    if (cmd == "gen") return cmd_gen(argc, argv);
     if (cmd == "bench") return cmd_bench(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
   } catch (const std::exception& e) {

@@ -113,8 +113,8 @@ def run_reconfigure_stream(path):
 
     Every revision: apply a small structured edit batch, then check that
     the incremental solve (delta:true) matches a forced from-scratch
-    re-solve of the same revision. Also probes the deprecated
-    `--edge/--capacity` alias for its deprecation notice.
+    re-solve of the same revision. Also probes the removed
+    `--edge/--capacity` alias for its pointer at the structured form.
     """
     client = Client(path)
     doc = client.request("load --spec grid:side=6,seed=2")
@@ -145,10 +145,17 @@ def run_reconfigure_stream(path):
         scale = max(1.0, abs(ref["flow"]))
         assert abs(inc["flow"] - ref["flow"]) <= 1e-9 * scale, (inc, ref)
 
+    # Sharded decomposition solve of the current revision: exact, so it must
+    # reproduce the direct solver's value, with a valid pre-refinement bound.
+    doc = client.request("solve --shards 4 --threads 2")
+    assert doc["ok"] is True and doc["solver"] == "sharded", doc
+    assert abs(doc["flow"] - ref["flow"]) <= 1e-9 * scale, (doc, ref)
+    assert doc["shards"]["upper_bound"] >= doc["flow"] - 1e-9, doc
+    assert doc["shards"]["regions"] >= 2, doc
+
     doc = client.request("reconfigure --edge 0 --capacity 4.5")
-    assert doc["ok"] is True, doc
-    note = doc["telemetry"]["deprecated"]
-    assert "--edits" in note, doc
+    assert doc["ok"] is False, doc
+    assert "removed" in doc["error"] and "--edits" in doc["error"], doc
 
     client.request("quit")
     client.close()
