@@ -38,18 +38,20 @@ void fill_common(const MaxFlowCircuit& c, const circuit::MnaAssembler& mna,
 
 } // namespace
 
-AnalogFlowResult AnalogMaxFlowSolver::solve(const graph::FlowNetwork& net) const {
+AnalogFlowResult AnalogMaxFlowSolver::solve(
+    const graph::FlowNetwork& net, const util::CancelToken& cancel) const {
   switch (options_.method) {
-    case SolveMethod::kSteadyState: return solve_steady_state(net);
-    case SolveMethod::kTransient: return solve_transient(net);
+    case SolveMethod::kSteadyState: return solve_steady_state(net, cancel);
+    case SolveMethod::kTransient: return solve_transient(net, cancel);
   }
   return {};
 }
 
 AnalogFlowResult AnalogMaxFlowSolver::solve_delta(
-    const graph::FlowNetwork& net, const flow::CapacityDelta& delta) const {
+    const graph::FlowNetwork& net, const flow::CapacityDelta& delta,
+    const util::CancelToken& cancel) const {
   const auto fallback = [&] {
-    AnalogFlowResult out = solve(net);
+    AnalogFlowResult out = solve(net, cancel);
     out.delta_fallbacks = 1;
     out.edges_touched = delta.distinct_edges();
     return out;
@@ -74,7 +76,7 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_delta(
   // DcSolver::solve_warm at full drive, skipping the Vflow homotopy. Count
   // a delta_solve only when the warm carry actually happened (a pool miss
   // or failed warm attempt ran the cold ramp — that is a fallback).
-  AnalogFlowResult out = solve_steady_state(net);
+  AnalogFlowResult out = solve_steady_state(net, cancel);
   if (out.warm_started)
     out.delta_solves = 1;
   else
@@ -84,7 +86,7 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_delta(
 }
 
 AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
-    const graph::FlowNetwork& net) const {
+    const graph::FlowNetwork& net, const util::CancelToken& cancel) const {
   // The explicit-NIC circuit adds op-amp rail states to the DC
   // complementarity problem, which routinely cycles; the physical way to
   // find its operating point is to let the (railed, hence bounded) dynamics
@@ -93,7 +95,8 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
     AnalogSolveOptions topt = options_;
     topt.method = SolveMethod::kTransient;
     topt.record_edge_waveforms = false;
-    AnalogFlowResult out = AnalogMaxFlowSolver(topt).solve_transient(net);
+    AnalogFlowResult out =
+        AnalogMaxFlowSolver(topt).solve_transient(net, cancel);
     out.waveform = {};
     return out;
   }
@@ -107,6 +110,7 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
   sim::DcOptions dc_opt;
   dc_opt.reuse_factorization = options_.reuse_factorization;
   dc_opt.ordering_cache = options_.ordering_cache;
+  dc_opt.cancel = cancel;
   sim::DcSolver solver(c.netlist, dc_opt);
 
   const double v_target = options_.config.vflow;
@@ -139,6 +143,16 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
       sim::WarmStart seed;
       seed.lu_prototype = warm->lu;
       solver.warm_start(seed);
+    }
+    // Degradation ladder, pool rung: an entry that carries a device state
+    // which no longer fits this pattern (64-bit key collision, or a stale /
+    // corrupt entry) is dropped outright so it cannot keep poisoning every
+    // future lookup of this key; the closing store below rebuilds it from
+    // this solve's converged state.
+    if (warm && warm->state &&
+        !warm->shapes_match(c.netlist, solver.assembler().num_unknowns())) {
+      pool->drop(pool_key);
+      out.pool_rebuilds = 1;
     }
     if (warm &&
         warm->shapes_match(c.netlist, solver.assembler().num_unknowns())) {
@@ -206,13 +220,13 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_steady_state(
 }
 
 AnalogFlowResult AnalogMaxFlowSolver::solve_transient(
-    const graph::FlowNetwork& net) const {
+    const graph::FlowNetwork& net, const util::CancelToken& cancel) const {
   MaxFlowCircuit c = map(net);
 
   const double tau = reference_tau(options_.config);
   if (tau <= 0.0) {
     // Purely resistive circuit: the "transient" is instantaneous.
-    AnalogFlowResult out = solve_steady_state(net);
+    AnalogFlowResult out = solve_steady_state(net, cancel);
     out.convergence_time = 0.0;
     return out;
   }
@@ -224,6 +238,7 @@ AnalogFlowResult AnalogMaxFlowSolver::solve_transient(
   topt.settle_tol = options_.settle_tol;
   topt.reuse_factorization = options_.reuse_factorization;
   topt.ordering_cache = options_.ordering_cache;
+  topt.cancel = cancel;
 
   std::vector<sim::Probe> probes;
   probes.push_back(sim::Probe::source_current(c.vflow_source, "Iflow"));

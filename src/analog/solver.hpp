@@ -19,6 +19,7 @@
 #include "flow/delta.hpp"
 #include "flow/maxflow.hpp"
 #include "sim/transient.hpp"
+#include "util/cancel.hpp"
 
 namespace aflow::analog {
 
@@ -116,6 +117,10 @@ struct AnalogFlowResult {
   long long delta_solves = 0;
   long long delta_fallbacks = 0;
   long long edges_touched = 0;
+  /// Degradation-ladder telemetry: a pooled warm-start entry whose shapes
+  /// no longer matched this pattern (corrupt or stale) was dropped from the
+  /// pool and rebuilt by this solve's closing store.
+  long long pool_rebuilds = 0;
 
   /// Relative error against an exact flow value.
   double relative_error(double exact) const {
@@ -128,7 +133,12 @@ class AnalogMaxFlowSolver {
   explicit AnalogMaxFlowSolver(AnalogSolveOptions options = {})
       : options_(std::move(options)) {}
 
-  AnalogFlowResult solve(const graph::FlowNetwork& net) const;
+  /// `cancel` is per-call (adapter instances are shared across serve
+  /// sessions, so the token must not live in the options): it threads into
+  /// the DC Newton loop and the transient step loop, which check it at
+  /// every iteration boundary and unwind with util::CancelledError.
+  AnalogFlowResult solve(const graph::FlowNetwork& net,
+                         const util::CancelToken& cancel = {}) const;
 
   /// Incremental re-solve for a capacity-edited instance. The analog
   /// carry-over state is the ReusePool entry of the pattern (factored LU
@@ -141,7 +151,8 @@ class AnalogMaxFlowSolver {
   /// settling time is the measured quantity — it falls back to solve().
   /// delta_solves / delta_fallbacks in the result record which path ran.
   AnalogFlowResult solve_delta(const graph::FlowNetwork& net,
-                               const flow::CapacityDelta& delta) const;
+                               const flow::CapacityDelta& delta,
+                               const util::CancelToken& cancel = {}) const;
 
   /// True when the solver carries cross-instance state (factored
   /// prototypes + operating points) between solves — the precondition for
@@ -159,8 +170,10 @@ class AnalogMaxFlowSolver {
   const AnalogSolveOptions& options() const { return options_; }
 
  private:
-  AnalogFlowResult solve_steady_state(const graph::FlowNetwork& net) const;
-  AnalogFlowResult solve_transient(const graph::FlowNetwork& net) const;
+  AnalogFlowResult solve_steady_state(const graph::FlowNetwork& net,
+                                      const util::CancelToken& cancel) const;
+  AnalogFlowResult solve_transient(const graph::FlowNetwork& net,
+                                   const util::CancelToken& cancel) const;
 
   AnalogSolveOptions options_;
 };

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/registry.hpp"
+#include "util/fault_injector.hpp"
 
 namespace aflow::core {
 
@@ -87,8 +88,10 @@ BatchReport BatchEngine::run(const std::vector<graph::FlowNetwork>& instances,
       out.index = i;
       const auto t0 = Clock::now();
       try {
+        options_.cancel.check();
+        util::FaultInjector::instance().fire("batch.solve", &options_.cancel);
         instances[i].validate();
-        out.result = solver->solve(instances[i]);
+        out.result = solver->solve(instances[i], options_.cancel);
         if (options_.validate) {
           const std::string err = flow::check_flow(instances[i], out.result);
           if (!err.empty()) throw std::runtime_error("infeasible flow: " + err);
@@ -97,6 +100,7 @@ BatchReport BatchEngine::run(const std::vector<graph::FlowNetwork>& instances,
       } catch (const std::exception& e) {
         out.ok = false;
         out.error = e.what();
+        out.error_info = classify_error(e);
       }
       out.seconds = seconds_since(t0);
     }
@@ -141,9 +145,11 @@ BatchReport BatchEngine::run_streamed(
       out.index = i;
       const auto t0 = Clock::now();
       try {
+        options_.cancel.check();
+        util::FaultInjector::instance().fire("batch.solve", &options_.cancel);
         const graph::FlowNetwork net = make(i);
         net.validate();
-        out.result = solver->solve(net);
+        out.result = solver->solve(net, options_.cancel);
         if (options_.validate) {
           const std::string err = flow::check_flow(net, out.result);
           if (!err.empty()) throw std::runtime_error("infeasible flow: " + err);
@@ -152,6 +158,7 @@ BatchReport BatchEngine::run_streamed(
       } catch (const std::exception& e) {
         out.ok = false;
         out.error = e.what();
+        out.error_info = classify_error(e);
       }
       out.seconds = seconds_since(t0);
       if (out.ok) consume(out);
@@ -186,8 +193,9 @@ InstanceOutcome BatchEngine::run_delta(const graph::FlowNetwork& net,
   out.index = 0;
   const auto t0 = Clock::now();
   try {
+    options_.cancel.check();
     net.validate();
-    out.result = solver->solve_delta(net, delta, prior);
+    out.result = solver->solve_delta(net, delta, prior, options_.cancel);
     if (options_.validate) {
       const std::string err = flow::check_flow(net, out.result);
       if (!err.empty()) throw std::runtime_error("infeasible flow: " + err);
@@ -196,6 +204,7 @@ InstanceOutcome BatchEngine::run_delta(const graph::FlowNetwork& net,
   } catch (const std::exception& e) {
     out.ok = false;
     out.error = e.what();
+    out.error_info = classify_error(e);
   }
   out.seconds = seconds_since(t0);
   return out;
@@ -218,8 +227,9 @@ BatchReport BatchEngine::run_delta(const graph::FlowNetwork& base,
   {
     const auto t0 = Clock::now();
     try {
+      options_.cancel.check();
       net.validate();
-      first.result = solver->solve(net);
+      first.result = solver->solve(net, options_.cancel);
       if (options_.validate) {
         const std::string err = flow::check_flow(net, first.result);
         if (!err.empty()) throw std::runtime_error("infeasible flow: " + err);
@@ -229,6 +239,7 @@ BatchReport BatchEngine::run_delta(const graph::FlowNetwork& base,
     } catch (const std::exception& e) {
       first.ok = false;
       first.error = e.what();
+      first.error_info = classify_error(e);
     }
     first.seconds = seconds_since(t0);
   }
@@ -245,6 +256,7 @@ BatchReport BatchEngine::run_delta(const graph::FlowNetwork& base,
       // the edits applied before the offending one, like any edit stream.
       out.ok = false;
       out.error = e.what();
+      out.error_info = classify_error(e);
     }
     out.index = static_cast<int>(k) + 1;
     if (out.ok) prior = out.result;

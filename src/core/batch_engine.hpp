@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/errors.hpp"
 #include "core/solver.hpp"
 #include "graph/network.hpp"
 
@@ -26,6 +27,12 @@ struct BatchOptions {
   /// Run flow::check_flow on every solution; a violation marks the instance
   /// failed instead of silently returning an infeasible flow.
   bool validate = false;
+  /// Cooperative cancellation for the whole batch: checked at every
+  /// work-item claim and threaded into each solve. A tripped token fails
+  /// the remaining instances with a retryable cancelled/deadline outcome
+  /// (the never-throws-per-instance contract holds; in-flight solves unwind
+  /// at their own iteration boundaries).
+  CancelToken cancel;
 };
 
 /// Outcome of one instance within a batch.
@@ -33,6 +40,10 @@ struct InstanceOutcome {
   int index = -1;      // position in the input batch
   bool ok = false;
   std::string error;   // set when !ok (exception text or validation failure)
+  /// Structured classification of `error` (code / retryable / typed
+  /// detail), captured at the catch site so the serving layer can report
+  /// machine-readable failures. Meaningful only when !ok.
+  ErrorInfo error_info;
   flow::MaxFlowResult result;
   double seconds = 0.0; // solve wall-clock for this instance
 };

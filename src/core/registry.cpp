@@ -16,13 +16,18 @@ namespace {
 /// the ISolver default (from-scratch fallback).
 class ClassicalSolver final : public ISolver {
  public:
-  using Fn = flow::MaxFlowResult (*)(const graph::FlowNetwork&);
+  using Fn = flow::MaxFlowResult (*)(const graph::FlowNetwork&,
+                                     const util::CancelToken&);
   using DeltaFn = flow::MaxFlowResult (*)(const graph::FlowNetwork&,
                                           const flow::CapacityDelta&,
-                                          const flow::MaxFlowResult&);
+                                          const flow::MaxFlowResult&,
+                                          const util::CancelToken&);
 
   ClassicalSolver(std::string name, Fn fn, DeltaFn delta_fn = nullptr)
       : name_(std::move(name)), fn_(fn), delta_fn_(delta_fn) {}
+
+  using ISolver::solve;
+  using ISolver::solve_delta;
 
   const std::string& name() const override { return name_; }
   SolverCapabilities capabilities() const override {
@@ -30,14 +35,16 @@ class ClassicalSolver final : public ISolver {
     caps.incremental = delta_fn_ != nullptr;
     return caps;
   }
-  flow::MaxFlowResult solve(const graph::FlowNetwork& net) const override {
-    return fn_(net);
+  flow::MaxFlowResult solve(const graph::FlowNetwork& net,
+                            const CancelToken& cancel) const override {
+    return fn_(net, cancel);
   }
   flow::MaxFlowResult solve_delta(
       const graph::FlowNetwork& net, const flow::CapacityDelta& delta,
-      const flow::MaxFlowResult& prior) const override {
-    if (!delta_fn_) return ISolver::solve_delta(net, delta, prior);
-    return delta_fn_(net, delta, prior);
+      const flow::MaxFlowResult& prior,
+      const CancelToken& cancel) const override {
+    if (!delta_fn_) return ISolver::solve_delta(net, delta, prior, cancel);
+    return delta_fn_(net, delta, prior, cancel);
   }
 
  private:
@@ -51,6 +58,9 @@ class AnalogSolverAdapter final : public ISolver {
   AnalogSolverAdapter(std::string name, analog::AnalogSolveOptions options)
       : name_(std::move(name)),
         solver_(with_ordering_cache(std::move(options))) {}
+
+  using ISolver::solve;
+  using ISolver::solve_delta;
 
   const std::string& name() const override { return name_; }
 
@@ -69,16 +79,19 @@ class AnalogSolverAdapter final : public ISolver {
     return caps;
   }
 
-  flow::MaxFlowResult solve(const graph::FlowNetwork& net) const override {
-    return to_result(solver_.solve(net));
+  flow::MaxFlowResult solve(const graph::FlowNetwork& net,
+                            const CancelToken& cancel) const override {
+    return to_result(solver_.solve(net, cancel));
   }
 
   flow::MaxFlowResult solve_delta(
       const graph::FlowNetwork& net, const flow::CapacityDelta& delta,
-      const flow::MaxFlowResult& prior) const override {
-    if (!solver_.has_reuse_pool()) return ISolver::solve_delta(net, delta, prior);
+      const flow::MaxFlowResult& prior,
+      const CancelToken& cancel) const override {
+    if (!solver_.has_reuse_pool())
+      return ISolver::solve_delta(net, delta, prior, cancel);
     (void)prior; // the analog carry-over state lives in the ReusePool
-    return to_result(solver_.solve_delta(net, delta));
+    return to_result(solver_.solve_delta(net, delta, cancel));
   }
 
  private:
@@ -101,6 +114,7 @@ class AnalogSolverAdapter final : public ISolver {
     out.metrics.delta_solves = r.delta_solves;
     out.metrics.delta_fallbacks = r.delta_fallbacks;
     out.metrics.edges_touched = r.edges_touched;
+    out.metrics.fallback_pool_rebuilds = r.pool_rebuilds;
     return out;
   }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/fault_injector.hpp"
+
 namespace aflow::core {
 
 size_t ReuseEntry::memory_bytes() const {
@@ -26,8 +28,11 @@ bool ReuseEntry::shapes_match(const circuit::Netlist& net,
 }
 
 void ReusePool::touch(Slot& slot, std::uint64_t key) {
-  lru_.erase(slot.lru);
-  lru_.push_front(key);
+  // splice moves the existing node to the front without allocating, so a
+  // touch can never throw — erase + push_front could fail mid-way and leave
+  // the slot's iterator dangling.
+  (void)key;
+  lru_.splice(lru_.begin(), lru_, slot.lru);
   slot.lru = lru_.begin();
 }
 
@@ -45,26 +50,48 @@ std::shared_ptr<const ReuseEntry> ReusePool::find(std::uint64_t pattern_key) {
 
 int ReusePool::store(std::uint64_t pattern_key, ReuseEntry entry) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = entries_.try_emplace(pattern_key);
-  Slot& slot = it->second;
-  if (inserted) {
-    lru_.push_front(pattern_key);
-    slot.lru = lru_.begin();
-  } else {
+  // Exception safety (strong guarantee): everything that can throw —
+  // the shared entry allocation, the spare LRU node, the map insertion —
+  // happens before any pool state is modified, and the mutations that
+  // publish the entry (splice, shared_ptr moves, byte accounting) are all
+  // noexcept. A bad_alloc mid-store therefore leaves the pool exactly as it
+  // was: no null-entry slot for find() to crash on, no dangling LRU
+  // iterator, and bytes_/size()/stats() still reconciled.
+  auto it = entries_.find(pattern_key);
+  if (it != entries_.end()) {
     // Merge: payloads the new entry does not carry survive from the
     // previous one, so a transient store (LU only) cannot wipe the device
     // state a DC store published under the same pattern (possible when the
     // transient stamps add no new positions, e.g. lag-only circuits without
     // parasitics).
-    if (!entry.lu) entry.lu = slot.entry->lu;
-    if (!entry.state) entry.state = slot.entry->state;
-    if (!entry.x) entry.x = slot.entry->x;
-    bytes_ -= slot.bytes;
-    touch(slot, pattern_key);
+    if (!entry.lu) entry.lu = it->second.entry->lu;
+    if (!entry.state) entry.state = it->second.entry->state;
+    if (!entry.x) entry.x = it->second.entry->x;
   }
-  slot.entry = std::make_shared<const ReuseEntry>(std::move(entry));
-  slot.bytes = slot.entry->memory_bytes();
-  bytes_ += slot.bytes;
+
+  // Chaos battery: "pool.store:badalloc" models the allocation below
+  // failing; the reconciliation test asserts the guarantees above.
+  util::FaultInjector::instance().fire("pool.store");
+
+  auto shared = std::make_shared<const ReuseEntry>(std::move(entry));
+  const size_t new_bytes = shared->memory_bytes();
+  Slot* slot = nullptr;
+  if (it == entries_.end()) {
+    std::list<std::uint64_t> spare;
+    spare.push_front(pattern_key);              // may throw; nothing changed
+    it = entries_.try_emplace(pattern_key).first; // may throw; nothing changed
+    // --- commit point: nothing below throws ---
+    lru_.splice(lru_.begin(), spare);
+    slot = &it->second;
+    slot->lru = lru_.begin();
+  } else {
+    slot = &it->second;
+    bytes_ -= slot->bytes;
+    touch(*slot, pattern_key);
+  }
+  slot->entry = std::move(shared);
+  slot->bytes = new_bytes;
+  bytes_ += slot->bytes;
   stats_.stores++;
 
   // LRU eviction down to the byte budget. The entry just stored is at the
@@ -84,6 +111,17 @@ int ReusePool::store(std::uint64_t pattern_key, ReuseEntry entry) {
     }
   }
   return evicted;
+}
+
+bool ReusePool::drop(std::uint64_t pattern_key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(pattern_key);
+  if (it == entries_.end()) return false;
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru);
+  entries_.erase(it);
+  stats_.drops++;
+  return true;
 }
 
 size_t ReusePool::size() const {

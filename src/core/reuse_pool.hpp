@@ -86,6 +86,9 @@ class ReusePool {
     long long misses = 0;
     long long stores = 0;
     long long evictions = 0;
+    /// Entries removed through drop() — the degradation ladder's
+    /// corrupt-entry rung, not LRU pressure.
+    long long drops = 0;
   };
 
   /// `byte_budget` bounds the retained payload bytes (0 = unbounded, the
@@ -102,6 +105,13 @@ class ReusePool {
   /// previously stored payload (so engines that publish only part of an
   /// entry cannot wipe another engine's share of the same pattern).
   int store(std::uint64_t pattern_key, ReuseEntry entry);
+
+  /// Removes the entry for `pattern_key` (degradation ladder: a consumer
+  /// that finds the entry corrupt — e.g. a carried device state whose
+  /// shapes no longer match the pattern — drops it so it cannot poison
+  /// subsequent lookups, then rebuilds it with its own closing store).
+  /// Returns whether an entry was removed; counted in Stats::drops.
+  bool drop(std::uint64_t pattern_key);
 
   /// Number of distinct patterns currently held.
   size_t size() const;

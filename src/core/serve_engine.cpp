@@ -7,11 +7,13 @@
 #include <utility>
 
 #include "analog/solver.hpp"
+#include "core/errors.hpp"
 #include "core/registry.hpp"
 #include "core/sharded_solver.hpp"
 #include "core/workload.hpp"
 #include "mincut/dual_circuit.hpp"
 #include "sim/sweep.hpp"
+#include "util/cancel.hpp"
 
 namespace aflow::core {
 
@@ -95,6 +97,10 @@ void write_metrics_json(util::JsonWriter& j, const flow::SolveMetrics& m) {
   j.field("delta_solves", m.delta_solves);
   j.field("delta_fallbacks", m.delta_fallbacks);
   j.field("edges_touched", m.edges_touched);
+  j.field("fallback_analog_digital", m.fallback_analog_digital);
+  j.field("fallback_region_retries", m.fallback_region_retries);
+  j.field("fallback_region_direct", m.fallback_region_direct);
+  j.field("fallback_pool_rebuilds", m.fallback_pool_rebuilds);
   j.end_object();
 }
 
@@ -164,6 +170,7 @@ void write_pool_json(util::JsonWriter& j, const ReusePool& pool) {
   j.field("misses", s.misses);
   j.field("stores", s.stores);
   j.field("evictions", s.evictions);
+  j.field("drops", s.drops);
   j.end_object();
 }
 
@@ -359,7 +366,19 @@ void ServeEngine::write_stats(util::JsonWriter& j) {
 
 // --------------------------------------------------------------- session
 
+ServeSession::ServeSession(ServeEngine& engine, int id)
+    : engine_(engine), id_(id),
+      deadline_ms_(engine.options().default_deadline_ms) {}
+
 ServeSession::~ServeSession() { engine_.close_session(); }
+
+util::CancelToken ServeSession::request_token(
+    const std::vector<std::string>& t) const {
+  const long long deadline_ms = tok_ll(t, "--deadline-ms", deadline_ms_);
+  if (deadline_ms < 0)
+    throw std::runtime_error("--deadline-ms must be >= 0 (0 = no deadline)");
+  return session_token_.child(deadline_ms);
+}
 
 void ServeSession::absorb_session(const BatchReport& report) {
   fold_report(report, solves_, failed_, seconds_, solve_metrics_);
@@ -412,7 +431,9 @@ std::string ServeSession::handle(const std::string& line) {
     } else if (cmd == "sweep") {
       cmd_sweep(t, j);
     } else if (cmd == "mincut") {
-      cmd_mincut(j);
+      cmd_mincut(t, j);
+    } else if (cmd == "deadline") {
+      cmd_deadline(t, j);
     } else if (cmd == "session") {
       cmd_session(j);
     } else if (cmd == "stats") {
@@ -427,12 +448,18 @@ std::string ServeSession::handle(const std::string& line) {
     } else {
       throw std::runtime_error(
           "unknown request '" + cmd +
-          "' (known: load reconfigure solve batch sweep mincut session "
-          "stats quit shutdown)");
+          "' (known: load reconfigure solve batch sweep mincut deadline "
+          "session stats quit shutdown)");
     }
     j.end_object();
     return j.str();
   } catch (const std::exception& e) {
+    // Structured failure shape: the legacy flattened string plus the
+    // machine-readable error_info object (code / retryable / typed detail;
+    // docs/BENCH_FORMAT.md). classify_error recognises a ServeRequestError
+    // and passes its original classification through unchanged.
+    ErrorInfo info = classify_error(e);
+    if (info.message.empty()) info.message = e.what();
     util::JsonWriter err;
     err.begin_object();
     err.field("schema", "aflow-serve-v1");
@@ -441,6 +468,7 @@ std::string ServeSession::handle(const std::string& line) {
     err.field("request", cmd);
     err.field("ok", false);
     err.field("error", e.what());
+    write_error_info(err, info);
     err.end_object();
     return err.str();
   }
@@ -449,6 +477,10 @@ std::string ServeSession::handle(const std::string& line) {
 std::string ServeSession::protocol_error(const std::string& message) {
   ++requests_;
   engine_.requests_.fetch_add(1);
+  ErrorInfo info;
+  info.code = "protocol";
+  info.retryable = false;
+  info.message = message;
   util::JsonWriter j;
   j.begin_object();
   j.field("schema", "aflow-serve-v1");
@@ -457,6 +489,7 @@ std::string ServeSession::protocol_error(const std::string& message) {
   j.field("request", "(transport)");
   j.field("ok", false);
   j.field("error", message);
+  write_error_info(j, info);
   j.end_object();
   return j.str();
 }
@@ -545,6 +578,7 @@ void ServeSession::cmd_reconfigure(const std::vector<std::string>& t,
 void ServeSession::cmd_solve(const std::vector<std::string>& t,
                              util::JsonWriter& j) {
   const graph::FlowNetwork& net = require_instance();
+  const util::CancelToken token = request_token(t);
 
   const long long shards = tok_ll(t, "--shards", 0);
   if (shards >= 2) {
@@ -561,7 +595,7 @@ void ServeSession::cmd_solve(const std::vector<std::string>& t,
     const ShardedSolver solver(so);
     ShardReport rep;
     const flow::MaxFlowResult r =
-        solver.solve_csr(graph::CsrGraph::from_network(net), &rep);
+        solver.solve_csr(graph::CsrGraph::from_network(net), &rep, token);
     j.field("ok", true);
     j.field("solver", "sharded");
     j.field("region_solver", so.region_solver);
@@ -574,6 +608,8 @@ void ServeSession::cmd_solve(const std::vector<std::string>& t,
     j.field("stitched_value", rep.stitched_value);
     j.field("refined_added", rep.refined_added);
     j.field("threads", rep.threads_used);
+    j.field("region_retries", rep.region_retries);
+    j.field("region_direct_solves", rep.region_direct_solves);
     j.end_object();
     return;
   }
@@ -585,6 +621,7 @@ void ServeSession::cmd_solve(const std::vector<std::string>& t,
   BatchOptions bo;
   bo.solver = name;
   bo.validate = tok_flag(t, "--check");
+  bo.cancel = token;
 
   // Delta routing: ride ISolver::solve_delta when the backend is
   // incremental, the session holds a usable prior for it (same loaded
@@ -614,19 +651,53 @@ void ServeSession::cmd_solve(const std::vector<std::string>& t,
   }
   engine_.absorb(b, report);
   absorb_session(report);
-  const InstanceOutcome& out = report.outcomes.front();
-  if (!out.ok) throw std::runtime_error(out.error);
-  priors_[name] = Prior{out.result, revision_};
+  const InstanceOutcome* out = &report.outcomes.front();
+
+  // Degradation ladder, analog rung: a *retryable* analog failure
+  // (divergence, convergence loss, injected fault) is retried once through
+  // the exact digital fallback bank before the client sees an error. The
+  // rung never fires for a cancelled/expired request — the client asked for
+  // the abandonment it got — and the retry runs under the same token, so
+  // the fallback still honours the request deadline. The attempt is
+  // counted (fallback_analog_digital) whether or not it rescues the solve.
+  const std::string& fb_name = engine_.options().fallback_solver;
+  std::string served_by = name;
+  BatchReport fb_report;
+  if (!out->ok && out->error_info.retryable && !token.cancelled() &&
+      b.solver->capabilities().analog && !fb_name.empty() && fb_name != name) {
+    ServeEngine::Bank& fb = engine_.bank(fb_name);
+    BatchOptions fbo;
+    fbo.solver = fb_name;
+    fbo.validate = bo.validate;
+    fbo.cancel = token;
+    const std::vector<graph::FlowNetwork> one{net};
+    fb_report = BatchEngine(fbo).run(one, fb.solver, 1);
+    fb_report.metrics.fallback_analog_digital = 1;
+    engine_.absorb(fb, fb_report);
+    absorb_session(fb_report);
+    if (fb_report.outcomes.front().ok) {
+      out = &fb_report.outcomes.front();
+      served_by = fb_name;
+    }
+  }
+
+  if (!out->ok) {
+    ErrorInfo info = out->error_info;
+    if (info.message.empty()) info.message = out->error;
+    throw ServeRequestError(std::move(info));
+  }
+  priors_[served_by] = Prior{out->result, revision_};
 
   j.field("ok", true);
-  j.field("solver", name);
+  j.field("solver", served_by);
+  j.field("fallback", served_by != name);
   j.field("delta", delta_path);
-  j.field("flow", out.result.flow_value);
+  j.field("flow", out->result.flow_value);
   j.key("telemetry").begin_object();
-  j.field("ms", out.seconds * 1e3);
-  j.field("warm_started", out.result.metrics.warm_started);
+  j.field("ms", out->seconds * 1e3);
+  j.field("warm_started", out->result.metrics.warm_started);
   j.key("metrics");
-  write_metrics_json(j, out.result.metrics);
+  write_metrics_json(j, out->result.metrics);
   if (b.pool) {
     j.key("pool");
     write_pool_json(j, *b.pool);
@@ -647,6 +718,7 @@ void ServeSession::cmd_batch(const std::vector<std::string>& t,
   bo.validate = tok_flag(t, "--check");
   bo.deterministic = engine_.options().deterministic;
   bo.num_threads = engine_.workers_per_bank();
+  bo.cancel = request_token(t);
   const std::vector<graph::FlowNetwork> instances = load_batch(spec);
 
   // --delta: replay the batch as a reconfiguration stream — instance 0
@@ -706,6 +778,7 @@ void ServeSession::cmd_sweep(const std::vector<std::string>& t,
           .map(net);
   sim::DcOptions dc_opt;
   dc_opt.ordering_cache = engine_.sweep_ordering_;
+  dc_opt.cancel = request_token(t);
   sim::QuasiStaticSweep sweep(c.netlist, c.vflow_source, dc_opt,
                               engine_.sweep_pool_);
   // Ramp inside the nontrivial region (no zero point): the first point is
@@ -744,11 +817,13 @@ void ServeSession::cmd_sweep(const std::vector<std::string>& t,
   j.end_object();
 }
 
-void ServeSession::cmd_mincut(util::JsonWriter& j) {
+void ServeSession::cmd_mincut(const std::vector<std::string>& t,
+                              util::JsonWriter& j) {
   const graph::FlowNetwork& net = require_instance();
   mincut::DualCircuitOptions opt;
   opt.ordering_cache = engine_.mincut_ordering_;
   opt.reuse_pool = engine_.mincut_pool_;
+  opt.cancel = request_token(t);
   const mincut::AnalogMinCutResult r = mincut::solve_mincut_dual(net, opt);
   const flow::SolveMetrics m = mincut_as_metrics(r);
   ++mincuts_;
@@ -780,6 +855,16 @@ void ServeSession::cmd_mincut(util::JsonWriter& j) {
   j.end_object();
 }
 
+void ServeSession::cmd_deadline(const std::vector<std::string>& t,
+                                util::JsonWriter& j) {
+  const long long ms = tok_ll(t, "--ms", -1);
+  if (ms < 0)
+    throw std::runtime_error("deadline needs --ms N (0 clears the default)");
+  deadline_ms_ = ms;
+  j.field("ok", true);
+  j.field("deadline_ms", deadline_ms_);
+}
+
 void ServeSession::cmd_session(util::JsonWriter& j) {
   j.field("ok", true);
   j.field("requests", requests_);
@@ -787,6 +872,7 @@ void ServeSession::cmd_session(util::JsonWriter& j) {
   j.field("failed", failed_);
   j.field("sweeps", sweeps_);
   j.field("mincuts", mincuts_);
+  j.field("deadline_ms", deadline_ms_);
   j.key("instance").begin_object();
   j.field("loaded", current_.has_value());
   if (current_) {

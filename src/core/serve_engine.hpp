@@ -27,13 +27,15 @@
 //
 //   load (--input FILE.dimacs | --spec GENSPEC)
 //   reconfigure (--edits I:C[,I:C...] | --seed K | --scale F)
-//   solve [--solver NAME] [--check] [--scratch]
+//   solve [--solver NAME] [--check] [--scratch] [--deadline-ms N]
 //         [--shards K [--region-solver NAME] [--threads N]]
 //                      (K >= 2: sharded decomposition solve, DESIGN.md
 //                      "Sharded solve"; skips the bank/prior machinery)
 //   batch --spec GENSPEC [--solver NAME] [--check] [--delta]
-//   sweep [--points N] [--vmax V]
-//   mincut
+//         [--deadline-ms N]
+//   sweep [--points N] [--vmax V] [--deadline-ms N]
+//   mincut [--deadline-ms N]
+//   deadline [--ms N]  (session default deadline; 0 clears it)
 //   session            (this connection's stats view)
 //   stats              (engine-wide stats: banks, pools, sessions)
 //   quit               (ends this session; other sessions keep serving)
@@ -47,6 +49,17 @@
 // reaches back to that result's revision. `--scratch` forces the cold path;
 // the response's top-level "delta" field says which path ran, and the
 // metrics carry delta_solves / delta_fallbacks / edges_touched.
+//
+// Fault tolerance (DESIGN.md "Failure taxonomy and the degradation
+// ladder"): every request runs under a CancelToken derived from the
+// session's token, so a client disconnect (front-detected) or an expired
+// `--deadline-ms` / session-default deadline unwinds the solve at its next
+// cancellation point and comes back as a structured retryable error
+// (`error_info` object, core/errors.hpp). A retryable failure of an analog
+// bank (divergence, convergence loss) is retried once through the digital
+// ServeOptions::fallback_solver bank before the error is surfaced; the
+// rung is counted in SolveMetrics::fallback_analog_digital and reported in
+// the response as "fallback": true.
 //
 // Responses put schedule-independent result fields at the top level and
 // everything timing- or schedule-dependent (wall clock, warm/iteration
@@ -70,6 +83,7 @@
 #include "flow/delta.hpp"
 #include "graph/network.hpp"
 #include "la/lu.hpp"
+#include "util/cancel.hpp"
 #include "util/json.hpp"
 
 namespace aflow::core {
@@ -91,6 +105,15 @@ struct ServeOptions {
   /// Open-session cap: open_session() returns null beyond it, which the
   /// socket front turns into a per-connection rejection line.
   int max_sessions = 64;
+  /// Default per-request deadline in milliseconds, inherited by every new
+  /// session (a session overrides it with the `deadline` request, a single
+  /// request with `--deadline-ms`). 0 = no deadline.
+  long long default_deadline_ms = 0;
+  /// Degradation-ladder rung for analog banks: when an analog backend fails
+  /// a solve with a *retryable* error (divergence, convergence loss), the
+  /// request is retried once through this exact digital backend before the
+  /// error reaches the client. Empty disables the rung.
+  std::string fallback_solver = "dinic";
 };
 
 /// One client's conversation with the engine: the current instance, the
@@ -118,17 +141,28 @@ class ServeSession {
   /// Engine-assigned session id (1-based, in open order).
   int id() const { return id_; }
 
+  /// Trips this session's CancelToken: every in-flight and future request
+  /// of the session unwinds at its next cancellation point. Safe from any
+  /// thread — this is how the front cancels a solve whose client
+  /// disconnected mid-request.
+  void cancel() { session_token_.cancel(); }
+
  private:
   friend class ServeEngine;
-  ServeSession(ServeEngine& engine, int id) : engine_(engine), id_(id) {}
+  ServeSession(ServeEngine& engine, int id);
 
   void cmd_load(const std::vector<std::string>& t, util::JsonWriter& j);
   void cmd_reconfigure(const std::vector<std::string>& t, util::JsonWriter& j);
   void cmd_solve(const std::vector<std::string>& t, util::JsonWriter& j);
   void cmd_batch(const std::vector<std::string>& t, util::JsonWriter& j);
   void cmd_sweep(const std::vector<std::string>& t, util::JsonWriter& j);
-  void cmd_mincut(util::JsonWriter& j);
+  void cmd_mincut(const std::vector<std::string>& t, util::JsonWriter& j);
+  void cmd_deadline(const std::vector<std::string>& t, util::JsonWriter& j);
   void cmd_session(util::JsonWriter& j);
+
+  /// Per-request token: child of the session token, carrying the request's
+  /// `--deadline-ms` (or the session default when the flag is absent).
+  util::CancelToken request_token(const std::vector<std::string>& t) const;
 
   /// Folds one batch report into this session's counters (the engine-side
   /// bank share is folded separately by ServeEngine::absorb).
@@ -146,6 +180,13 @@ class ServeSession {
   const int id_;
   bool done_ = false;
   long long requests_ = 0;
+
+  // Cancellation state: one cancellable session token (tripped by cancel()
+  // on disconnect/shutdown) that every request token chains from, and the
+  // session's default deadline (seeded from ServeOptions, overridable per
+  // session and per request).
+  util::CancelToken session_token_ = util::CancelToken::cancellable();
+  long long deadline_ms_ = 0;
 
   std::optional<graph::FlowNetwork> base_;    // as loaded
   std::optional<graph::FlowNetwork> current_; // after reconfigurations

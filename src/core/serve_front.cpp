@@ -14,6 +14,12 @@
 #include <unistd.h>
 #endif
 
+#include "util/fault_injector.hpp"
+
+#ifndef POLLRDHUP
+#define POLLRDHUP 0x2000
+#endif
+
 namespace aflow::core {
 
 ServeFront::ServeFront(ServeEngine& engine, ServeFrontOptions options)
@@ -43,6 +49,7 @@ void ServeFront::serve_client(int, std::shared_ptr<ServeSession>,
                               std::atomic<bool>*) {}
 bool ServeFront::write_line(int, const std::string&) { return false; }
 void ServeFront::reap_finished(bool) {}
+void ServeFront::sweep_disconnects() {}
 
 #else // POSIX
 
@@ -73,6 +80,15 @@ int wait_readable(int fd, int timeout_ms) {
 bool ServeFront::write_line(int fd, const std::string& response) {
   std::string out = response;
   out += '\n';
+  // Chaos hook: simulate the transport dying mid-response (a short write
+  // followed by connection loss). Clients must treat a line without its
+  // newline as a dead session, never as a parseable response.
+  if (util::FaultInjector::instance().armed() &&
+      util::FaultInjector::instance().take("serve.write",
+                                           util::FaultInjector::Action::kShort)) {
+    ::send(fd, out.data(), out.size() / 2, MSG_NOSIGNAL);
+    return false;
+  }
   size_t sent = 0;
   while (sent < out.size()) {
     pollfd p{};
@@ -125,6 +141,7 @@ void ServeFront::run() {
     const int ready = wait_readable(listen_fd_, options_.poll_interval_ms);
     if (ready < 0) break;
     reap_finished(/*join_all=*/false);
+    sweep_disconnects();
     if (ready == 0) continue;
 
     const int client = ::accept(listen_fd_, nullptr, nullptr);
@@ -154,6 +171,8 @@ void ServeFront::run() {
     accepted_.fetch_add(1);
     const std::lock_guard<std::mutex> lock(connections_mutex_);
     Connection& conn = connections_.emplace_back();
+    conn.fd = client;
+    conn.session = session;
     conn.thread = std::thread(&ServeFront::serve_client, this, client,
                               std::move(session), &conn.finished);
   }
@@ -225,12 +244,37 @@ void ServeFront::serve_client(int fd, std::shared_ptr<ServeSession> session,
       discarding = true;
     }
   }
-  ::close(fd);
-  // Release the session (and its max_sessions slot) before flagging the
-  // thread as reapable, so a joiner observing `finished` also observes
-  // the freed slot.
+  // Release the session BEFORE closing the fd: the hangup sweep only polls
+  // a connection's fd while it can still lock the session weak_ptr, so
+  // this order guarantees it never polls a closed (possibly reused) fd on
+  // behalf of a live session. Releasing before flagging `finished` also
+  // keeps the invariant that a joiner observing `finished` observes the
+  // freed max_sessions slot.
   session.reset();
+  ::close(fd);
   finished->store(true);
+}
+
+void ServeFront::sweep_disconnects() {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (Connection& conn : connections_) {
+    if (conn.finished.load() || conn.fd < 0) continue;
+    const std::shared_ptr<ServeSession> session = conn.session.lock();
+    if (!session) continue; // handler already winding down
+    pollfd p{};
+    p.fd = conn.fd;
+    p.events = POLLRDHUP;
+    if (::poll(&p, 1, 0) <= 0) continue;
+    if (p.revents & (POLLRDHUP | POLLHUP | POLLERR)) {
+      // The client's read side is gone: any in-flight solve is now work on
+      // behalf of nobody. Trip the session token; the handler thread
+      // unwinds at the solver's next cancellation point and exits its read
+      // loop. Cancelling an already-idle session is harmless — its next
+      // recv() observes the same hangup.
+      session->cancel();
+      conn.fd = -1; // cancelled once; no need to poll this connection again
+    }
+  }
 }
 
 void ServeFront::reap_finished(bool join_all) {

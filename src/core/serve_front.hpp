@@ -10,7 +10,11 @@
 //    session survives and resyncs);
 //  - mid-request disconnects (a client vanishing between or inside lines
 //    closes that session only; the process and every other session keep
-//    serving);
+//    serving). A client that vanishes *during* a long solve is detected by
+//    the accept loop's periodic hangup sweep (POLLRDHUP on every open
+//    connection), which trips that session's CancelToken so the abandoned
+//    solve unwinds at its next cancellation point instead of running to
+//    completion on a dead socket;
 //  - the session cap (a connection beyond ServeOptions::max_sessions is
 //    answered with one rejection line and closed).
 //
@@ -74,12 +78,22 @@ class ServeFront {
   struct Connection {
     std::thread thread;
     std::atomic<bool> finished{false};
+    // For the hangup sweep: the connection's fd (only polled while the
+    // session is still alive — the handler closes the fd strictly after
+    // releasing its session reference, so a lockable weak_ptr implies an
+    // open fd) and the session whose token a hangup cancels.
+    int fd = -1;
+    std::weak_ptr<ServeSession> session;
   };
 
   void serve_client(int fd, std::shared_ptr<ServeSession> session,
                     std::atomic<bool>* finished);
   bool write_line(int fd, const std::string& response);
   void reap_finished(bool join_all);
+  /// Polls every open connection for POLLRDHUP/POLLHUP/POLLERR and cancels
+  /// the matching session's token: the disconnect-cancel half of the
+  /// degradation ladder. Runs on the accept thread each poll interval.
+  void sweep_disconnects();
 
   ServeEngine& engine_;
   ServeFrontOptions options_;

@@ -9,6 +9,7 @@
 #include "core/batch_engine.hpp"
 #include "core/registry.hpp"
 #include "flow/residual.hpp"
+#include "util/fault_injector.hpp"
 
 namespace aflow::core {
 
@@ -44,12 +45,14 @@ SolverCapabilities ShardedSolver::capabilities() const {
   return caps;
 }
 
-flow::MaxFlowResult ShardedSolver::solve(const graph::FlowNetwork& net) const {
-  return solve_csr(graph::CsrGraph::from_network(net));
+flow::MaxFlowResult ShardedSolver::solve(const graph::FlowNetwork& net,
+                                         const CancelToken& cancel) const {
+  return solve_csr(graph::CsrGraph::from_network(net), nullptr, cancel);
 }
 
 flow::MaxFlowResult ShardedSolver::solve_csr(const graph::CsrGraph& g,
-                                             ShardReport* report) const {
+                                             ShardReport* report,
+                                             const CancelToken& cancel) const {
   // Fail fast on a bad region backend, before any partition work.
   const SolverPtr region_solver =
       SolverRegistry::instance().create(options_.region_solver);
@@ -79,7 +82,7 @@ flow::MaxFlowResult ShardedSolver::solve_csr(const graph::CsrGraph& g,
     rep.upper_bound = trivial_bound;
     const auto t0 = Clock::now();
     flow::detail::Residual r(g);
-    flow::detail::dinic_augment(r, s, t, rep.refine_operations);
+    flow::detail::dinic_augment(r, s, t, rep.refine_operations, cancel);
     rep.refine_seconds = seconds_since(t0);
     result.flow_value = r.carried_flow_at(s);
     result.edge_flow = r.carried_edge_flows();
@@ -90,6 +93,7 @@ flow::MaxFlowResult ShardedSolver::solve_csr(const graph::CsrGraph& g,
   }
 
   // --- Partition ---------------------------------------------------------
+  cancel.check();
   const auto partition_t0 = Clock::now();
   arch::RegionPartitionOptions popt;
   popt.regions = k;
@@ -114,9 +118,10 @@ flow::MaxFlowResult ShardedSolver::solve_csr(const graph::CsrGraph& g,
       quotient.add_edge(part.region[g.edge_from(e)],
                         part.region[g.edge_to(e)], g.edge_capacity(e));
     rep.upper_bound =
-        std::min(rep.upper_bound, flow::dinic(quotient).flow_value);
+        std::min(rep.upper_bound, flow::dinic(quotient, cancel).flow_value);
   }
   rep.partition_seconds = seconds_since(partition_t0);
+  cancel.check();
 
   // --- Parallel region solves -------------------------------------------
   // Region r's subproblem: its induced subgraph plus a super source S_r and
@@ -163,6 +168,10 @@ flow::MaxFlowResult ShardedSolver::solve_csr(const graph::CsrGraph& g,
   const double t_drain = std::max(g.sink_in_capacity(), 1.0);
 
   const auto make = [&](int r) {
+    // Chaos battery: "shard.region:throw" / ":delay" faults the region
+    // subproblem build, which the worker's failure isolation catches like
+    // any region-solve failure — the ladder below then retries.
+    util::FaultInjector::instance().fire("shard.region", &cancel);
     const auto& verts = part.vertices[static_cast<size_t>(r)];
     const int nr = static_cast<int>(verts.size());
     graph::FlowNetwork net(nr + 2, nr, nr + 1); // S_r = nr, T_r = nr + 1
@@ -204,18 +213,67 @@ flow::MaxFlowResult ShardedSolver::solve_csr(const graph::CsrGraph& g,
   bo.solver = options_.region_solver;
   bo.num_threads = options_.num_threads;
   bo.deterministic = options_.deterministic;
+  bo.cancel = cancel;
   const BatchReport batch =
       BatchEngine(bo).run_streamed(part.num_regions, make, consume);
-  if (batch.failed > 0) {
-    for (const InstanceOutcome& out : batch.outcomes)
-      if (!out.ok)
-        throw std::runtime_error("ShardedSolver: region " +
-                                 std::to_string(out.index) +
-                                 " solve failed: " + out.error);
-  }
   rep.threads_used = batch.threads_used;
+
+  // Degradation ladder, region rung: a failed region solve no longer fails
+  // the whole sharded solve. Each failed region is retried through the
+  // region backend up to region_retries times, then re-solved directly on
+  // this thread with the built-in exact solver; only when the direct rung
+  // fails too (or the solve is being cancelled) does the failure propagate.
+  if (batch.failed > 0) {
+    for (const InstanceOutcome& out : batch.outcomes) {
+      if (out.ok) continue;
+      cancel.check(); // a cancelled solve must not burn retries
+      long long ops = 0;
+      bool recovered = false;
+      for (int a = 0; a < options_.region_retries && !recovered; ++a) {
+        ++rep.region_retries;
+        try {
+          InstanceOutcome retry;
+          retry.index = out.index;
+          const graph::FlowNetwork net = make(out.index);
+          net.validate();
+          retry.result = region_solver->solve(net, cancel);
+          consume(retry);
+          recovered = true;
+        } catch (const util::CancelledError&) {
+          throw;
+        } catch (const std::exception&) {
+          // retry again, or fall through to the direct rung
+        }
+      }
+      if (!recovered) {
+        ++rep.region_direct_solves;
+        try {
+          InstanceOutcome direct;
+          direct.index = out.index;
+          const graph::FlowNetwork net = make(out.index);
+          net.validate();
+          flow::detail::Residual rr(net);
+          flow::detail::dinic_augment(rr, net.source(), net.sink(), ops,
+                                      cancel);
+          direct.result.flow_value = rr.flow_value_at(net, net.source());
+          direct.result.edge_flow = rr.edge_flows(net);
+          direct.result.operations = ops;
+          consume(direct);
+        } catch (const util::CancelledError&) {
+          throw;
+        } catch (const std::exception& e) {
+          throw std::runtime_error("ShardedSolver: region " +
+                                   std::to_string(out.index) +
+                                   " solve failed: " + out.error +
+                                   " (direct re-solve also failed: " +
+                                   e.what() + ")");
+        }
+      }
+    }
+  }
   for (const long long ops : region_ops) rep.region_operations += ops;
   rep.region_seconds = seconds_since(region_t0);
+  cancel.check();
 
   // --- Stitch + conservation repair -------------------------------------
   // A cut arc carries the smaller of its two regions' votes: never above
@@ -233,7 +291,7 @@ flow::MaxFlowResult ShardedSolver::solve_csr(const graph::CsrGraph& g,
   flow::detail::Residual r(g, flow);
   flow = std::vector<double>();
   rep.stitched_value =
-      flow::detail::repair_conservation(r, s, t, rep.repair_operations)
+      flow::detail::repair_conservation(r, s, t, rep.repair_operations, cancel)
           ? r.carried_flow_at(s)
           : -1.0;
   if (rep.stitched_value < 0.0) {
@@ -249,13 +307,15 @@ flow::MaxFlowResult ShardedSolver::solve_csr(const graph::CsrGraph& g,
 
   // --- Exact refinement on the full residual -----------------------------
   const auto refine_t0 = Clock::now();
-  flow::detail::dinic_augment(r, s, t, rep.refine_operations);
+  flow::detail::dinic_augment(r, s, t, rep.refine_operations, cancel);
   rep.refine_seconds = seconds_since(refine_t0);
 
   result.flow_value = r.carried_flow_at(s);
   result.edge_flow = r.carried_edge_flows();
   result.operations =
       rep.region_operations + rep.repair_operations + rep.refine_operations;
+  result.metrics.fallback_region_retries = rep.region_retries;
+  result.metrics.fallback_region_direct = rep.region_direct_solves;
   rep.flow_value = result.flow_value;
   rep.refined_added = result.flow_value - rep.stitched_value;
   return result;

@@ -35,6 +35,14 @@ struct ShardOptions {
   bool deterministic = false;
   /// Partition seed (arch::partition_regions).
   std::uint64_t seed = 1;
+  /// Degradation ladder, region rung: a failed (or fault-injected) region
+  /// solve is retried up to this many times through the region backend; if
+  /// every retry fails too, the region is re-solved directly on the calling
+  /// thread with the built-in exact solver. Both recoveries are reported
+  /// (ShardReport::region_retries / region_direct_solves and the
+  /// fallback_region_* SolveMetrics counters); only when the direct rung
+  /// itself fails does the solve throw.
+  int region_retries = 1;
 };
 
 /// Stage-by-stage telemetry of one sharded solve. upper_bound >= flow_value
@@ -59,6 +67,9 @@ struct ShardReport {
   double stitch_seconds = 0.0;
   double refine_seconds = 0.0;
   int threads_used = 1;
+  /// Degradation-ladder traffic (see ShardOptions::region_retries).
+  int region_retries = 0;
+  int region_direct_solves = 0;
 };
 
 class ShardedSolver final : public ISolver {
@@ -68,16 +79,22 @@ class ShardedSolver final : public ISolver {
   const std::string& name() const override { return name_; }
   SolverCapabilities capabilities() const override;
 
+  using ISolver::solve;
+
   /// FlowNetwork entry (ISolver contract): snapshots into a CsrGraph and
   /// runs solve_csr. Edge order is preserved, so edge_flow lines up.
-  flow::MaxFlowResult solve(const graph::FlowNetwork& net) const override;
+  flow::MaxFlowResult solve(const graph::FlowNetwork& net,
+                            const CancelToken& cancel) const override;
 
   /// The native huge-instance entry: solves a CSR view in place (streamed
   /// from disk via graph::read_dimacs_stream) without ever materialising
   /// the full FlowNetwork. Throws std::invalid_argument when the region
-  /// backend is unknown, approximate, or analog.
+  /// backend is unknown, approximate, or analog. `cancel` is checked at
+  /// every stage boundary and threaded into the region solves, the
+  /// conservation repair, and the refinement pass.
   flow::MaxFlowResult solve_csr(const graph::CsrGraph& g,
-                                ShardReport* report = nullptr) const;
+                                ShardReport* report = nullptr,
+                                const CancelToken& cancel = {}) const;
 
   const ShardOptions& options() const { return options_; }
 

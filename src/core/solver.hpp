@@ -10,8 +10,15 @@
 #include "flow/delta.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/network.hpp"
+#include "util/cancel.hpp"
 
 namespace aflow::core {
+
+/// Deadline- and flag-based cooperative cancellation, threaded through
+/// every ISolver::solve. Defined in util/ (the flow/ and sim/ inner loops
+/// check it and must not depend on core/); aliased here as the engine-layer
+/// name.
+using CancelToken = util::CancelToken;
 
 /// Static properties a caller can dispatch on without knowing the backend.
 struct SolverCapabilities {
@@ -46,7 +53,17 @@ class ISolver {
 
   /// Solves one instance. Must be safe to call concurrently from multiple
   /// threads on distinct instances (all built-in backends are stateless).
-  virtual flow::MaxFlowResult solve(const graph::FlowNetwork& net) const = 0;
+  /// `cancel` makes long solves cooperatively cancellable: backends check
+  /// it at iteration boundaries and unwind with util::CancelledError when
+  /// it trips. Implementations that override the cancellable entry should
+  /// add `using ISolver::solve;` to keep the convenience overload visible.
+  virtual flow::MaxFlowResult solve(const graph::FlowNetwork& net,
+                                    const CancelToken& cancel) const = 0;
+
+  /// Convenience entry with a never-cancelling token.
+  flow::MaxFlowResult solve(const graph::FlowNetwork& net) const {
+    return solve(net, CancelToken{});
+  }
 
   /// Incremental re-solve: `net` is the post-edit instance, `delta` the
   /// capacity edits that produced it, `prior` the solution of the pre-edit
@@ -57,12 +74,20 @@ class ISolver {
   /// the returned flow value matches a from-scratch solve of `net`.
   virtual flow::MaxFlowResult solve_delta(const graph::FlowNetwork& net,
                                           const flow::CapacityDelta& delta,
-                                          const flow::MaxFlowResult& prior) const {
+                                          const flow::MaxFlowResult& prior,
+                                          const CancelToken& cancel) const {
     (void)prior;
-    flow::MaxFlowResult r = solve(net);
+    flow::MaxFlowResult r = solve(net, cancel);
     r.metrics.delta_fallbacks += 1;
     r.metrics.edges_touched += delta.distinct_edges();
     return r;
+  }
+
+  /// Convenience entry with a never-cancelling token.
+  flow::MaxFlowResult solve_delta(const graph::FlowNetwork& net,
+                                  const flow::CapacityDelta& delta,
+                                  const flow::MaxFlowResult& prior) const {
+    return solve_delta(net, delta, prior, CancelToken{});
   }
 };
 

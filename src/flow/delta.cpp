@@ -16,9 +16,11 @@ namespace {
 MaxFlowResult solve_delta_impl(const graph::FlowNetwork& net,
                                const CapacityDelta& delta,
                                const MaxFlowResult& prior,
-                               bool use_push_relabel) {
+                               bool use_push_relabel,
+                               const util::CancelToken& cancel) {
   const auto scratch = [&](bool fallback) {
-    MaxFlowResult r = use_push_relabel ? push_relabel(net) : dinic(net);
+    MaxFlowResult r =
+        use_push_relabel ? push_relabel(net, cancel) : dinic(net, cancel);
     r.metrics.delta_fallbacks = fallback ? 1 : 0;
     r.metrics.edges_touched = delta.distinct_edges();
     return r;
@@ -30,14 +32,15 @@ MaxFlowResult solve_delta_impl(const graph::FlowNetwork& net,
   // The shared conservation repair (flow/residual.hpp) drains the carry's
   // imbalances; a false return means a numerically degenerate prior.
   if (!detail::repair_conservation(r, net.source(), net.sink(),
-                                   result.operations))
+                                   result.operations, cancel))
     return scratch(/*fallback=*/true);
 
   if (use_push_relabel)
     result.operations += detail::push_relabel_augment(r, net.source(),
-                                                      net.sink());
+                                                      net.sink(), cancel);
   else
-    detail::dinic_augment(r, net.source(), net.sink(), result.operations);
+    detail::dinic_augment(r, net.source(), net.sink(), result.operations,
+                          cancel);
 
   result.flow_value = r.flow_value_at(net, net.source());
   result.edge_flow = r.edge_flows(net);
@@ -107,14 +110,18 @@ bool delta_prior_usable(const graph::FlowNetwork& net,
 
 MaxFlowResult dinic_delta(const graph::FlowNetwork& net,
                           const CapacityDelta& delta,
-                          const MaxFlowResult& prior) {
-  return solve_delta_impl(net, delta, prior, /*use_push_relabel=*/false);
+                          const MaxFlowResult& prior,
+                          const util::CancelToken& cancel) {
+  return solve_delta_impl(net, delta, prior, /*use_push_relabel=*/false,
+                          cancel);
 }
 
 MaxFlowResult push_relabel_delta(const graph::FlowNetwork& net,
                                  const CapacityDelta& delta,
-                                 const MaxFlowResult& prior) {
-  return solve_delta_impl(net, delta, prior, /*use_push_relabel=*/true);
+                                 const MaxFlowResult& prior,
+                                 const util::CancelToken& cancel) {
+  return solve_delta_impl(net, delta, prior, /*use_push_relabel=*/true,
+                          cancel);
 }
 
 } // namespace aflow::flow

@@ -91,9 +91,11 @@ bool delta_prior_usable(const graph::FlowNetwork& net,
 /// metrics.delta_fallbacks (metrics.delta_solves counts the fast path).
 MaxFlowResult dinic_delta(const graph::FlowNetwork& net,
                           const CapacityDelta& delta,
-                          const MaxFlowResult& prior);
+                          const MaxFlowResult& prior,
+                          const util::CancelToken& cancel = {});
 MaxFlowResult push_relabel_delta(const graph::FlowNetwork& net,
                                  const CapacityDelta& delta,
-                                 const MaxFlowResult& prior);
+                                 const MaxFlowResult& prior,
+                                 const util::CancelToken& cancel = {});
 
 } // namespace aflow::flow

@@ -14,12 +14,15 @@ namespace {
 /// flow/delta.hpp) share one implementation.
 class DinicSolver {
  public:
-  DinicSolver(detail::Residual& r, int s, int t)
-      : r_(r), s_(s), t_(t), level_(r.n), it_(r.n) {}
+  DinicSolver(detail::Residual& r, int s, int t,
+              const util::CancelToken& cancel)
+      : r_(r), s_(s), t_(t), cancel_(cancel), level_(r.n), it_(r.n) {}
 
   double augment(long long& ops) {
     double added = 0.0;
-    while (bfs_levels()) {
+    // One cancellation check per BFS phase: at most n phases, each a full
+    // blocking flow, so the check granularity matches the unit of real work.
+    while (cancel_.check(), bfs_levels()) {
       std::fill(it_.begin(), it_.end(), 0);
       for (;;) {
         const double pushed = dfs(s_, std::numeric_limits<double>::infinity());
@@ -71,6 +74,7 @@ class DinicSolver {
 
   detail::Residual& r_;
   int s_, t_;
+  util::CancelToken cancel_;
   std::vector<int> level_;
   std::vector<int> it_;
 };
@@ -79,17 +83,19 @@ class DinicSolver {
 
 namespace detail {
 
-double dinic_augment(Residual& r, int s, int t, long long& ops) {
-  return DinicSolver(r, s, t).augment(ops);
+double dinic_augment(Residual& r, int s, int t, long long& ops,
+                     const util::CancelToken& cancel) {
+  return DinicSolver(r, s, t, cancel).augment(ops);
 }
 
 } // namespace detail
 
-MaxFlowResult dinic(const graph::FlowNetwork& net) {
+MaxFlowResult dinic(const graph::FlowNetwork& net,
+                    const util::CancelToken& cancel) {
   detail::Residual r(net);
   MaxFlowResult result;
-  result.flow_value =
-      detail::dinic_augment(r, net.source(), net.sink(), result.operations);
+  result.flow_value = detail::dinic_augment(r, net.source(), net.sink(),
+                                            result.operations, cancel);
   result.edge_flow = r.edge_flows(net);
   return result;
 }

@@ -7,7 +7,8 @@
 
 namespace aflow::flow {
 
-MaxFlowResult edmonds_karp(const graph::FlowNetwork& net) {
+MaxFlowResult edmonds_karp(const graph::FlowNetwork& net,
+                           const util::CancelToken& cancel) {
   detail::Residual r(net);
   const int s = net.source();
   const int t = net.sink();
@@ -15,6 +16,7 @@ MaxFlowResult edmonds_karp(const graph::FlowNetwork& net) {
 
   std::vector<int> pred_arc(r.n);
   for (;;) {
+    cancel.check(); // one check per augmenting-path BFS
     std::fill(pred_arc.begin(), pred_arc.end(), -1);
     pred_arc[s] = -2;
     std::queue<int> q;

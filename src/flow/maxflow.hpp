@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/network.hpp"
+#include "util/cancel.hpp"
 
 namespace aflow::flow {
 
@@ -37,6 +38,14 @@ struct SolveMetrics {
   long long delta_solves = 0;
   long long delta_fallbacks = 0;
   long long edges_touched = 0;
+  // Graceful-degradation ladder telemetry (DESIGN.md "Failure taxonomy and
+  // the degradation ladder"): each counter records one fallback rung taken
+  // on behalf of this solve, so every recovery is visible to clients
+  // instead of silent.
+  long long fallback_analog_digital = 0; // analog failure -> digital backend
+  long long fallback_region_retries = 0; // sharded region solve re-attempts
+  long long fallback_region_direct = 0;  // region solved by local direct rung
+  long long fallback_pool_rebuilds = 0;  // corrupt pool entry dropped+rebuilt
 
   /// Accumulates another solve's counters (warm_started ORs). Every field
   /// is attributable to the request that produced it, so the same type
@@ -60,6 +69,10 @@ struct SolveMetrics {
     delta_solves += m.delta_solves;
     delta_fallbacks += m.delta_fallbacks;
     edges_touched += m.edges_touched;
+    fallback_analog_digital += m.fallback_analog_digital;
+    fallback_region_retries += m.fallback_region_retries;
+    fallback_region_direct += m.fallback_region_direct;
+    fallback_pool_rebuilds += m.fallback_pool_rebuilds;
     return *this;
   }
 };
@@ -74,9 +87,16 @@ struct MaxFlowResult {
   SolveMetrics metrics;
 };
 
-MaxFlowResult edmonds_karp(const graph::FlowNetwork& net);
-MaxFlowResult dinic(const graph::FlowNetwork& net);
-MaxFlowResult push_relabel(const graph::FlowNetwork& net);
+/// The optional CancelToken makes long solves cooperatively cancellable
+/// (deadline or explicit flag; see util/cancel.hpp): a tripped token throws
+/// util::CancelledError from the solver's next iteration boundary. The
+/// default token never cancels.
+MaxFlowResult edmonds_karp(const graph::FlowNetwork& net,
+                           const util::CancelToken& cancel = {});
+MaxFlowResult dinic(const graph::FlowNetwork& net,
+                    const util::CancelToken& cancel = {});
+MaxFlowResult push_relabel(const graph::FlowNetwork& net,
+                           const util::CancelToken& cancel = {});
 
 /// A minimum s-t cut extracted from a maximum flow.
 struct MinCutResult {

@@ -24,8 +24,9 @@ namespace {
 
 class PushRelabelSolver {
  public:
-  PushRelabelSolver(detail::Residual& r, int s, int t)
-      : r_(r), s_(s), t_(t), n_(r.n),
+  PushRelabelSolver(detail::Residual& r, int s, int t,
+                    const util::CancelToken& cancel)
+      : r_(r), s_(s), t_(t), cancel_(cancel), n_(r.n),
         height_(n_, 0), excess_(n_, 0.0), current_arc_(n_, 0),
         height_count_(2 * static_cast<size_t>(n_) + 1, 0) {}
 
@@ -54,6 +55,7 @@ class PushRelabelSolver {
     // its excess is parked for the return-to-source sweep below instead of
     // being discharged uphill.
     while (!active_.empty()) {
+      maybe_check_cancel();
       const int v = active_.front();
       active_.pop();
       if (v == s_ || v == t_ || height_[v] >= n_) continue;
@@ -66,6 +68,7 @@ class PushRelabelSolver {
       for (int v = 0; v < n_; ++v)
         if (v != s_ && v != t_ && excess_[v] > 0.0) active_.push(v);
       while (!active_.empty()) {
+        maybe_check_cancel();
         const int v = active_.front();
         active_.pop();
         if (v == s_ || v == t_) continue;
@@ -76,6 +79,12 @@ class PushRelabelSolver {
   }
 
  private:
+  /// Discharge pops run ~millions/s; amortise the steady_clock read behind
+  /// the deadline check to one in 1024 pops.
+  void maybe_check_cancel() {
+    if ((++pops_ & 1023) == 0) cancel_.check();
+  }
+
   /// Phase 2: every parked excess travels back to the source by retracing
   /// flow-carrying in-arcs (odd arc ids: cap[2e+1] is exactly the flow on
   /// input edge e). Flow decomposition of the preflow guarantees each
@@ -98,6 +107,7 @@ class PushRelabelSolver {
     for (int v0 = 0; v0 < n_; ++v0) {
       if (v0 == s_ || v0 == t_) continue;
       while (excess_[v0] > kExcessEps) {
+        maybe_check_cancel();
         ++stamp;
         walk_v.assign(1, v0);
         walk_arc.clear();
@@ -238,7 +248,10 @@ class PushRelabelSolver {
   }
 
   detail::Residual& r_;
-  int s_, t_, n_;
+  int s_, t_;
+  util::CancelToken cancel_;
+  int n_;
+  long long pops_ = 0;
   std::vector<int> height_;
   std::vector<double> excess_;
   std::vector<int> current_arc_;
@@ -252,17 +265,19 @@ class PushRelabelSolver {
 
 namespace detail {
 
-long long push_relabel_augment(Residual& r, int s, int t) {
-  return PushRelabelSolver(r, s, t).augment();
+long long push_relabel_augment(Residual& r, int s, int t,
+                               const util::CancelToken& cancel) {
+  return PushRelabelSolver(r, s, t, cancel).augment();
 }
 
 } // namespace detail
 
-MaxFlowResult push_relabel(const graph::FlowNetwork& net) {
+MaxFlowResult push_relabel(const graph::FlowNetwork& net,
+                           const util::CancelToken& cancel) {
   detail::Residual r(net);
   MaxFlowResult result;
   result.operations =
-      detail::push_relabel_augment(r, net.source(), net.sink());
+      detail::push_relabel_augment(r, net.source(), net.sink(), cancel);
   result.flow_value = r.flow_value_at(net, net.source());
   result.edge_flow = r.edge_flows(net);
   return result;

@@ -146,10 +146,11 @@ class ConservationRepair {
   /// remain, decomposing the carried pseudo-flow shows every deficit node's
   /// surplus outflow reaches the sink, so the reverse search in fill_deficit
   /// always finds a terminal supplier.
-  bool run(long long& ops) {
+  bool run(long long& ops, const util::CancelToken& cancel) {
     for (int v = 0; v < r_.n; ++v) {
       if (v == s_ || v == t_) continue;
       while (im_[v] > kImbalanceEps) {
+        cancel.check();
         if (!drain_excess(v)) return false;
         ops++;
       }
@@ -157,6 +158,7 @@ class ConservationRepair {
     for (int v = 0; v < r_.n; ++v) {
       if (v == s_ || v == t_) continue;
       while (im_[v] < -kImbalanceEps) {
+        cancel.check();
         if (!fill_deficit(v)) return false;
         ops++;
       }
@@ -265,8 +267,9 @@ class ConservationRepair {
 
 } // namespace
 
-bool repair_conservation(Residual& r, int s, int t, long long& ops) {
-  return ConservationRepair(r, s, t).run(ops);
+bool repair_conservation(Residual& r, int s, int t, long long& ops,
+                         const util::CancelToken& cancel) {
+  return ConservationRepair(r, s, t).run(ops, cancel);
 }
 
 } // namespace aflow::flow::detail

@@ -8,6 +8,7 @@
 
 #include "graph/csr.hpp"
 #include "graph/network.hpp"
+#include "util/cancel.hpp"
 
 namespace aflow::flow::detail {
 
@@ -79,19 +80,27 @@ struct Residual {
 /// the sharded-solve boundary stitch (core/sharded_solver.hpp), whose
 /// min-matched cut-arc flows violate conservation exactly at region
 /// boundaries.
-bool repair_conservation(Residual& r, int s, int t, long long& ops);
+/// All three entry points below take an optional util::CancelToken and
+/// check it at their natural phase boundaries (one repair push, one Dinic
+/// BFS phase, every ~1k push-relabel queue pops); a tripped token unwinds
+/// with util::CancelledError. The default token never cancels and costs one
+/// null test per check.
+bool repair_conservation(Residual& r, int s, int t, long long& ops,
+                         const util::CancelToken& cancel = {});
 
 /// Augments the (feasible-flow) residual `r` to a maximum flow with Dinic
 /// blocking flows; returns the flow value added and counts augmenting paths
 /// into `ops`. Cold solves pass a fresh Residual (zero flow); the delta path
 /// passes a repaired carry-over residual.
-double dinic_augment(Residual& r, int s, int t, long long& ops);
+double dinic_augment(Residual& r, int s, int t, long long& ops,
+                     const util::CancelToken& cancel = {});
 
 /// Runs FIFO push-relabel (gap heuristic, initial global relabel) from the
 /// feasible flow currently held in `r`, leaving `r` a maximum flow; returns
 /// pushes + relabels. A feasible flow is a preflow with no excess, so the
 /// standard initialisation (saturate s-adjacent residual arcs, discharge)
 /// is valid from any carried flow, not just the zero flow.
-long long push_relabel_augment(Residual& r, int s, int t);
+long long push_relabel_augment(Residual& r, int s, int t,
+                               const util::CancelToken& cancel = {});
 
 } // namespace aflow::flow::detail

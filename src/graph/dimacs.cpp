@@ -141,11 +141,20 @@ bool parse_cap(const char*& p, const char* end, double& out) {
 CsrGraph read_dimacs_stream(std::istream& in) {
   std::string line;
   std::int64_t n = -1, m = -1, arcs_seen = 0;
+  long long lineno = 0;
   int source = -1, sink = -1;
   std::vector<int> from, to;
   std::vector<double> cap;
 
+  // Every parse error names the offending 1-based line so a truncated or
+  // corrupted multi-gigabyte file can be diagnosed without a binary search.
+  const auto fail = [&](const std::string& what) -> void {
+    throw std::runtime_error("read_dimacs_stream: " + what + " at line " +
+                             std::to_string(lineno));
+  };
+
   while (std::getline(in, line)) {
+    ++lineno;
     const char* p = line.c_str();
     const char* end = p + line.size();
     p = skip_ws(p, end);
@@ -155,19 +164,16 @@ CsrGraph read_dimacs_stream(std::istream& in) {
       case 'c':
         break;
       case 'p': {
-        if (n != -1)
-          throw std::runtime_error(
-              "read_dimacs_stream: duplicate problem line");
+        if (n != -1) fail("duplicate problem line");
         p = skip_ws(p, end);
         if (end - p < 3 || p[0] != 'm' || p[1] != 'a' || p[2] != 'x')
-          throw std::runtime_error("read_dimacs_stream: expected 'p max N M'");
+          fail("expected 'p max N M'");
         p += 3;
         if (!parse_i64(p, end, n) || !parse_i64(p, end, m) || n < 0 || m < 0)
-          throw std::runtime_error("read_dimacs_stream: expected 'p max N M'");
+          fail("expected 'p max N M'");
         if (n >= std::numeric_limits<int>::max())
-          throw std::runtime_error(
-              "read_dimacs_stream: node count " + std::to_string(n) +
-              " exceeds the int vertex index");
+          fail("node count " + std::to_string(n) +
+               " exceeds the int vertex index");
         from.reserve(static_cast<size_t>(m));
         to.reserve(static_cast<size_t>(m));
         cap.reserve(static_cast<size_t>(m));
@@ -176,22 +182,17 @@ CsrGraph read_dimacs_stream(std::istream& in) {
       case 'n': {
         std::int64_t v = 0;
         p = skip_ws(p, end);
-        if (!parse_i64(p, end, v))
-          throw std::runtime_error("read_dimacs_stream: malformed node line");
+        if (!parse_i64(p, end, v)) fail("malformed node line");
         p = skip_ws(p, end);
-        if (p == end)
-          throw std::runtime_error("read_dimacs_stream: malformed node line");
+        if (p == end) fail("malformed node line");
         if (*p == 's') {
-          if (source != -1)
-            throw std::runtime_error("read_dimacs_stream: duplicate source");
+          if (source != -1) fail("duplicate source");
           source = static_cast<int>(v - 1);
         } else if (*p == 't') {
-          if (sink != -1)
-            throw std::runtime_error("read_dimacs_stream: duplicate sink");
+          if (sink != -1) fail("duplicate sink");
           sink = static_cast<int>(v - 1);
         } else {
-          throw std::runtime_error(
-              "read_dimacs_stream: node role must be 's' or 't'");
+          fail("node role must be 's' or 't'");
         }
         break;
       }
@@ -200,13 +201,10 @@ CsrGraph read_dimacs_stream(std::istream& in) {
         double c = 0.0;
         if (!parse_i64(p, end, u) || !parse_i64(p, end, v) ||
             !parse_cap(p, end, c))
-          throw std::runtime_error("read_dimacs_stream: malformed arc line");
-        if (n < 0)
-          throw std::runtime_error(
-              "read_dimacs_stream: arc line before problem line");
+          fail("malformed arc line (truncated mid-line?)");
+        if (n < 0) fail("arc line before problem line");
         if (u < 1 || u > n || v < 1 || v > n)
-          throw std::runtime_error(
-              "read_dimacs_stream: arc endpoint out of range");
+          fail("arc endpoint out of range");
         ++arcs_seen;
         if (u == v || c <= 0.0) break; // same skip semantics as read_dimacs
         from.push_back(static_cast<int>(u - 1));
@@ -215,23 +213,25 @@ CsrGraph read_dimacs_stream(std::istream& in) {
         break;
       }
       default:
-        throw std::runtime_error("read_dimacs_stream: unknown line kind '" +
-                                 std::string(1, kind) + "'");
+        fail("unknown line kind '" + std::string(1, kind) + "'");
     }
   }
+  if (in.bad())
+    fail("stream read error (I/O failure mid-file)");
   if (n < 2)
     throw std::runtime_error("read_dimacs_stream: missing problem line");
   if (source < 0 || sink < 0)
-    throw std::runtime_error(
-        "read_dimacs_stream: missing source or sink designator");
+    fail("missing source or sink designator");
   if (source == sink)
-    throw std::runtime_error(
-        "read_dimacs_stream: source and sink designate the same node " +
-        std::to_string(source + 1));
+    fail("source and sink designate the same node " +
+         std::to_string(source + 1));
+  // The declared-vs-seen reconciliation is what catches a file truncated at
+  // a line boundary (every surviving line parses; arcs are just missing).
   if (arcs_seen != m)
     throw std::runtime_error(
         "read_dimacs_stream: problem line declares " + std::to_string(m) +
-        " arcs but the file contains " + std::to_string(arcs_seen));
+        " arcs but the file contains " + std::to_string(arcs_seen) +
+        " (input truncated after line " + std::to_string(lineno) + "?)");
   return CsrGraph(static_cast<int>(n), source, sink, std::move(from),
                   std::move(to), std::move(cap));
 }

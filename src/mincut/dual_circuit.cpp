@@ -119,6 +119,7 @@ AnalogMinCutResult solve_mincut_dual(const graph::FlowNetwork& net,
 
   sim::DcOptions dc_opt;
   dc_opt.ordering_cache = options.ordering_cache;
+  dc_opt.cancel = options.cancel;
   sim::DcSolver solver(built.nl, dc_opt);
   circuit::DeviceState state = circuit::DeviceState::initial(built.nl);
 

@@ -33,6 +33,7 @@
 #include "analog/substrate_config.hpp"
 #include "core/reuse_pool.hpp"
 #include "graph/network.hpp"
+#include "util/cancel.hpp"
 
 namespace aflow::mincut {
 
@@ -63,6 +64,9 @@ struct DualCircuitOptions {
   /// Iteration cap for the pooled warm attempt before falling back to the
   /// cold start (bounds the cost of a stale seed).
   int warm_iteration_budget = 48;
+  /// Cooperative cancellation, checked at every Newton iteration of the
+  /// underlying DC solve (util/cancel.hpp). Default never cancels.
+  util::CancelToken cancel;
 };
 
 struct AnalogMinCutResult {

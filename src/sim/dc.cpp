@@ -137,6 +137,7 @@ std::vector<double> DcSolver::solve_impl(circuit::DeviceState& state,
 
   std::vector<double> x;
   for (int iter = 0; iter < max_iterations; ++iter) {
+    options_.cancel.check();
     stats_.iterations = iter + 1;
     (warm ? stats_.warm_iterations : stats_.cold_iterations) = iter + 1;
 

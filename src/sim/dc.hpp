@@ -28,6 +28,7 @@
 #include "circuit/mna.hpp"
 #include "core/reuse_pool.hpp"
 #include "la/lu.hpp"
+#include "util/cancel.hpp"
 
 namespace aflow::sim {
 
@@ -50,6 +51,10 @@ struct DcOptions {
   /// fill-reducing analysis after the first instance. The cache is
   /// thread-safe; share one per batch worker.
   std::shared_ptr<la::OrderingCache> ordering_cache;
+  /// Cooperative cancellation: checked once per Newton / diode-flip
+  /// iteration; a tripped token unwinds with util::CancelledError. The
+  /// default token never cancels.
+  util::CancelToken cancel;
 };
 
 struct DcStats {

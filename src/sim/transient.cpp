@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/fault_injector.hpp"
+
 namespace aflow::sim {
 
 std::vector<double> Waveform::series(int probe) const {
@@ -185,6 +187,15 @@ Waveform TransientSolver::run(circuit::DeviceState& state,
   };
 
   while (t < options_.t_stop && stats_.steps < options_.max_steps) {
+    options_.cancel.check();
+    // Chaos battery: a forced divergence exercises the same guard (and the
+    // same structured DivergenceError) that a real saddle-point blow-up
+    // would trip, without needing an actually unstable circuit.
+    if (!probes.empty() &&
+        util::FaultInjector::instance().take("transient.step",
+                                             util::FaultInjector::Action::kDiverge))
+      throw make_divergence_error(probes[0], wf, 0,
+                                  options_.divergence_limit * 2.0, t, opt.dt);
     // Resolve this step: solve, flip inconsistent diodes, repeat.
     // Dynamic-state history enters through `rhs`, so any diode flip forces
     // reassembly (values change but the pattern is static: off-diodes stamp

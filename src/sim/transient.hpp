@@ -117,6 +117,9 @@ struct TransientOptions {
   /// Abort (throw ConvergenceError) when any probe exceeds this magnitude
   /// or becomes non-finite — the circuit is diverging.
   double divergence_limit = 1e12;
+  /// Cooperative cancellation: checked once per accepted step; a tripped
+  /// token unwinds with util::CancelledError. The default never cancels.
+  util::CancelToken cancel;
 };
 
 struct TransientStats {

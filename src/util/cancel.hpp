@@ -1,0 +1,144 @@
+// Cooperative cancellation for long-running solves.
+//
+// A CancelToken is a cheap, copyable handle to shared cancellation state:
+// an explicit flag (cancel()), an optional monotonic deadline, and an
+// optional parent token. A default-constructed token has no state and
+// never cancels, so threading tokens through hot paths costs one pointer
+// test per check. Solver loops call `check()` at their natural iteration
+// boundaries (a Dinic BFS phase, a Newton iteration, an accepted transient
+// step, a batch work-item claim); `check()` throws CancelledError, which
+// unwinds like any solver failure and is classified as a *retryable*
+// structured error by the serving layer (core/errors.hpp).
+//
+// Parent chaining composes a per-session token (cancelled when the client
+// disconnects) with a per-request deadline: the request token's deadline
+// trips independently, and cancelling the session token trips every
+// request token derived from it.
+//
+// This lives in util/ (not core/) because the flow/ and sim/ layers — which
+// host the innermost loops — must not depend on core/. core/solver.hpp
+// aliases it as core::CancelToken.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace aflow::util {
+
+/// Why a cancellation fired: an explicit cancel() (client disconnect,
+/// shutdown) or an expired deadline. Serving maps these to distinct
+/// machine-readable error codes ("cancelled" vs "deadline_exceeded").
+enum class CancelReason { kCancelled, kDeadline };
+
+/// Thrown by CancelToken::check(). Derives from std::runtime_error so
+/// existing catch-and-report paths (BatchEngine isolation, serve handle())
+/// keep working; the serving layer dynamic_casts to recover the reason.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(CancelReason reason)
+      : std::runtime_error(reason == CancelReason::kDeadline
+                               ? "solve cancelled: deadline exceeded"
+                               : "solve cancelled"),
+        reason_(reason) {}
+  CancelReason reason() const { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never cancels; checks are a single null test.
+  CancelToken() = default;
+
+  /// A cancellable token with no deadline.
+  static CancelToken cancellable() {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    return t;
+  }
+
+  /// A token that trips `timeout` from now. Non-positive timeouts yield an
+  /// already-expired token (the first check throws).
+  static CancelToken with_timeout(std::chrono::milliseconds timeout) {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    t.state_->has_deadline = true;
+    t.state_->deadline = Clock::now() + timeout;
+    return t;
+  }
+
+  /// A child of this token: cancelling the parent cancels the child; the
+  /// child's own deadline/flag never propagate up. `timeout_ms <= 0` means
+  /// no child deadline.
+  CancelToken child(long long timeout_ms = 0) const {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    t.state_->parent = state_;
+    if (timeout_ms > 0) {
+      t.state_->has_deadline = true;
+      t.state_->deadline =
+          Clock::now() + std::chrono::milliseconds(timeout_ms);
+    }
+    return t;
+  }
+
+  /// Trips the explicit flag. Safe from any thread; no-op on a default
+  /// (stateless) token.
+  void cancel() const {
+    if (state_) state_->flag.store(true, std::memory_order_release);
+  }
+
+  bool can_cancel() const { return state_ != nullptr; }
+
+  /// True when the token (or an ancestor) has been cancelled or its
+  /// deadline has passed. Never throws.
+  bool cancelled() const { return reason_if_cancelled().has_value(); }
+
+  /// Throws CancelledError when cancelled; otherwise returns.
+  void check() const {
+    if (!state_) return;
+    if (const auto reason = reason_if_cancelled())
+      throw CancelledError(*reason);
+  }
+
+  /// The deadline closest to now across this token and its ancestors, or
+  /// nullopt when none carries one. Used to size bounded waits (e.g. the
+  /// fault injector's sliced delays).
+  std::optional<Clock::time_point> deadline() const {
+    std::optional<Clock::time_point> best;
+    for (const State* s = state_.get(); s; s = s->parent.get())
+      if (s->has_deadline && (!best || s->deadline < *best))
+        best = s->deadline;
+    return best;
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> flag{false};
+    bool has_deadline = false;          // immutable after construction
+    Clock::time_point deadline{};       // immutable after construction
+    std::shared_ptr<const State> parent; // immutable after construction
+  };
+
+  std::optional<CancelReason> reason_if_cancelled() const {
+    bool deadline_hit = false;
+    for (const State* s = state_.get(); s; s = s->parent.get()) {
+      if (s->flag.load(std::memory_order_acquire))
+        return CancelReason::kCancelled;
+      if (s->has_deadline && Clock::now() >= s->deadline) deadline_hit = true;
+    }
+    if (deadline_hit) return CancelReason::kDeadline;
+    return std::nullopt;
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+} // namespace aflow::util

@@ -1,0 +1,86 @@
+// Deterministic, seeded fault injection for the chaos test battery.
+//
+// Production code marks its interesting failure points with
+// `FaultInjector::instance().fire("site.name")` (or `take(site, action)`
+// for faults the site must realise itself, like a forced divergence or a
+// shortened socket write). With no schedule armed the fast path is one
+// relaxed atomic load — cheap enough to leave compiled into release
+// builds, which is what lets one `aflow serve --faults ...` binary drive
+// the chaos battery under any build type.
+//
+// A schedule is a ';'-separated list of fault specs:
+//
+//   site:action[:param][:after=N][:count=K]
+//
+//   action  one of
+//     throw    fire() throws std::runtime_error("injected fault at <site>")
+//     badalloc fire() throws std::bad_alloc
+//     delay    fire() sleeps <param> ms (sliced, honouring a CancelToken)
+//     diverge  take(site, kDiverge) returns true; the site forges the fault
+//     short    take(site, kShort) returns true; the site shortens its write
+//   after=N  skip the first N arrivals at the site (default 0)
+//   count=K  fire at most K times (default 1; count=0 means unlimited)
+//
+// Example: "shard.region:throw:after=1;transient.step:diverge" throws on
+// the second region solve and forces the first transient divergence check.
+// Schedules come from the AFLOW_FAULTS environment variable or the serve
+// `--faults` flag; arrival counters are process-wide and monotonic, so a
+// given schedule is deterministic for a deterministic request stream.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/cancel.hpp"
+
+namespace aflow::util {
+
+class FaultInjector {
+ public:
+  enum class Action { kThrow, kBadAlloc, kDelay, kDiverge, kShort };
+
+  static FaultInjector& instance();
+
+  /// Replaces the armed schedule. Empty spec disarms. Throws
+  /// std::invalid_argument on grammar errors. Not thread-safe against
+  /// concurrent fire() — arm before starting workers (tests and serve
+  /// startup both do).
+  void arm(const std::string& spec);
+  void disarm() { arm(""); }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Counts an arrival at `site` and executes any matching throw/badalloc/
+  /// delay fault. Delay sleeps in 10 ms slices, re-checking `cancel` so an
+  /// injected stall stays cancellable.
+  void fire(const std::string& site, const CancelToken* cancel = nullptr);
+
+  /// Counts an arrival and reports whether a fault of `action` should be
+  /// realised by the caller (forced divergence, shortened write, ...).
+  bool take(const std::string& site, Action action);
+
+  /// Total arrivals at `site` since the last arm(). Test-only telemetry.
+  long long arrivals(const std::string& site) const;
+
+  /// Faults actually fired at `site` since the last arm().
+  long long fired(const std::string& site) const;
+
+ private:
+  struct Rule {
+    std::string site;
+    Action action = Action::kThrow;
+    long long param = 0;   // delay ms
+    long long after = 0;   // arrivals to skip
+    long long count = 1;   // max firings; 0 = unlimited
+    std::atomic<long long> arrivals{0};
+    std::atomic<long long> fired{0};
+  };
+
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+} // namespace aflow::util

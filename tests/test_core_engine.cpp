@@ -145,10 +145,12 @@ class FaultInjectingSolver final : public core::ISolver {
     return n;
   }
   core::SolverCapabilities capabilities() const override { return {}; }
-  flow::MaxFlowResult solve(const graph::FlowNetwork& net) const override {
+  using core::ISolver::solve;
+  flow::MaxFlowResult solve(const graph::FlowNetwork& net,
+                            const core::CancelToken& cancel) const override {
     if (net.num_edges() < 3)
       throw std::runtime_error("injected fault: instance too small");
-    return flow::dinic(net);
+    return flow::dinic(net, cancel);
   }
 };
 

@@ -30,9 +30,17 @@ using DeltaFn = flow::MaxFlowResult (*)(const graph::FlowNetwork&,
                                         const flow::CapacityDelta&,
                                         const flow::MaxFlowResult&);
 
+// Wrapped in lambdas because the underlying entry points also take a
+// defaulted CancelToken, which is part of the function-pointer type.
 const std::vector<std::pair<const char*, DeltaFn>> kDeltaSolvers = {
-    {"dinic_delta", flow::dinic_delta},
-    {"push_relabel_delta", flow::push_relabel_delta},
+    {"dinic_delta",
+     [](const graph::FlowNetwork& n, const flow::CapacityDelta& d,
+        const flow::MaxFlowResult& p) { return flow::dinic_delta(n, d, p); }},
+    {"push_relabel_delta",
+     [](const graph::FlowNetwork& n, const flow::CapacityDelta& d,
+        const flow::MaxFlowResult& p) {
+       return flow::push_relabel_delta(n, d, p);
+     }},
 };
 
 /// Asserts `r` is a maximum flow of `net`: feasible, and value-identical

@@ -12,10 +12,14 @@ using Solver = flow::MaxFlowResult (*)(const graph::FlowNetwork&);
 
 namespace {
 
+// Wrapped in lambdas because the underlying entry points also take a
+// defaulted CancelToken, which is part of the function-pointer type.
 const std::vector<std::pair<const char*, Solver>> kSolvers = {
-    {"edmonds_karp", flow::edmonds_karp},
-    {"dinic", flow::dinic},
-    {"push_relabel", flow::push_relabel},
+    {"edmonds_karp",
+     [](const graph::FlowNetwork& g) { return flow::edmonds_karp(g); }},
+    {"dinic", [](const graph::FlowNetwork& g) { return flow::dinic(g); }},
+    {"push_relabel",
+     [](const graph::FlowNetwork& g) { return flow::push_relabel(g); }},
 };
 
 } // namespace

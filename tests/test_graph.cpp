@@ -331,6 +331,35 @@ TEST(Dimacs, StreamReaderRejectsMalformedInput) {
   }
 }
 
+TEST(Dimacs, StreamReaderDiagnosesTruncatedInput) {
+  { // truncated at a line boundary: the error must reconcile the declared
+    // arc count against what was actually read, and name the last line, so
+    // a cut-off multi-gigabyte transfer is diagnosable from the message.
+    std::stringstream ss("p max 4 3\nn 1 s\nn 4 t\na 1 2 7\na 2 3 4\n");
+    try {
+      graph::read_dimacs_stream(ss);
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("declares 3"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("contains 2"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+    }
+  }
+  { // truncated mid-line: the arc line itself is incomplete; the error must
+    // name the offending line number.
+    std::stringstream ss("p max 4 3\nn 1 s\nn 4 t\na 1 2 7\na 2 3");
+    try {
+      graph::read_dimacs_stream(ss);
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("malformed arc line"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+    }
+  }
+}
+
 TEST(Dimacs, ClassicReaderRefusesHugeArcCounts) {
   // >= 2^31 arcs cannot be held by FlowNetwork's int edge ids; the classic
   // reader must refuse up front (before consuming gigabytes) and point at

@@ -12,15 +12,19 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/serve_front.hpp"
+#include "util/fault_injector.hpp"
 
 namespace core = aflow::core;
+namespace util = aflow::util;
 
 namespace {
 
@@ -189,6 +193,40 @@ TEST(ServeFront, MidRequestDisconnectLeavesTheProcessServing) {
   const std::string solve = c2.read_line();
   EXPECT_TRUE(json_ok(solve)) << solve;
   EXPECT_NE(solve.find("\"flow\":149"), std::string::npos) << solve;
+}
+
+TEST(ServeFront, MidSolveDisconnectCancelsTheAbandonedWork) {
+  // A client that vanishes DURING a long solve must not pin a handler
+  // thread for the solve's natural duration: the front's hangup sweep
+  // trips the session's CancelToken, and the solve unwinds at its next
+  // cancellation point. The injected stall is 30 s — three orders of
+  // magnitude past the asserted cancellation latency — so a pass can only
+  // mean the disconnect actually cancelled the work.
+  util::FaultInjector::instance().arm("batch.solve:delay:30000");
+  auto harness = std::make_unique<FrontHarness>();
+  {
+    Client c(harness->path());
+    c.send_raw("load --spec grid:side=4,seed=1\n");
+    EXPECT_TRUE(json_ok(c.read_line()));
+    c.send_raw("solve --solver dinic\n");
+    // Let the handler enter the solve (and its injected stall) first, so
+    // the disconnect genuinely lands mid-solve.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    c.close();
+  }
+  // Give the accept loop a few poll intervals to run its hangup sweep
+  // (teardown stops that loop, so the sweep must fire before it).
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  // Tearing down the harness joins the connection thread; with the sweep
+  // working, that join completes in sweep-interval + cancel-slice time.
+  const auto t0 = std::chrono::steady_clock::now();
+  harness.reset();
+  const double join_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  util::FaultInjector::instance().disarm();
+  EXPECT_LT(join_ms, 5000.0)
+      << "disconnect did not cancel the in-flight solve";
 }
 
 TEST(ServeFront, ConnectsBeyondMaxSessionsAreRejectedPerConnection) {

@@ -19,7 +19,15 @@
 //
 //   aflow serve [--solver NAME] [--threads N] [--deterministic]
 //               [--pool-budget-mb M] [--listen PATH] [--max-sessions N]
-//               [--max-line-bytes B]
+//               [--max-line-bytes B] [--deadline-ms N] [--fallback NAME]
+//               [--faults SCHEDULE]
+//
+// `--deadline-ms` sets the default per-request deadline every session
+// inherits (0 = none); `--fallback` names the digital backend retryable
+// analog failures degrade to (empty disables the rung). `--faults` (or the
+// AFLOW_FAULTS environment variable) arms the deterministic fault-injection
+// schedule documented in src/util/fault_injector.hpp — the chaos battery's
+// entry point into a release binary.
 //
 // `--batch` accepts a DIMACS file, a directory of *.dimacs / *.max files, or
 // a generator spec (see src/core/workload.hpp for the grammar). `--json`
@@ -48,6 +56,7 @@
 #include "core/workload.hpp"
 #include "graph/dimacs.hpp"
 #include "util/args.hpp"
+#include "util/fault_injector.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -72,7 +81,9 @@ int usage() {
       "[--json FILE]\n"
       "  aflow serve [--solver NAME] [--threads N] [--deterministic]\n"
       "              [--pool-budget-mb M] [--listen PATH] [--max-sessions N]\n"
-      "              [--max-line-bytes B]\n");
+      "              [--max-line-bytes B] [--deadline-ms N] "
+      "[--fallback NAME]\n"
+      "              [--faults SCHEDULE]\n");
   return 2;
 }
 
@@ -119,6 +130,10 @@ void write_bench_json(const std::string& path, const std::string& batch,
   j.field("delta_solves", m.delta_solves);
   j.field("delta_fallbacks", m.delta_fallbacks);
   j.field("edges_touched", m.edges_touched);
+  j.field("fallback_analog_digital", m.fallback_analog_digital);
+  j.field("fallback_region_retries", m.fallback_region_retries);
+  j.field("fallback_region_direct", m.fallback_region_direct);
+  j.field("fallback_pool_rebuilds", m.fallback_pool_rebuilds);
   j.end_object();
 
   j.key("per_instance").begin_array();
@@ -136,6 +151,7 @@ void write_bench_json(const std::string& path, const std::string& batch,
       j.field("warm_started", out.result.metrics.warm_started);
     } else {
       j.field("error", out.error);
+      core::write_error_info(j, out.error_info);
     }
     j.field("ms", out.seconds * 1e3);
     j.end_object();
@@ -325,6 +341,22 @@ int cmd_serve(int argc, char** argv) {
   const double budget_mb = util::arg_double(argc, argv, "--pool-budget-mb", 64.0);
   options.pool_byte_budget =
       budget_mb <= 0.0 ? 0 : static_cast<size_t>(budget_mb * (1 << 20));
+  options.default_deadline_ms = arg_int(argc, argv, "--deadline-ms", 0);
+  options.fallback_solver =
+      arg_string(argc, argv, "--fallback", options.fallback_solver);
+
+  // Chaos hook: arm the deterministic fault schedule before any worker
+  // exists (FaultInjector::arm is not safe against concurrent fire()).
+  // The flag wins over the environment variable.
+  std::string faults = arg_string(argc, argv, "--faults", "");
+  if (faults.empty())
+    if (const char* env = std::getenv("AFLOW_FAULTS")) faults = env;
+  if (!faults.empty()) {
+    util::FaultInjector::instance().arm(faults);
+    std::fprintf(stderr, "aflow serve: fault schedule armed: %s\n",
+                 faults.c_str());
+  }
+
   core::ServeEngine engine(options);
 
   // `--listen` is the multi-session socket front; `--socket` kept as the

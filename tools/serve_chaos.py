@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Chaos smoke for `aflow serve --listen --faults ...`.
+
+Drives a serving process armed with a deterministic fault schedule through
+the full degradation story and requires that, under injected solver faults,
+deadline overruns, a mid-solve client disconnect, and a transport fault:
+
+  - the server process survives every phase and still exits cleanly;
+  - every failure is a machine-readable JSON error carrying error_info
+    with the expected code and retryable flag;
+  - a request that draws no fault returns the bit-correct flow value, even
+    when an earlier request on the same session failed;
+  - a deadline-bounded request errors out in bounded wall time instead of
+    riding out a 10 s injected stall;
+  - abandoning a connection mid-solve cancels the in-flight work (proved by
+    the server shutting down promptly afterwards instead of sleeping out a
+    30 s injected stall);
+  - a short-write transport fault kills only that connection: the client
+    sees a truncated line + EOF, never a parseable half-response.
+
+The schedule below is arrival-exact: FaultInjector rules keep independent
+per-rule arrival counters, and a rule that throws stops later rules from
+seeing that arrival. The trace is documented inline at each phase.
+
+Usage: serve_chaos.py --aflow PATH
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+EXPECTED_GRID_FLOW = {4: 90.0, 5: 149.0}  # grid:side=S,seed=1
+
+# batch.solve arrivals (sequential requests, one in flight at a time):
+#   S1: rule 1 throws -> structured fault_injected error (rules 2-3 do not
+#       see this arrival; the throw precedes their counters).
+#   S2: no rule fires -> clean solve.
+#   S3: rule 2 (after=1) stalls 10 s -> the 500 ms deadline trips it.
+#   S4: no rule fires -> clean solve on the same session as S3.
+#   S5: rule 3 (after=2) stalls 30 s -> client disconnects mid-solve; the
+#       hangup sweep must cancel the stall.
+#   S6: all rules spent -> clean solve, bit-correct.
+SCHEDULE = ("batch.solve:throw"
+            ";batch.solve:delay:10000:after=1"
+            ";batch.solve:delay:30000:after=2")
+
+
+class Client:
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(30)
+        self.sock.connect(path)
+        self.file = self.sock.makefile("rw", encoding="utf-8")
+
+    def request(self, line):
+        self.file.write(line + "\n")
+        self.file.flush()
+        raw = self.file.readline()
+        if not raw:
+            raise RuntimeError(f"server hung up after: {line}")
+        if not raw.endswith("\n"):
+            raise RuntimeError(f"truncated response line after: {line}")
+        return json.loads(raw)
+
+    def send_only(self, line):
+        self.file.write(line + "\n")
+        self.file.flush()
+
+    def close(self):
+        self.file.close()
+        self.sock.close()
+
+
+def start_server(aflow, sock_path, faults):
+    server = subprocess.Popen(
+        [aflow, "serve", "--listen", sock_path, "--faults", faults],
+        stderr=subprocess.PIPE, text=True)
+    for _ in range(200):
+        if os.path.exists(sock_path):
+            return server
+        if server.poll() is not None:
+            raise RuntimeError(f"server exited early: {server.stderr.read()}")
+        time.sleep(0.05)
+    raise RuntimeError("server socket never appeared")
+
+
+def expect_error(doc, code, retryable):
+    assert doc["ok"] is False, doc
+    info = doc["error_info"]
+    assert info["code"] == code, doc
+    assert info["retryable"] is retryable, doc
+    assert info["message"], doc
+
+
+def run_fault_phases(aflow, sock_path):
+    server = start_server(aflow, sock_path, SCHEDULE)
+    try:
+        # Phase 1: injected solver fault is a structured, transient error —
+        # the same session recovers with the bit-correct flow on retry.
+        a = Client(sock_path)
+        assert a.request("load --spec grid:side=4,seed=1")["ok"], "load A"
+        expect_error(a.request("solve --solver dinic"),           # S1
+                     code="fault_injected", retryable=True)
+        doc = a.request("solve --solver dinic")                   # S2
+        assert doc["ok"] and doc["flow"] == EXPECTED_GRID_FLOW[4], doc
+        a.request("quit")
+        a.close()
+
+        # Phase 2: a 10 s injected stall against a 500 ms deadline must
+        # yield deadline_exceeded in bounded time, and the session stays
+        # usable afterwards.
+        b = Client(sock_path)
+        assert b.request("load --spec grid:side=4,seed=1")["ok"], "load B"
+        t0 = time.time()
+        expect_error(b.request("solve --solver dinic --deadline-ms 500"),
+                     code="deadline_exceeded", retryable=True)    # S3
+        elapsed = time.time() - t0
+        assert elapsed < 3.0, f"deadline not enforced: {elapsed:.1f}s"
+        doc = b.request("solve --solver dinic")                   # S4
+        assert doc["ok"] and doc["flow"] == EXPECTED_GRID_FLOW[4], doc
+        b.request("quit")
+        b.close()
+
+        # Phase 3: disconnect mid-solve while a 30 s stall is injected.
+        # The hangup sweep must cancel the abandoned work — verified below
+        # by the server shutting down long before the stall would end.
+        c = Client(sock_path)
+        assert c.request("load --spec grid:side=5,seed=1")["ok"], "load C"
+        c.send_only("solve --solver dinic")                       # S5
+        time.sleep(0.5)  # let the solve reach the injected stall
+        c.close()        # abandon it
+        time.sleep(0.5)  # let the sweep observe the hangup
+
+        # Phase 4: an unaffected session is bit-correct after all that.
+        d = Client(sock_path)
+        assert d.request("load --spec grid:side=5,seed=1")["ok"], "load D"
+        doc = d.request("solve --solver dinic")                   # S6
+        assert doc["ok"] and doc["flow"] == EXPECTED_GRID_FLOW[5], doc
+        d.request("quit")
+        d.close()
+
+        t0 = time.time()
+        Client(sock_path).request("shutdown")
+        server.wait(timeout=15)
+        shutdown_s = time.time() - t0
+        assert server.returncode == 0, f"server exited {server.returncode}"
+        assert shutdown_s < 10.0, \
+            f"shutdown took {shutdown_s:.1f}s: abandoned solve not cancelled"
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+def run_short_write_phase(aflow, sock_path):
+    """Transport fault: the response is cut mid-line and the connection
+    dies. The client must see a truncated line (no newline) then EOF —
+    never a parseable half-response — and the server must keep serving."""
+    server = start_server(aflow, sock_path, "serve.write:short")
+    try:
+        victim = Client(sock_path)
+        victim.send_only("load --spec grid:side=4,seed=1")
+        raw = victim.file.readline()
+        assert raw and not raw.endswith("\n"), f"expected short line: {raw!r}"
+        assert victim.file.readline() == "", "expected EOF after short write"
+        victim.close()
+
+        fine = Client(sock_path)
+        assert fine.request("load --spec grid:side=4,seed=1")["ok"], "load"
+        doc = fine.request("solve --solver dinic")
+        assert doc["ok"] and doc["flow"] == EXPECTED_GRID_FLOW[4], doc
+        fine.request("shutdown")
+        fine.close()
+        server.wait(timeout=15)
+        assert server.returncode == 0, f"server exited {server.returncode}"
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--aflow", required=True)
+    args = parser.parse_args()
+
+    root = tempfile.mkdtemp(prefix="aflow_chaos_")
+    run_fault_phases(args.aflow, os.path.join(root, "chaos.sock"))
+    run_short_write_phase(args.aflow, os.path.join(root, "short.sock"))
+    print("serve chaos smoke: injected fault -> structured retryable error, "
+          "deadline bounded, mid-solve disconnect cancelled, short write "
+          "isolated, clean shutdowns")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
