@@ -259,6 +259,12 @@ int ServeEngine::open_sessions() const {
   return open_sessions_;
 }
 
+void ServeEngine::set_front_stats_provider(
+    std::function<FrontStatsSnapshot()> provider) {
+  const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  front_stats_ = std::move(provider);
+}
+
 std::string ServeEngine::reject_line() const {
   util::JsonWriter j;
   j.begin_object();
@@ -362,6 +368,27 @@ void ServeEngine::write_stats(util::JsonWriter& j) {
   write_metrics_json(j, mincut_metrics_);
   j.key("mincut_pool");
   write_pool_json(j, *mincut_pool_);
+
+  // Transport-plane counters, present only when a serving front is running
+  // (absent in stdin mode and in-process tests). The provider just
+  // snapshots the front's atomics — safe under telemetry_mutex_.
+  if (front_stats_) {
+    const FrontStatsSnapshot f = front_stats_();
+    j.key("front").begin_object();
+    j.field("io_threads", f.io_threads);
+    j.field("workers", f.workers);
+    j.field("accepted_unix", f.accepted_unix);
+    j.field("accepted_tcp", f.accepted_tcp);
+    j.field("rejected", f.rejected);
+    j.field("open_connections", f.open_connections);
+    j.field("requests_queued", f.requests_queued);
+    j.field("responses_written", f.responses_written);
+    j.field("backpressure_pauses", f.backpressure_pauses);
+    j.field("oversized_frames", f.oversized_frames);
+    j.field("hangup_cancels", f.hangup_cancels);
+    j.field("short_writes", f.short_writes);
+    j.end_object();
+  }
 }
 
 // --------------------------------------------------------------- session

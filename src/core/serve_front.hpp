@@ -1,53 +1,107 @@
-// Unix-socket serving front for core::ServeEngine: an accept loop that
-// opens one ServeSession per connection and serves each on its own thread,
-// so many clients stream requests against the engine's shared solver banks
-// concurrently. The front owns the transport concerns the engine does not:
+// Event-driven serving front for core::ServeEngine, over Unix-socket and
+// TCP transports.
 //
-//  - line framing over a byte stream (partial writes from clients are
-//    buffered until the newline arrives);
-//  - oversized-frame protection (a line longer than max_line_bytes gets
-//    one ok:false response and is discarded up to its newline — the
-//    session survives and resyncs);
-//  - mid-request disconnects (a client vanishing between or inside lines
-//    closes that session only; the process and every other session keep
-//    serving). A client that vanishes *during* a long solve is detected by
-//    the accept loop's periodic hangup sweep (POLLRDHUP on every open
-//    connection), which trips that session's CancelToken so the abandoned
-//    solve unwinds at its next cancellation point instead of running to
-//    completion on a dead socket;
-//  - the session cap (a connection beyond ServeOptions::max_sessions is
-//    answered with one rejection line and closed).
+// The PR-5 front spent one blocking thread per connection, so connection
+// count — not solver speed — was the scaling wall. This front splits the
+// two concerns the way streaming maxflow serving systems do: a thin I/O
+// plane that owns every transport concern, feeding a FIXED worker pool
+// that owns every solver call (DESIGN.md "Event-driven serving front").
 //
-// `quit` ends one session; `shutdown` (from any session) stops the accept
-// loop, after which run() joins the remaining connection threads and
-// removes the socket file. POSIX-only (guarded no-op on _WIN32).
+//   I/O plane (options.io_threads poll loops, nonblocking fds)
+//     accept on both listeners, line framing over per-connection read
+//     buffers, oversized-frame resync, per-connection write buffers with
+//     nonblocking flushes, hangup detection (POLLRDHUP every poll — the
+//     always-on replacement for PR 8's periodic sweep), and backpressure:
+//     a connection stops being READ while it sits at its pipelining limit
+//     or its write buffer is full, so a slow or absent reader costs one
+//     buffered allotment, never a thread and never unbounded memory.
+//   Worker pool (options.workers threads)
+//     pops requests from one bounded MPSC queue and runs
+//     ServeSession::handle. The I/O plane schedules at most ONE request
+//     per connection at a time and enqueues parsed lines in arrival
+//     order, which is the whole per-session ordering argument: FIFO
+//     parse, one in flight, FIFO response buffer (proof sketch in
+//     DESIGN.md "Event-driven serving front").
+//
+// Thousands of idle clients therefore cost file descriptors and a few
+// kilobytes of buffer each; the thread count is io_threads + workers,
+// fixed at start. Every PR-5/PR-8 session contract is preserved: one
+// ServeSession per connection, per-session response ordering, oversized
+// frames answered once and discarded to their newline, beyond-cap
+// connects rejected with one line, a client vanishing mid-solve trips the
+// session CancelToken (now on the next poll wake instead of the next
+// sweep), and `quit` ends one session while `shutdown` stops the front.
+// POSIX-only (guarded throw on _WIN32).
 #pragma once
 
 #include <atomic>
-#include <list>
+#include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
+#include <vector>
 
 #include "core/serve_engine.hpp"
 
 namespace aflow::core {
 
 struct ServeFrontOptions {
-  /// Filesystem path of the Unix stream socket (required; replaced if it
-  /// already exists). Must fit sockaddr_un::sun_path.
+  /// Filesystem path of the Unix stream socket (replaced if it already
+  /// exists). Empty = no Unix listener.
   std::string socket_path;
+  /// TCP listen address, HOST:PORT (port 0 = kernel-assigned, readable
+  /// from tcp_port() after start()). Empty = no TCP listener. At least one
+  /// of socket_path / tcp_address is required.
+  std::string tcp_address;
   /// Longest accepted request line, bytes (without the newline). Longer
   /// frames draw one error response and are discarded to their newline.
   size_t max_line_bytes = 1 << 20;
-  int listen_backlog = 16;
-  /// How often blocked accept/read calls wake up to check for shutdown.
+  int listen_backlog = 128;
+  /// Poll-loop tick: the upper bound on how stale shutdown/stop detection
+  /// can be. I/O readiness itself wakes the loops immediately.
   int poll_interval_ms = 50;
+  /// Nonblocking poll loops in the I/O plane. One is right for almost
+  /// every deployment; more only helps past tens of thousands of hot
+  /// connections.
+  int io_threads = 1;
+  /// Worker threads executing requests. 0 = the engine's workers_per_bank.
+  int workers = 0;
+  /// Per-session pipelining limit: parsed-but-unserved requests a
+  /// connection may have queued before the front stops reading it.
+  int max_pipeline = 32;
+  /// Per-connection write-buffer cap, bytes: a connection whose client is
+  /// not draining responses stops being read past this point.
+  size_t max_write_buffer_bytes = 256 << 10;
+  /// At shutdown, how long the front keeps flushing already-buffered
+  /// responses to clients that are still reading before closing on them.
+  int drain_grace_ms = 1000;
+};
+
+/// Monotonic counters of the I/O plane, readable from any thread while the
+/// front runs (exposed through the engine's `stats` response as the
+/// "front" object — docs/BENCH_FORMAT.md).
+struct FrontTelemetry {
+  std::atomic<long long> accepted_unix{0};
+  std::atomic<long long> accepted_tcp{0};
+  std::atomic<long long> rejected{0};
+  std::atomic<long long> open_connections{0};
+  std::atomic<long long> requests_queued{0};
+  std::atomic<long long> responses_written{0};
+  /// Read-pause transitions: a connection hit its pipelining limit or its
+  /// write-buffer cap and stopped being read until it drained.
+  std::atomic<long long> backpressure_pauses{0};
+  std::atomic<long long> oversized_frames{0};
+  /// Hangups that cancelled in-flight or queued work via the session token.
+  std::atomic<long long> hangup_cancels{0};
+  std::atomic<long long> short_writes{0}; // injected serve.write faults
 };
 
 class ServeFront {
  public:
+  /// Pimpl holding the listeners, queue, and thread pools; public so the
+  /// implementation's free-standing runtime class (serve_front.cpp) can
+  /// name it, but defined only in the .cpp.
+  struct Impl;
+
   /// The engine must outlive the front. No sockets are touched until
   /// start().
   ServeFront(ServeEngine& engine, ServeFrontOptions options);
@@ -55,54 +109,38 @@ class ServeFront {
   ServeFront(const ServeFront&) = delete;
   ServeFront& operator=(const ServeFront&) = delete;
 
-  /// Binds and listens on options().socket_path. Throws std::runtime_error
-  /// on socket/bind/listen failure (and on _WIN32).
+  /// Binds and listens on every configured transport. Throws
+  /// std::runtime_error on socket/bind/listen failure (and on _WIN32).
   void start();
 
-  /// Blocking accept loop: serves until a session requests shutdown or
-  /// stop() is called, then joins every connection thread and removes the
-  /// socket file. Call start() first.
+  /// Blocking: spawns the I/O loops and the worker pool, serves until a
+  /// session requests shutdown or stop() is called, then drains buffered
+  /// responses (bounded by drain_grace_ms), joins every thread, and
+  /// removes the socket file. Call start() first.
   void run();
 
-  /// Thread-safe: asks run() to return. Connections still open are joined
-  /// by run() as their clients disconnect or their sessions quit.
+  /// Thread-safe: asks run() to return.
   void stop();
 
   const ServeFrontOptions& options() const { return options_; }
-  /// Connections granted a session so far.
-  long long sessions_accepted() const { return accepted_.load(); }
+  /// The TCP port actually bound (after start()); 0 without a TCP listener.
+  std::uint16_t tcp_port() const { return tcp_port_; }
+  /// Connections granted a session so far (both transports).
+  long long sessions_accepted() const {
+    return telemetry_.accepted_unix.load() + telemetry_.accepted_tcp.load();
+  }
   /// Connections refused because max_sessions were open.
-  long long sessions_rejected() const { return rejected_.load(); }
+  long long sessions_rejected() const { return telemetry_.rejected.load(); }
+  const FrontTelemetry& telemetry() const { return telemetry_; }
+  int io_thread_count() const;
+  int worker_count() const;
 
  private:
-  struct Connection {
-    std::thread thread;
-    std::atomic<bool> finished{false};
-    // For the hangup sweep: the connection's fd (only polled while the
-    // session is still alive — the handler closes the fd strictly after
-    // releasing its session reference, so a lockable weak_ptr implies an
-    // open fd) and the session whose token a hangup cancels.
-    int fd = -1;
-    std::weak_ptr<ServeSession> session;
-  };
-
-  void serve_client(int fd, std::shared_ptr<ServeSession> session,
-                    std::atomic<bool>* finished);
-  bool write_line(int fd, const std::string& response);
-  void reap_finished(bool join_all);
-  /// Polls every open connection for POLLRDHUP/POLLHUP/POLLERR and cancels
-  /// the matching session's token: the disconnect-cancel half of the
-  /// degradation ladder. Runs on the accept thread each poll interval.
-  void sweep_disconnects();
-
+  std::unique_ptr<Impl> impl_;
   ServeEngine& engine_;
   ServeFrontOptions options_;
-  int listen_fd_ = -1;
-  std::atomic<bool> stop_{false};
-  std::atomic<long long> accepted_{0};
-  std::atomic<long long> rejected_{0};
-  std::mutex connections_mutex_;
-  std::list<Connection> connections_;
+  FrontTelemetry telemetry_;
+  std::uint16_t tcp_port_ = 0;
 };
 
 } // namespace aflow::core

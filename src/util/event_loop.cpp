@@ -1,0 +1,191 @@
+#include "util/event_loop.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace aflow::util {
+
+#ifdef _WIN32
+
+void set_nonblocking(int) {
+  throw std::runtime_error("event_loop: not supported on this platform");
+}
+bool would_block(int) { return false; }
+SelfPipe::SelfPipe() {
+  throw std::runtime_error("event_loop: not supported on this platform");
+}
+SelfPipe::~SelfPipe() = default;
+void SelfPipe::notify() const {}
+void SelfPipe::drain() const {}
+size_t Poller::add(int, short) { return 0; }
+int Poller::wait(int) { return 0; }
+short Poller::revents(size_t) const { return 0; }
+int listen_unix(const std::string&, int) {
+  throw std::runtime_error("event_loop: not supported on this platform");
+}
+int listen_tcp(const std::string&, int, std::uint16_t*) {
+  throw std::runtime_error("event_loop: not supported on this platform");
+}
+void set_tcp_nodelay(int) {}
+
+#else // POSIX
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    fail("fcntl(O_NONBLOCK)");
+}
+
+bool would_block(int err) {
+  return err == EAGAIN || err == EWOULDBLOCK;
+}
+
+SelfPipe::SelfPipe() {
+  if (::pipe(fds_) < 0) fail("pipe");
+  set_nonblocking(fds_[0]);
+  set_nonblocking(fds_[1]);
+}
+
+SelfPipe::~SelfPipe() {
+  if (fds_[0] >= 0) ::close(fds_[0]);
+  if (fds_[1] >= 0) ::close(fds_[1]);
+}
+
+void SelfPipe::notify() const {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wake; EAGAIN is success.
+  [[maybe_unused]] const ssize_t n = ::write(fds_[1], &byte, 1);
+}
+
+void SelfPipe::drain() const {
+  char buf[256];
+  while (::read(fds_[0], buf, sizeof buf) > 0) {
+  }
+}
+
+size_t Poller::add(int fd, short events) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  fds_.push_back(p);
+  return fds_.size() - 1;
+}
+
+int Poller::wait(int timeout_ms) {
+  if (fds_.empty()) return 0;
+  const int r = ::poll(fds_.data(), fds_.size(), timeout_ms);
+  if (r < 0) {
+    if (errno == EINTR) return 0;
+    fail("poll");
+  }
+  return r;
+}
+
+short Poller::revents(size_t slot) const { return fds_[slot].revents; }
+
+int listen_unix(const std::string& path, int backlog) {
+  if (path.empty())
+    throw std::runtime_error("listen_unix: socket path is required");
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("listen_unix: socket path too long: " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_UNIX)");
+  addr.sun_family = AF_UNIX;
+  path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    const std::string msg =
+        std::string("bind/listen(") + path + "): " + std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error(msg);
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+int listen_tcp(const std::string& address, int backlog,
+               std::uint16_t* bound_port) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= address.size())
+    throw std::runtime_error("listen_tcp: address must be HOST:PORT, got '" +
+                             address + "'");
+  const std::string host = address.substr(0, colon);
+  const std::string port = address.substr(colon + 1);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const int gai = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                port.c_str(), &hints, &res);
+  if (gai != 0)
+    throw std::runtime_error("listen_tcp: cannot resolve '" + address +
+                             "': " + ::gai_strerror(gai));
+
+  int fd = -1;
+  std::string err = "listen_tcp: no usable address for '" + address + "'";
+  for (const addrinfo* ai = res; ai; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, backlog) == 0)
+      break;
+    err = std::string("bind/listen(") + address + "): " + std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) throw std::runtime_error(err);
+  set_nonblocking(fd);
+
+  if (bound_port) {
+    sockaddr_storage ss{};
+    socklen_t len = sizeof ss;
+    *bound_port = 0;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) == 0) {
+      if (ss.ss_family == AF_INET)
+        *bound_port =
+            ntohs(reinterpret_cast<const sockaddr_in*>(&ss)->sin_port);
+      else if (ss.ss_family == AF_INET6)
+        *bound_port =
+            ntohs(reinterpret_cast<const sockaddr_in6*>(&ss)->sin6_port);
+    }
+  }
+  return fd;
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+#endif // _WIN32
+
+} // namespace aflow::util

@@ -1,0 +1,92 @@
+// Event-loop primitives for the nonblocking serving front: fd helpers, a
+// self-pipe wakeup, a pollfd-set builder, and listener construction for
+// both supported transports (Unix stream sockets and TCP).
+//
+// These are thin, dependency-free wrappers over POSIX poll(2)/socket(2) so
+// core/serve_front.cpp can stay about connection state machines rather
+// than syscall plumbing. Everything here is POSIX-only; on _WIN32 the
+// functions throw (the serving front is guarded the same way).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <poll.h>
+#endif
+
+namespace aflow::util {
+
+#ifdef _WIN32
+struct pollfd {
+  int fd;
+  short events;
+  short revents;
+};
+#else
+using ::pollfd;
+#endif
+
+/// Sets O_NONBLOCK on `fd`. Throws std::runtime_error on failure.
+void set_nonblocking(int fd);
+
+/// True for errno values that mean "retry later" on a nonblocking fd.
+bool would_block(int err);
+
+/// Cross-thread wakeup for a poll loop: poll the read fd for POLLIN,
+/// notify() from any thread to interrupt the wait, drain() on wake.
+/// Notifications coalesce (a pipe full of wake bytes is one wake).
+class SelfPipe {
+ public:
+  SelfPipe();
+  ~SelfPipe();
+  SelfPipe(const SelfPipe&) = delete;
+  SelfPipe& operator=(const SelfPipe&) = delete;
+
+  int read_fd() const { return fds_[0]; }
+  /// Async-signal-ish: one nonblocking write; safe from any thread.
+  void notify() const;
+  /// Empties the pipe (call when the read fd polls readable).
+  void drain() const;
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+/// Builder for one poll(2) call: register fds each iteration, wait once,
+/// then query readiness by the index `add` returned. Rebuilding the set
+/// every iteration keeps registration state out of the connection objects;
+/// at serving scale (hundreds to low thousands of fds) the O(n) rebuild is
+/// noise next to the poll itself.
+class Poller {
+ public:
+  void clear() { fds_.clear(); }
+  /// Registers `fd` for `events`; returns its slot for revents().
+  size_t add(int fd, short events);
+  /// poll(2) over the registered set. Returns the ready count (0 on
+  /// timeout); EINTR is reported as 0. Throws on other poll failures.
+  int wait(int timeout_ms);
+  short revents(size_t slot) const;
+
+ private:
+  std::vector<pollfd> fds_;
+};
+
+/// Binds and listens on a nonblocking Unix stream socket at `path`
+/// (replacing any stale socket file). Returns the listening fd.
+int listen_unix(const std::string& path, int backlog);
+
+/// Binds and listens on a nonblocking TCP socket. `address` is HOST:PORT
+/// (numeric or resolvable host; port 0 asks the kernel for an ephemeral
+/// port). Returns the listening fd and stores the actually-bound port in
+/// `bound_port`.
+int listen_tcp(const std::string& address, int backlog,
+               std::uint16_t* bound_port);
+
+/// Disables Nagle on a connected TCP socket (one-line requests must not
+/// wait out a 40 ms delayed-ack window). No-op on failure — latency tuning
+/// must never kill a connection.
+void set_tcp_nodelay(int fd);
+
+} // namespace aflow::util

@@ -14,14 +14,23 @@
 // duals go through shared ReusePools too, and for them bit-identity is
 // asserted strictly (canonical priming makes warm results bit-identical
 // to cold runs regardless of the pool's feeding order).
+//
+// The battery runs three ways: in-process (session threads calling
+// handle() directly), and through the real event-driven serving front over
+// each transport (Unix socket, TCP) — same scripts, same assertions.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/serve_engine.hpp"
+
+#ifndef _WIN32
+#include "serve_transport_harness.hpp"
+#endif
 
 namespace core = aflow::core;
 
@@ -193,18 +202,15 @@ std::vector<std::vector<std::string>> run_scripts(
   return responses;
 }
 
-} // namespace
-
-TEST(ServeConcurrent, SessionsAreBitIdenticalToSerialReplay) {
-  std::vector<std::vector<std::string>> scripts;
-  for (int k = 0; k < kSessions; ++k) scripts.push_back(session_script(k));
-
-  core::ServeEngine concurrent_engine(engine_options());
-  const auto concurrent = run_scripts(concurrent_engine, scripts, true);
-
-  core::ServeEngine serial_engine(engine_options());
-  const auto serial = run_scripts(serial_engine, scripts, false);
-
+/// The battery's core assertion, shared by the in-process driver and the
+/// socket-transport drivers: every session's responses, minus the
+/// "telemetry" object, match a serial replay bit-for-bit — except the two
+/// documented tolerance cases (warm analog flow; mincut's degenerate
+/// continuous diagnostics).
+void expect_bit_identical_to_serial(
+    const std::vector<std::vector<std::string>>& scripts,
+    const std::vector<std::vector<std::string>>& concurrent,
+    const std::vector<std::vector<std::string>>& serial) {
   int compared = 0, warm_compared = 0;
   for (int k = 0; k < kSessions; ++k) {
     ASSERT_EQ(concurrent[k].size(), serial[k].size());
@@ -235,6 +241,21 @@ TEST(ServeConcurrent, SessionsAreBitIdenticalToSerialReplay) {
   }
   EXPECT_EQ(compared, kSessions * kRequestsPerSession);
   EXPECT_GT(warm_compared, 0);
+}
+
+} // namespace
+
+TEST(ServeConcurrent, SessionsAreBitIdenticalToSerialReplay) {
+  std::vector<std::vector<std::string>> scripts;
+  for (int k = 0; k < kSessions; ++k) scripts.push_back(session_script(k));
+
+  core::ServeEngine concurrent_engine(engine_options());
+  const auto concurrent = run_scripts(concurrent_engine, scripts, true);
+
+  core::ServeEngine serial_engine(engine_options());
+  const auto serial = run_scripts(serial_engine, scripts, false);
+
+  expect_bit_identical_to_serial(scripts, concurrent, serial);
 }
 
 TEST(ServeConcurrent, SharedPoolCountersReconcileAcrossSessions) {
@@ -328,3 +349,69 @@ TEST(ServeConcurrent, EngineEnforcesTheSessionCap) {
   EXPECT_NE(c, nullptr);
   EXPECT_NE(c->id(), b->id());
 }
+
+#ifndef _WIN32
+
+// The same battery, but with the concurrent side driven through the real
+// serving front — framing, queueing, worker scheduling, response routing —
+// over each transport. The assertions are UNCHANGED from the in-process
+// battery: whatever the event-driven front does to the schedule, the
+// schedule-independent response fields must still match a serial replay.
+class ServeConcurrentTransport
+    : public ::testing::TestWithParam<serve_test::Transport> {};
+
+TEST_P(ServeConcurrentTransport, SocketSessionsAreBitIdenticalToSerialReplay) {
+  std::vector<std::vector<std::string>> scripts;
+  for (int k = 0; k < kSessions; ++k) scripts.push_back(session_script(k));
+
+  std::vector<std::vector<std::string>> concurrent(kSessions);
+  {
+    serve_test::FrontHarness harness(GetParam(), engine_options());
+
+    // The serial replay opens its sessions in script order, and `session`
+    // responses carry the engine-assigned session id — so client k must
+    // own session id k+1. Connect one client at a time and round-trip its
+    // first request (load) before connecting the next: accept order, and
+    // with it id order, is then deterministic.
+    std::vector<std::unique_ptr<serve_test::Client>> clients;
+    for (int k = 0; k < kSessions; ++k) {
+      clients.push_back(std::make_unique<serve_test::Client>(harness));
+      ASSERT_TRUE(clients.back()->connected());
+      clients.back()->send_raw(scripts[k][0] + "\n");
+      concurrent[k].push_back(clients.back()->read_line());
+      ASSERT_TRUE(json_bool(concurrent[k][0], "ok")) << concurrent[k][0];
+    }
+
+    // Now genuinely concurrent: every session streams its remaining
+    // script from its own thread, pipelining the requests and collecting
+    // the responses in arrival order (which the front must keep equal to
+    // send order per session).
+    std::vector<std::thread> drivers;
+    for (int k = 0; k < kSessions; ++k) {
+      drivers.emplace_back([&, k] {
+        std::string burst;
+        for (size_t i = 1; i < scripts[k].size(); ++i)
+          burst += scripts[k][i] + "\n";
+        clients[k]->send_raw(burst);
+        for (size_t i = 1; i < scripts[k].size(); ++i)
+          concurrent[k].push_back(clients[k]->read_line());
+      });
+    }
+    for (std::thread& t : drivers) t.join();
+  }
+
+  core::ServeEngine serial_engine(engine_options());
+  const auto serial = run_scripts(serial_engine, scripts, false);
+
+  expect_bit_identical_to_serial(scripts, concurrent, serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, ServeConcurrentTransport,
+    ::testing::Values(serve_test::Transport::kUnix,
+                      serve_test::Transport::kTcp),
+    [](const ::testing::TestParamInfo<serve_test::Transport>& info) {
+      return serve_test::transport_name(info.param);
+    });
+
+#endif // _WIN32

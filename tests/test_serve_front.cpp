@@ -1,30 +1,29 @@
-// Session-layer transport robustness of core::ServeFront, over real Unix
-// sockets: interleaved partial lines, oversized frames, mid-request
-// disconnects, and connects beyond --max-sessions must all error (or
-// recover) per-session without killing the process or the other sessions.
+// Transport and scheduling robustness of the event-driven core::ServeFront,
+// parameterized over BOTH real transports (Unix socket and TCP): interleaved
+// partial lines, oversized frames, mid-request and mid-solve disconnects,
+// connects beyond --max-sessions, pipelining order, backpressure against
+// slow readers, and connection counts far beyond the thread count must all
+// behave (or fail) per-session without killing the process or the other
+// sessions.
 #include <gtest/gtest.h>
 
 #ifndef _WIN32
 
-#include <sys/socket.h>
-#include <sys/time.h>
-#include <sys/types.h>
-#include <sys/un.h>
-#include <unistd.h>
-
 #include <chrono>
-#include <cstdio>
-#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "core/serve_front.hpp"
+#include "serve_transport_harness.hpp"
 #include "util/fault_injector.hpp"
 
 namespace core = aflow::core;
 namespace util = aflow::util;
+
+using serve_test::Client;
+using serve_test::FrontHarness;
+using serve_test::Transport;
 
 namespace {
 
@@ -32,106 +31,20 @@ bool json_ok(const std::string& json) {
   return json.find("\"ok\":true") != std::string::npos;
 }
 
-/// Engine + front + accept-loop thread, torn down in order.
-class FrontHarness {
- public:
-  explicit FrontHarness(core::ServeOptions engine_options = {},
-                        size_t max_line_bytes = 1 << 20)
-      : engine_(engine_options) {
-    core::ServeFrontOptions fo;
-    fo.socket_path =
-        "/tmp/aflow_front_test_" + std::to_string(::getpid()) + "_" +
-        std::to_string(instance_counter_++) + ".sock";
-    fo.max_line_bytes = max_line_bytes;
-    fo.poll_interval_ms = 10;
-    front_ = std::make_unique<core::ServeFront>(engine_, fo);
-    front_->start();
-    runner_ = std::thread([this] { front_->run(); });
-  }
+long long response_id(const std::string& json) {
+  const std::string needle = "\"id\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::strtoll(json.c_str() + at + needle.size(), nullptr, 10);
+}
 
-  ~FrontHarness() {
-    front_->stop();
-    runner_.join();
-  }
-
-  const std::string& path() const { return front_->options().socket_path; }
-  core::ServeEngine& engine() { return engine_; }
-  core::ServeFront& front() { return *front_; }
-
- private:
-  static inline int instance_counter_ = 0;
-  core::ServeEngine engine_;
-  std::unique_ptr<core::ServeFront> front_;
-  std::thread runner_;
-};
-
-/// Blocking line-oriented client with a receive deadline, so a server bug
-/// fails the test instead of hanging it.
-class Client {
- public:
-  explicit Client(const std::string& path) {
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    EXPECT_GE(fd_, 0);
-    timeval tv{};
-    tv.tv_sec = 10;
-    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
-    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                           sizeof(addr)) == 0;
-    EXPECT_TRUE(connected_) << path;
-  }
-  ~Client() { close(); }
-
-  void send_raw(const std::string& bytes) {
-    size_t sent = 0;
-    while (sent < bytes.size()) {
-      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                               MSG_NOSIGNAL);
-      if (n <= 0) break;
-      sent += static_cast<size_t>(n);
-    }
-  }
-
-  /// One response line (without the newline); "" on EOF or timeout.
-  std::string read_line() {
-    for (;;) {
-      const size_t nl = buf_.find('\n');
-      if (nl != std::string::npos) {
-        const std::string line = buf_.substr(0, nl);
-        buf_.erase(0, nl + 1);
-        return line;
-      }
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-      if (n <= 0) return {};
-      buf_.append(chunk, static_cast<size_t>(n));
-    }
-  }
-
-  /// True when the server hung up (EOF within the receive deadline).
-  bool at_eof() {
-    char c;
-    return ::recv(fd_, &c, 1, 0) == 0;
-  }
-
-  void close() {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = -1;
-  }
-
- private:
-  int fd_ = -1;
-  bool connected_ = false;
-  std::string buf_;
-};
+class ServeFrontTransport : public ::testing::TestWithParam<Transport> {};
 
 } // namespace
 
-TEST(ServeFront, InterleavedPartialLinesAreReassembled) {
-  FrontHarness harness;
-  Client c(harness.path());
+TEST_P(ServeFrontTransport, InterleavedPartialLinesAreReassembled) {
+  FrontHarness harness(GetParam());
+  Client c(harness);
 
   // One request split across three writes, with a pause between them.
   c.send_raw("load --spec gr");
@@ -148,9 +61,11 @@ TEST(ServeFront, InterleavedPartialLinesAreReassembled) {
   EXPECT_NE(solve.find("\"flow\":90"), std::string::npos) << solve;
 }
 
-TEST(ServeFront, OversizedFramesErrorAndTheSessionResyncs) {
-  FrontHarness harness({}, /*max_line_bytes=*/128);
-  Client c(harness.path());
+TEST_P(ServeFrontTransport, OversizedFramesErrorAndTheSessionResyncs) {
+  core::ServeFrontOptions fo;
+  fo.max_line_bytes = 128;
+  FrontHarness harness(GetParam(), {}, fo);
+  Client c(harness);
 
   // A 512-byte line: exceeds the frame limit long before its newline.
   c.send_raw(std::string(512, 'x'));
@@ -174,12 +89,13 @@ TEST(ServeFront, OversizedFramesErrorAndTheSessionResyncs) {
   const std::string solve = c.read_line();
   EXPECT_TRUE(json_ok(solve)) << solve;
   EXPECT_NE(solve.find("\"flow\":90"), std::string::npos) << solve;
+  EXPECT_GE(harness.front().telemetry().oversized_frames.load(), 2);
 }
 
-TEST(ServeFront, MidRequestDisconnectLeavesTheProcessServing) {
-  FrontHarness harness;
+TEST_P(ServeFrontTransport, MidRequestDisconnectLeavesTheProcessServing) {
+  FrontHarness harness(GetParam());
   {
-    Client c(harness.path());
+    Client c(harness);
     c.send_raw("load --spec grid:side=4,seed=1\n");
     EXPECT_TRUE(json_ok(c.read_line()));
     c.send_raw("solve --solver din"); // vanish mid-request
@@ -187,7 +103,7 @@ TEST(ServeFront, MidRequestDisconnectLeavesTheProcessServing) {
   }
   // The dropped session must not take the front down: a new client gets a
   // fresh session and full service.
-  Client c2(harness.path());
+  Client c2(harness);
   c2.send_raw("load --spec grid:side=5,seed=1\nsolve --solver dinic\n");
   EXPECT_TRUE(json_ok(c2.read_line()));
   const std::string solve = c2.read_line();
@@ -195,30 +111,31 @@ TEST(ServeFront, MidRequestDisconnectLeavesTheProcessServing) {
   EXPECT_NE(solve.find("\"flow\":149"), std::string::npos) << solve;
 }
 
-TEST(ServeFront, MidSolveDisconnectCancelsTheAbandonedWork) {
-  // A client that vanishes DURING a long solve must not pin a handler
-  // thread for the solve's natural duration: the front's hangup sweep
-  // trips the session's CancelToken, and the solve unwinds at its next
-  // cancellation point. The injected stall is 30 s — three orders of
-  // magnitude past the asserted cancellation latency — so a pass can only
-  // mean the disconnect actually cancelled the work.
+TEST_P(ServeFrontTransport, MidSolveDisconnectCancelsTheAbandonedWork) {
+  // A client that vanishes DURING a long solve must not pin a worker for
+  // the solve's natural duration: the I/O plane sees the hangup on its
+  // next poll wake (POLLRDHUP/EOF — the event-driven replacement for the
+  // old periodic sweep), trips the session's CancelToken, and the solve
+  // unwinds at its next cancellation point. The injected stall is 30 s —
+  // three orders of magnitude past the asserted cancellation latency — so
+  // a pass can only mean the disconnect actually cancelled the work.
   util::FaultInjector::instance().arm("batch.solve:delay:30000");
-  auto harness = std::make_unique<FrontHarness>();
+  auto harness = std::make_unique<FrontHarness>(GetParam());
   {
-    Client c(harness->path());
+    Client c(*harness);
     c.send_raw("load --spec grid:side=4,seed=1\n");
     EXPECT_TRUE(json_ok(c.read_line()));
     c.send_raw("solve --solver dinic\n");
-    // Let the handler enter the solve (and its injected stall) first, so
-    // the disconnect genuinely lands mid-solve.
+    // Let a worker enter the solve (and its injected stall) first, so the
+    // disconnect genuinely lands mid-solve.
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     c.close();
   }
-  // Give the accept loop a few poll intervals to run its hangup sweep
-  // (teardown stops that loop, so the sweep must fire before it).
+  // A few poll ticks for the hangup to be seen and the token tripped.
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
-  // Tearing down the harness joins the connection thread; with the sweep
-  // working, that join completes in sweep-interval + cancel-slice time.
+  EXPECT_GE(harness->front().telemetry().hangup_cancels.load(), 1);
+  // Tearing down the harness joins the worker pool; with cancellation
+  // working, that join completes in poll-tick + cancel-slice time.
   const auto t0 = std::chrono::steady_clock::now();
   harness.reset();
   const double join_ms = std::chrono::duration<double, std::milli>(
@@ -229,13 +146,13 @@ TEST(ServeFront, MidSolveDisconnectCancelsTheAbandonedWork) {
       << "disconnect did not cancel the in-flight solve";
 }
 
-TEST(ServeFront, ConnectsBeyondMaxSessionsAreRejectedPerConnection) {
+TEST_P(ServeFrontTransport, ConnectsBeyondMaxSessionsAreRejectedPerConnection) {
   core::ServeOptions opt;
   opt.max_sessions = 2;
-  FrontHarness harness(opt);
+  FrontHarness harness(GetParam(), opt);
 
   // Two sessions hold the cap (a round-trip each proves they are live).
-  Client a(harness.path()), b(harness.path());
+  Client a(harness), b(harness);
   a.send_raw("load --spec grid:side=4,seed=1\n");
   b.send_raw("load --spec grid:side=4,seed=1\n");
   EXPECT_TRUE(json_ok(a.read_line()));
@@ -243,7 +160,7 @@ TEST(ServeFront, ConnectsBeyondMaxSessionsAreRejectedPerConnection) {
 
   // The third connection gets one rejection line, then EOF — and neither
   // the process nor the live sessions are harmed.
-  Client rejected(harness.path());
+  Client rejected(harness);
   const std::string reject = rejected.read_line();
   EXPECT_NE(reject.find("\"ok\":false"), std::string::npos) << reject;
   EXPECT_NE(reject.find("session limit"), std::string::npos) << reject;
@@ -253,25 +170,28 @@ TEST(ServeFront, ConnectsBeyondMaxSessionsAreRejectedPerConnection) {
   EXPECT_TRUE(json_ok(a.read_line()));
 
   // Freeing one slot readmits new clients (the slot is released when the
-  // connection thread finishes; poll for it).
+  // connection closes after its quit response flushes; poll for it).
   a.send_raw("quit\n");
   EXPECT_TRUE(json_ok(a.read_line()));
   std::string late_response;
   for (int attempt = 0; attempt < 100 && late_response.empty(); ++attempt) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    Client late(harness.path());
+    Client late(harness);
     late.send_raw("stats\n");
     late_response = late.read_line();
     if (late_response.find("session limit") != std::string::npos)
       late_response.clear(); // still at the cap; retry
   }
   EXPECT_TRUE(json_ok(late_response)) << late_response;
+  // The stats of a served front carry the transport-plane counters.
+  EXPECT_NE(late_response.find("\"front\":{"), std::string::npos)
+      << late_response;
   EXPECT_GE(harness.front().sessions_rejected(), 1);
 }
 
-TEST(ServeFront, QuitEndsOneSessionShutdownEndsTheFront) {
-  FrontHarness harness;
-  Client a(harness.path()), b(harness.path());
+TEST_P(ServeFrontTransport, QuitEndsOneSessionShutdownEndsTheFront) {
+  FrontHarness harness(GetParam());
+  Client a(harness), b(harness);
 
   a.send_raw("quit\n");
   EXPECT_TRUE(json_ok(a.read_line()));
@@ -284,19 +204,19 @@ TEST(ServeFront, QuitEndsOneSessionShutdownEndsTheFront) {
   EXPECT_TRUE(json_ok(b.read_line()));
   EXPECT_TRUE(harness.engine().shutdown_requested());
   // ~FrontHarness joins run(); returning from this test proves shutdown
-  // actually stops the accept loop.
+  // actually stops the I/O plane and the worker pool.
 }
 
-TEST(ServeFront, ConcurrentSocketClientsAllGetServed) {
+TEST_P(ServeFrontTransport, ConcurrentSocketClientsAllGetServed) {
   core::ServeOptions opt;
   opt.max_sessions = 8;
-  FrontHarness harness(opt);
+  FrontHarness harness(GetParam(), opt);
 
   std::vector<std::string> flows(6);
   std::vector<std::thread> clients;
   for (int k = 0; k < 6; ++k) {
     clients.emplace_back([&, k] {
-      Client c(harness.path());
+      Client c(harness);
       const int side = 4 + (k % 3);
       c.send_raw("load --spec grid:side=" + std::to_string(side) +
                  ",seed=1\nsolve --solver dinic\nquit\n");
@@ -312,6 +232,158 @@ TEST(ServeFront, ConcurrentSocketClientsAllGetServed) {
     EXPECT_NE(flows[k].find(expected[k % 3]), std::string::npos) << flows[k];
   }
   EXPECT_EQ(harness.front().sessions_accepted(), 6);
+}
+
+TEST_P(ServeFrontTransport, HundredsOfIdleConnectionsCostNoThreads) {
+  // The point of the event-driven front: connection count scales on file
+  // descriptors, not threads. Every thread the front will ever use exists
+  // after the first request round-trips; piling on 511 more connections
+  // must leave the process thread count flat, and every one of those
+  // connections must still get served.
+  constexpr int kConnections = 512;
+  core::ServeOptions opt;
+  opt.max_sessions = kConnections + 8;
+  FrontHarness harness(GetParam(), opt);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.push_back(std::make_unique<Client>(harness));
+  clients.back()->send_raw("session\n");
+  EXPECT_TRUE(json_ok(clients.back()->read_line()));
+
+  const int threads_before = serve_test::process_thread_count();
+  while (static_cast<int>(clients.size()) < kConnections) {
+    clients.push_back(std::make_unique<Client>(harness));
+    ASSERT_TRUE(clients.back()->connected())
+        << "connect " << clients.size() << " failed";
+  }
+  // All open and idle; give the accept path a tick to settle, then prove
+  // the thread count did not move with the connection count.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const int threads_with_all_open = serve_test::process_thread_count();
+  if (threads_before > 0 && threads_with_all_open > 0) {
+    EXPECT_EQ(threads_with_all_open, threads_before)
+        << kConnections << " open connections changed the thread count";
+  }
+
+  // Not just parked: every connection is live and served.
+  for (size_t k = 0; k < clients.size(); ++k) {
+    clients[k]->send_raw("session\n");
+    const std::string response = clients[k]->read_line();
+    EXPECT_TRUE(json_ok(response)) << "connection " << k << ": " << response;
+  }
+  EXPECT_EQ(harness.front().sessions_accepted(), kConnections);
+  EXPECT_EQ(harness.front().telemetry().open_connections.load(),
+            kConnections);
+}
+
+TEST_P(ServeFrontTransport, PipelinedRequestsAreAnsweredInPerSessionOrder) {
+  // Two sessions each fire one burst of pipelined requests; responses must
+  // come back in each session's send order (monotonic per-session ids with
+  // the matching request names), regardless of how the worker pool
+  // interleaves the two sessions.
+  constexpr int kPipelined = 12;
+  FrontHarness harness(GetParam());
+  Client a(harness), b(harness);
+
+  const auto burst = [](int side) {
+    std::string all = "load --spec grid:side=" + std::to_string(side) +
+                      ",seed=1\n";
+    for (int i = 1; i < kPipelined; ++i)
+      all += i % 3 == 1 ? "solve --solver dinic\n" : "session\n";
+    return all;
+  };
+  a.send_raw(burst(4));
+  b.send_raw(burst(5));
+
+  const auto check = [&](Client& c, const char* flow, const char* who) {
+    for (int i = 0; i < kPipelined; ++i) {
+      const std::string response = c.read_line();
+      EXPECT_TRUE(json_ok(response)) << who << " " << i << ": " << response;
+      EXPECT_EQ(response_id(response), i + 1)
+          << who << " response out of order: " << response;
+      const char* request = i == 0 ? "\"request\":\"load\""
+                            : i % 3 == 1 ? "\"request\":\"solve\""
+                                         : "\"request\":\"session\"";
+      EXPECT_NE(response.find(request), std::string::npos)
+          << who << " " << i << ": " << response;
+      if (i % 3 == 1) {
+        EXPECT_NE(response.find(flow), std::string::npos) << response;
+      }
+    }
+  };
+  check(a, "\"flow\":90", "a");
+  check(b, "\"flow\":149", "b");
+}
+
+TEST_P(ServeFrontTransport, SlowReaderIsPausedWithoutStallingOtherSessions) {
+  // A client that pipelines hard but never reads must be throttled by the
+  // front (reads stop at the pipelining limit / write-buffer cap), not
+  // buffered without bound — and a well-behaved session sharing the front
+  // must keep round-tripping underneath it. When the slow reader finally
+  // drains, every response arrives, still in order.
+  constexpr int kBurst = 64;
+  core::ServeFrontOptions fo;
+  fo.max_pipeline = 2;
+  fo.max_write_buffer_bytes = 512;
+  FrontHarness harness(GetParam(), {}, fo);
+
+  Client slow(harness), steady(harness);
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) burst += "session\n";
+  slow.send_raw(burst); // ...and do not read
+
+  // The steady session is unaffected while the slow one sits paused.
+  steady.send_raw("load --spec grid:side=4,seed=1\nsolve --solver dinic\n");
+  EXPECT_TRUE(json_ok(steady.read_line()));
+  const std::string solve = steady.read_line();
+  EXPECT_TRUE(json_ok(solve)) << solve;
+  EXPECT_NE(solve.find("\"flow\":90"), std::string::npos) << solve;
+
+  // With ~13 bytes of request producing a ~200-byte response against a
+  // 512-byte write cap and a pipelining limit of 2, the burst above can
+  // only be absorbed by pausing reads on the slow connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_GE(harness.front().telemetry().backpressure_pauses.load(), 1);
+
+  // Drain: the paused connection resumes and serves the whole burst in
+  // order.
+  for (int i = 0; i < kBurst; ++i) {
+    const std::string response = slow.read_line();
+    EXPECT_TRUE(json_ok(response)) << "slow " << i << ": " << response;
+    EXPECT_EQ(response_id(response), i + 1)
+        << "slow response out of order: " << response;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, ServeFrontTransport,
+                         ::testing::Values(Transport::kUnix, Transport::kTcp),
+                         [](const ::testing::TestParamInfo<Transport>& info) {
+                           return serve_test::transport_name(info.param);
+                         });
+
+TEST(ServeFrontChaos, ShortWriteFaultTruncatesThroughTheBufferedTcpPath) {
+  // serve.write:short through the buffered TCP write path: the client must
+  // see a truncated line (no newline) followed by EOF — a dead session,
+  // never a parseable response — and the front must keep serving others.
+  util::FaultInjector::instance().arm("serve.write:short:count=1");
+  auto harness = std::make_unique<FrontHarness>(Transport::kTcp);
+  {
+    Client c(*harness);
+    c.send_raw("load --spec grid:side=4,seed=1\n");
+    const std::string raw = c.read_to_eof();
+    EXPECT_FALSE(raw.empty()) << "short write should deliver a partial line";
+    EXPECT_EQ(raw.find('\n'), std::string::npos)
+        << "truncated response unexpectedly complete: " << raw;
+    EXPECT_EQ(harness->front().telemetry().short_writes.load(), 1);
+  }
+  // The poisoned connection died alone; the front still serves.
+  Client c2(*harness);
+  c2.send_raw("load --spec grid:side=4,seed=1\nsolve --solver dinic\n");
+  EXPECT_TRUE(json_ok(c2.read_line()));
+  const std::string solve = c2.read_line();
+  EXPECT_NE(solve.find("\"flow\":90"), std::string::npos) << solve;
+  harness.reset();
+  util::FaultInjector::instance().disarm();
 }
 
 #else  // _WIN32

@@ -18,9 +18,10 @@
 // in O(1) memory, so generating a million-node instance costs no RAM.
 //
 //   aflow serve [--solver NAME] [--threads N] [--deterministic]
-//               [--pool-budget-mb M] [--listen PATH] [--max-sessions N]
-//               [--max-line-bytes B] [--deadline-ms N] [--fallback NAME]
-//               [--faults SCHEDULE]
+//               [--pool-budget-mb M] [--listen PATH] [--tcp HOST:PORT]
+//               [--max-sessions N] [--max-line-bytes B] [--io-threads N]
+//               [--front-workers N] [--max-pipeline N] [--deadline-ms N]
+//               [--fallback NAME] [--faults SCHEDULE]
 //
 // `--deadline-ms` sets the default per-request deadline every session
 // inherits (0 = none); `--fallback` names the digital backend retryable
@@ -35,9 +36,13 @@
 // shapes, wall ms, iteration counts, refactor/warm shares) for perf-trend
 // tracking in CI. `serve` starts the long-running serving mode: newline-
 // delimited requests on stdin (one session), or — with `--listen PATH`
-// (alias `--socket`) — a Unix socket accepting up to `--max-sessions`
-// concurrent client sessions over shared solver banks; one aflow-serve-v1
-// JSON response per line either way. Both schemas are documented in
+// (alias `--socket`) and/or `--tcp HOST:PORT` (port 0 = kernel-assigned;
+// the bound port is printed on stderr) — an event-driven front accepting up
+// to `--max-sessions` concurrent client sessions over shared solver banks;
+// one aflow-serve-v1 JSON response per line either way. `--io-threads`,
+// `--front-workers`, and `--max-pipeline` size the front's I/O plane,
+// worker pool, and per-session pipelining limit (see
+// core/serve_front.hpp). Both schemas are documented in
 // docs/BENCH_FORMAT.md.
 #include <cmath>
 #include <cstdint>
@@ -80,10 +85,12 @@ int usage() {
       "              [--deterministic] [--check] [--per-instance] "
       "[--json FILE]\n"
       "  aflow serve [--solver NAME] [--threads N] [--deterministic]\n"
-      "              [--pool-budget-mb M] [--listen PATH] [--max-sessions N]\n"
-      "              [--max-line-bytes B] [--deadline-ms N] "
-      "[--fallback NAME]\n"
-      "              [--faults SCHEDULE]\n");
+      "              [--pool-budget-mb M] [--listen PATH] [--tcp HOST:PORT]\n"
+      "              [--max-sessions N] [--max-line-bytes B] "
+      "[--io-threads N]\n"
+      "              [--front-workers N] [--max-pipeline N] "
+      "[--deadline-ms N]\n"
+      "              [--fallback NAME] [--faults SCHEDULE]\n");
   return 2;
 }
 
@@ -360,26 +367,46 @@ int cmd_serve(int argc, char** argv) {
   core::ServeEngine engine(options);
 
   // `--listen` is the multi-session socket front; `--socket` kept as the
-  // PR-4 spelling of the same thing.
+  // PR-4 spelling of the same thing. `--tcp HOST:PORT` adds (or is) the
+  // network transport — both listeners may run at once, sharing the one
+  // event-driven front.
   const std::string socket_path = arg_string(
       argc, argv, "--listen", arg_string(argc, argv, "--socket", ""));
-  if (!socket_path.empty()) {
+  const std::string tcp_address = arg_string(argc, argv, "--tcp", "");
+  if (!socket_path.empty() || !tcp_address.empty()) {
 #ifndef _WIN32
     core::ServeFrontOptions front_options;
     front_options.socket_path = socket_path;
+    front_options.tcp_address = tcp_address;
     const int max_line = arg_int(argc, argv, "--max-line-bytes", 0);
     if (max_line > 0)
       front_options.max_line_bytes = static_cast<size_t>(max_line);
+    front_options.io_threads =
+        arg_int(argc, argv, "--io-threads", front_options.io_threads);
+    front_options.workers =
+        arg_int(argc, argv, "--front-workers", front_options.workers);
+    front_options.max_pipeline =
+        arg_int(argc, argv, "--max-pipeline", front_options.max_pipeline);
     core::ServeFront front(engine, front_options);
     front.start();
-    std::fprintf(stderr,
-                 "aflow serve: listening on %s (up to %d concurrent "
-                 "sessions; send 'shutdown' to stop)\n",
-                 socket_path.c_str(), options.max_sessions);
+    if (!socket_path.empty())
+      std::fprintf(stderr,
+                   "aflow serve: listening on %s (up to %d concurrent "
+                   "sessions; send 'shutdown' to stop)\n",
+                   socket_path.c_str(), options.max_sessions);
+    if (!tcp_address.empty())
+      // The resolved port matters: with `--tcp HOST:0` the kernel picks
+      // it, and harnesses read it off this line.
+      std::fprintf(stderr,
+                   "aflow serve: listening on tcp port %u (up to %d "
+                   "concurrent sessions; send 'shutdown' to stop)\n",
+                   static_cast<unsigned>(front.tcp_port()),
+                   options.max_sessions);
     front.run();
     return 0;
 #else
-    std::fprintf(stderr, "error: --listen is not supported on this platform\n");
+    std::fprintf(stderr,
+                 "error: --listen/--tcp is not supported on this platform\n");
     return 1;
 #endif
   }

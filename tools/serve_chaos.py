@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Chaos smoke for `aflow serve --listen --faults ...`.
+"""Chaos smoke for `aflow serve --listen --faults ...` (with --tcp, the
+same phases run over the TCP transport and its buffered write path).
 
 Drives a serving process armed with a deterministic fault schedule through
 the full degradation story and requires that, under injected solver faults,
@@ -22,12 +23,13 @@ The schedule below is arrival-exact: FaultInjector rules keep independent
 per-rule arrival counters, and a rule that throws stops later rules from
 seeing that arrival. The trace is documented inline at each phase.
 
-Usage: serve_chaos.py --aflow PATH
+Usage: serve_chaos.py --aflow PATH [--tcp]
 """
 
 import argparse
 import json
 import os
+import re
 import socket
 import subprocess
 import sys
@@ -51,10 +53,16 @@ SCHEDULE = ("batch.solve:throw"
 
 
 class Client:
-    def __init__(self, path):
-        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self.sock.settimeout(30)
-        self.sock.connect(path)
+    def __init__(self, target):
+        kind, value = target
+        if kind == "unix":
+            self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self.sock.settimeout(30)
+            self.sock.connect(value)
+        else:
+            self.sock = socket.create_connection(("127.0.0.1", value),
+                                                 timeout=30)
+            self.sock.settimeout(30)
         self.file = self.sock.makefile("rw", encoding="utf-8")
 
     def request(self, line):
@@ -76,13 +84,25 @@ class Client:
         self.sock.close()
 
 
-def start_server(aflow, sock_path, faults):
+def start_server(aflow, sock_path, faults, tcp=False):
+    """Returns (server, target) where target is ("unix", path)/("tcp", port)."""
+    listen = ["--tcp", "127.0.0.1:0"] if tcp else ["--listen", sock_path]
     server = subprocess.Popen(
-        [aflow, "serve", "--listen", sock_path, "--faults", faults],
+        [aflow, "serve", *listen, "--faults", faults],
         stderr=subprocess.PIPE, text=True)
+    if tcp:
+        deadline = time.time() + 15
+        while time.time() < deadline:
+            line = server.stderr.readline()
+            if not line:
+                raise RuntimeError("server exited before announcing its port")
+            match = re.search(r"listening on tcp port (\d+)", line)
+            if match:
+                return server, ("tcp", int(match.group(1)))
+        raise RuntimeError("server never announced its tcp port")
     for _ in range(200):
         if os.path.exists(sock_path):
-            return server
+            return server, ("unix", sock_path)
         if server.poll() is not None:
             raise RuntimeError(f"server exited early: {server.stderr.read()}")
         time.sleep(0.05)
@@ -97,12 +117,12 @@ def expect_error(doc, code, retryable):
     assert info["message"], doc
 
 
-def run_fault_phases(aflow, sock_path):
-    server = start_server(aflow, sock_path, SCHEDULE)
+def run_fault_phases(aflow, sock_path, tcp):
+    server, target = start_server(aflow, sock_path, SCHEDULE, tcp)
     try:
         # Phase 1: injected solver fault is a structured, transient error —
         # the same session recovers with the bit-correct flow on retry.
-        a = Client(sock_path)
+        a = Client(target)
         assert a.request("load --spec grid:side=4,seed=1")["ok"], "load A"
         expect_error(a.request("solve --solver dinic"),           # S1
                      code="fault_injected", retryable=True)
@@ -114,7 +134,7 @@ def run_fault_phases(aflow, sock_path):
         # Phase 2: a 10 s injected stall against a 500 ms deadline must
         # yield deadline_exceeded in bounded time, and the session stays
         # usable afterwards.
-        b = Client(sock_path)
+        b = Client(target)
         assert b.request("load --spec grid:side=4,seed=1")["ok"], "load B"
         t0 = time.time()
         expect_error(b.request("solve --solver dinic --deadline-ms 500"),
@@ -129,7 +149,7 @@ def run_fault_phases(aflow, sock_path):
         # Phase 3: disconnect mid-solve while a 30 s stall is injected.
         # The hangup sweep must cancel the abandoned work — verified below
         # by the server shutting down long before the stall would end.
-        c = Client(sock_path)
+        c = Client(target)
         assert c.request("load --spec grid:side=5,seed=1")["ok"], "load C"
         c.send_only("solve --solver dinic")                       # S5
         time.sleep(0.5)  # let the solve reach the injected stall
@@ -137,7 +157,7 @@ def run_fault_phases(aflow, sock_path):
         time.sleep(0.5)  # let the sweep observe the hangup
 
         # Phase 4: an unaffected session is bit-correct after all that.
-        d = Client(sock_path)
+        d = Client(target)
         assert d.request("load --spec grid:side=5,seed=1")["ok"], "load D"
         doc = d.request("solve --solver dinic")                   # S6
         assert doc["ok"] and doc["flow"] == EXPECTED_GRID_FLOW[5], doc
@@ -145,7 +165,7 @@ def run_fault_phases(aflow, sock_path):
         d.close()
 
         t0 = time.time()
-        Client(sock_path).request("shutdown")
+        Client(target).request("shutdown")
         server.wait(timeout=15)
         shutdown_s = time.time() - t0
         assert server.returncode == 0, f"server exited {server.returncode}"
@@ -156,20 +176,21 @@ def run_fault_phases(aflow, sock_path):
             server.kill()
 
 
-def run_short_write_phase(aflow, sock_path):
+def run_short_write_phase(aflow, sock_path, tcp):
     """Transport fault: the response is cut mid-line and the connection
     dies. The client must see a truncated line (no newline) then EOF —
-    never a parseable half-response — and the server must keep serving."""
-    server = start_server(aflow, sock_path, "serve.write:short")
+    never a parseable half-response — and the server must keep serving.
+    With --tcp this exercises the front's buffered TCP write path."""
+    server, target = start_server(aflow, sock_path, "serve.write:short", tcp)
     try:
-        victim = Client(sock_path)
+        victim = Client(target)
         victim.send_only("load --spec grid:side=4,seed=1")
         raw = victim.file.readline()
         assert raw and not raw.endswith("\n"), f"expected short line: {raw!r}"
         assert victim.file.readline() == "", "expected EOF after short write"
         victim.close()
 
-        fine = Client(sock_path)
+        fine = Client(target)
         assert fine.request("load --spec grid:side=4,seed=1")["ok"], "load"
         doc = fine.request("solve --solver dinic")
         assert doc["ok"] and doc["flow"] == EXPECTED_GRID_FLOW[4], doc
@@ -185,14 +206,18 @@ def run_short_write_phase(aflow, sock_path):
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--aflow", required=True)
+    parser.add_argument("--tcp", action="store_true",
+                        help="run every phase over the TCP transport")
     args = parser.parse_args()
 
     root = tempfile.mkdtemp(prefix="aflow_chaos_")
-    run_fault_phases(args.aflow, os.path.join(root, "chaos.sock"))
-    run_short_write_phase(args.aflow, os.path.join(root, "short.sock"))
-    print("serve chaos smoke: injected fault -> structured retryable error, "
-          "deadline bounded, mid-solve disconnect cancelled, short write "
-          "isolated, clean shutdowns")
+    run_fault_phases(args.aflow, os.path.join(root, "chaos.sock"), args.tcp)
+    run_short_write_phase(args.aflow, os.path.join(root, "short.sock"),
+                          args.tcp)
+    transport = "tcp" if args.tcp else "unix-socket"
+    print(f"serve chaos smoke ({transport}): injected fault -> structured "
+          "retryable error, deadline bounded, mid-solve disconnect "
+          "cancelled, short write isolated, clean shutdowns")
     return 0
 
 

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Multi-client smoke for `aflow serve --listen`.
+"""Multi-client smoke for `aflow serve --listen` (and, with --tcp, the TCP
+transport of the same event-driven front).
 
-Starts one serving process on a Unix socket, then drives N parallel client
-threads, each holding its own session and streaming a mixed request script.
-Validates, per client:
+Starts one serving process on a Unix socket — or a kernel-assigned TCP port
+parsed from the server's "listening on tcp port N" stderr line — then
+drives N parallel client threads, each holding its own session and
+streaming a mixed request script. Validates, per client:
 
   - every response line parses as JSON with schema aflow-serve-v1;
   - per-session request ids are 1..M in order and carry the session id;
@@ -17,12 +19,14 @@ against forced `--scratch` re-solves every revision), sends `shutdown`, and
 requires the server process to exit cleanly. Exit code 0 = smoke passed.
 
 Usage: serve_smoke_multiclient.py --aflow PATH [--clients N] [--requests M]
+                                  [--tcp]
 """
 
 import argparse
 import json
 import os
 import random
+import re
 import socket
 import subprocess
 import sys
@@ -33,11 +37,22 @@ import time
 EXPECTED_GRID_FLOW = {4: 90.0, 5: 149.0, 6: 208.0}  # grid:side=S,seed=1
 
 
+def connect(target):
+    """target is ("unix", path) or ("tcp", port); returns a connected socket."""
+    kind, value = target
+    if kind == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(30)
+        sock.connect(value)
+        return sock
+    sock = socket.create_connection(("127.0.0.1", value), timeout=30)
+    sock.settimeout(30)
+    return sock
+
+
 class Client:
-    def __init__(self, path):
-        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self.sock.settimeout(30)
-        self.sock.connect(path)
+    def __init__(self, target):
+        self.sock = connect(target)
         self.file = self.sock.makefile("rw", encoding="utf-8")
 
     def request(self, line):
@@ -53,7 +68,7 @@ class Client:
         self.sock.close()
 
 
-def run_client(path, index, requests, errors):
+def run_client(target, index, requests, errors):
     try:
         side = 4 + index % 3
         script = [f"load --spec grid:side={side},seed=1"]
@@ -72,7 +87,7 @@ def run_client(path, index, requests, errors):
         # rejection instead of racing it.
         deadline = time.time() + 20
         while True:
-            client = Client(path)
+            client = Client(target)
             doc = client.request(script[0])
             if doc["ok"]:
                 break
@@ -108,7 +123,7 @@ def run_client(path, index, requests, errors):
         errors.append(f"client {index}: {exc!r}")
 
 
-def run_reconfigure_stream(path):
+def run_reconfigure_stream(target):
     """One session streaming capacity-edit revisions via `--edits`.
 
     Every revision: apply a small structured edit batch, then check that
@@ -116,7 +131,7 @@ def run_reconfigure_stream(path):
     re-solve of the same revision. Also probes the removed
     `--edge/--capacity` alias for its pointer at the structured form.
     """
-    client = Client(path)
+    client = Client(target)
     doc = client.request("load --spec grid:side=6,seed=2")
     assert doc["ok"] is True, doc
     edges = doc["edges"]
@@ -161,43 +176,63 @@ def run_reconfigure_stream(path):
     client.close()
 
 
+def wait_for_tcp_port(server, timeout=15):
+    """Reads the server's stderr until the bound-port announcement."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        line = server.stderr.readline()
+        if not line:
+            raise RuntimeError("server exited before announcing its tcp port")
+        match = re.search(r"listening on tcp port (\d+)", line)
+        if match:
+            return int(match.group(1))
+    raise RuntimeError("server never announced its tcp port")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--aflow", required=True)
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--requests", type=int, default=6)
+    parser.add_argument("--tcp", action="store_true",
+                        help="drive the TCP transport instead of the Unix "
+                             "socket (port 0, kernel-assigned)")
     args = parser.parse_args()
 
     sock_path = os.path.join(
         tempfile.mkdtemp(prefix="aflow_smoke_"), "serve.sock")
+    listen = (["--tcp", "127.0.0.1:0"] if args.tcp
+              else ["--listen", sock_path])
     server = subprocess.Popen(
-        [args.aflow, "serve", "--listen", sock_path,
+        [args.aflow, "serve", *listen,
          "--max-sessions", str(args.clients + 1), "--pool-budget-mb", "32"],
         stderr=subprocess.PIPE, text=True)
     try:
-        for _ in range(200):
-            if os.path.exists(sock_path):
-                break
-            if server.poll() is not None:
-                print("server exited early:", server.stderr.read())
-                return 1
-            time.sleep(0.05)
+        if args.tcp:
+            target = ("tcp", wait_for_tcp_port(server))
         else:
-            print("server socket never appeared")
-            return 1
+            for _ in range(200):
+                if os.path.exists(sock_path):
+                    break
+                if server.poll() is not None:
+                    print("server exited early:", server.stderr.read())
+                    return 1
+                time.sleep(0.05)
+            else:
+                print("server socket never appeared")
+                return 1
+            target = ("unix", sock_path)
 
         errors = []
         threads = [
             threading.Thread(target=run_client,
-                             args=(sock_path, k, args.requests, errors))
+                             args=(target, k, args.requests, errors))
             for k in range(args.clients)
         ]
 
         # Hold max_sessions slots open so the cap rejection is observable.
-        holders = [Client(sock_path) for _ in range(args.clients + 1)]
-        over = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        over.settimeout(30)
-        over.connect(sock_path)
+        holders = [Client(target) for _ in range(args.clients + 1)]
+        over = connect(target)
         reject = over.makefile("r", encoding="utf-8").readline()
         doc = json.loads(reject)
         assert doc["ok"] is False and "session limit" in doc["error"], doc
@@ -213,16 +248,18 @@ def main():
             print("\n".join(errors))
             return 1
 
-        run_reconfigure_stream(sock_path)
+        run_reconfigure_stream(target)
 
-        Client(sock_path).request("shutdown")
+        Client(target).request("shutdown")
         server.wait(timeout=30)
         if server.returncode != 0:
             print(f"server exited with {server.returncode}")
             return 1
-        print(f"multi-client serve smoke: {args.clients} concurrent sessions "
-              f"x {args.requests}+ requests OK, cap rejection OK, "
-              "reconfigure stream (delta vs scratch) OK, clean shutdown")
+        transport = "tcp" if args.tcp else "unix-socket"
+        print(f"multi-client serve smoke ({transport}): {args.clients} "
+              f"concurrent sessions x {args.requests}+ requests OK, cap "
+              "rejection OK, reconfigure stream (delta vs scratch) OK, "
+              "clean shutdown")
         return 0
     finally:
         if server.poll() is None:
