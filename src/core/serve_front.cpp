@@ -330,7 +330,12 @@ void FrontRuntime::loop_main(size_t index) {
       } else if (re & (POLLRDHUP | POLLHUP | POLLERR)) {
         hangup(*conn);
       }
-      if (!conn->closed && !conn->hungup && (re & POLLOUT)) flush_conn(*conn);
+      if (!conn->closed && !conn->hungup && (re & POLLOUT)) {
+        flush_conn(*conn);
+        // A drained write buffer may clear the pause even with no request
+        // in flight (nothing else re-evaluates it until the next response).
+        update_backpressure(*conn);
+      }
     }
   }
 
@@ -407,8 +412,11 @@ void FrontRuntime::handle_response(IoLoop& loop, Response& r) {
     c.pending.clear();
   }
   dispatch(r.conn);
-  update_backpressure(c);
   if (!c.hungup) flush_conn(c);
+  // After the flush, not before: a pause decided on the pre-flush buffer
+  // size would stick (with no request in flight there may be no later
+  // event to clear it) even though the bytes just left for the kernel.
+  update_backpressure(c);
 }
 
 void FrontRuntime::append_response(Conn& c, const std::string& text) {
@@ -624,7 +632,19 @@ void ServeFront::run() {
   // drain_grace_ms) and exit.
   impl_->stopping.store(true, std::memory_order_release);
   for (auto& loop : impl_->loops) loop->wake.notify();
-  impl_->queue->close();
+  // close() hands back requests no worker ever popped. Their connections
+  // still have `executing` set, and only a response clears it — so post an
+  // empty response for each, or the close sweep would wait on them forever
+  // and the loops (and this join) would never finish.
+  for (WorkItem& item : impl_->queue->close()) {
+    IoLoop& loop = *impl_->loops[item.conn->loop_index];
+    {
+      const std::lock_guard<std::mutex> lock(loop.mail_mutex);
+      loop.responses.push_back(
+          Response{std::move(item.conn), std::string(), false});
+    }
+    loop.wake.notify();
+  }
   for (std::thread& w : impl_->workers)
     if (w.joinable()) w.join();
   impl_->workers.clear();

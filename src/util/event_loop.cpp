@@ -129,12 +129,24 @@ int listen_unix(const std::string& path, int backlog) {
 
 int listen_tcp(const std::string& address, int backlog,
                std::uint16_t* bound_port) {
-  const size_t colon = address.rfind(':');
-  if (colon == std::string::npos || colon + 1 >= address.size())
-    throw std::runtime_error("listen_tcp: address must be HOST:PORT, got '" +
-                             address + "'");
-  const std::string host = address.substr(0, colon);
-  const std::string port = address.substr(colon + 1);
+  std::string host, port;
+  if (!address.empty() && address.front() == '[') {
+    // Bracketed IPv6 literal: [::1]:8080. getaddrinfo wants the bare
+    // address, so strip the brackets here.
+    const size_t rb = address.find("]:");
+    if (rb == std::string::npos || rb + 2 >= address.size())
+      throw std::runtime_error(
+          "listen_tcp: address must be [IPV6]:PORT, got '" + address + "'");
+    host = address.substr(1, rb - 1);
+    port = address.substr(rb + 2);
+  } else {
+    const size_t colon = address.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= address.size())
+      throw std::runtime_error("listen_tcp: address must be HOST:PORT, got '" +
+                               address + "'");
+    host = address.substr(0, colon);
+    port = address.substr(colon + 1);
+  }
 
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;

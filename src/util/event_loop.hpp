@@ -79,8 +79,8 @@ int listen_unix(const std::string& path, int backlog);
 
 /// Binds and listens on a nonblocking TCP socket. `address` is HOST:PORT
 /// (numeric or resolvable host; port 0 asks the kernel for an ephemeral
-/// port). Returns the listening fd and stores the actually-bound port in
-/// `bound_port`.
+/// port); IPv6 literals may be bracketed, e.g. "[::1]:8080". Returns the
+/// listening fd and stores the actually-bound port in `bound_port`.
 int listen_tcp(const std::string& address, int backlog,
                std::uint16_t* bound_port);
 

@@ -13,9 +13,12 @@
 // limit, so unread bytes stay in the kernel socket buffer instead of
 // becoming queued work).
 //
-// close() wakes every waiter, fails all future pushes, and DISCARDS items
-// still queued: it is only called on shutdown, when pending requests are
-// work on behalf of clients the process is about to hang up on anyway.
+// close() wakes every waiter, fails all future pushes, and hands the items
+// still queued back to the caller: it is only called on shutdown, when
+// pending requests are work on behalf of clients the process is about to
+// hang up on anyway — but the caller may still need the items to unwind
+// per-item bookkeeping (the serving front posts an empty response for each
+// so the connection's in-flight flag clears and its close sweep can run).
 #pragma once
 
 #include <condition_variable>
@@ -72,15 +75,19 @@ class MpscQueue {
     return item;
   }
 
-  /// Fails future pushes, drops queued items, and wakes every waiter.
-  void close() {
+  /// Fails future pushes, wakes every waiter, and returns the items that
+  /// were still queued (never handed to a consumer) so the caller can
+  /// unwind whatever state was pinned on their completion.
+  std::deque<T> close() {
+    std::deque<T> orphaned;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       closed_ = true;
-      items_.clear();
+      orphaned.swap(items_);
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+    return orphaned;
   }
 
   bool closed() const {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "serve_transport_harness.hpp"
+#include "util/event_loop.hpp"
 #include "util/fault_injector.hpp"
 
 namespace core = aflow::core;
@@ -355,11 +356,78 @@ TEST_P(ServeFrontTransport, SlowReaderIsPausedWithoutStallingOtherSessions) {
   }
 }
 
+TEST_P(ServeFrontTransport, WriteBufferPauseResumesWithNoRequestInFlight) {
+  // Regression: a pause decided while a response sat in the write buffer —
+  // with NO further request in flight — must clear once the buffer drains.
+  // A 1-byte cap makes every response trip the cap check in isolation; if
+  // the drained buffer never re-arms POLLIN, the connection goes deaf and
+  // the next round's read_line() times out empty.
+  core::ServeFrontOptions fo;
+  fo.max_write_buffer_bytes = 1;
+  FrontHarness harness(GetParam(), {}, fo);
+  Client c(harness);
+  for (int i = 0; i < 5; ++i) {
+    c.send_raw("session\n");
+    const std::string response = c.read_line();
+    EXPECT_TRUE(json_ok(response)) << "round " << i << ": " << response;
+    EXPECT_EQ(response_id(response), i + 1) << response;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Transports, ServeFrontTransport,
                          ::testing::Values(Transport::kUnix, Transport::kTcp),
                          [](const ::testing::TestParamInfo<Transport>& info) {
                            return serve_test::transport_name(info.param);
                          });
+
+TEST(ServeFrontShutdown, StopWithQueuedRequestsDoesNotHangRun) {
+  // Regression: shutdown while a request sits in the worker queue. The
+  // queue's close() hands the never-popped items back and run() posts an
+  // empty response for each; before that, the orphaned connection kept
+  // `executing` set forever, so the I/O loop (and run()'s join of it)
+  // never finished.
+  util::FaultInjector::instance().arm("batch.solve:delay:1000");
+  core::ServeFrontOptions fo;
+  fo.workers = 1; // one stalled worker means everything else queues
+  auto harness = std::make_unique<FrontHarness>(Transport::kUnix,
+                                                core::ServeOptions{}, fo);
+  Client a(*harness), b(*harness);
+  a.send_raw("load --spec grid:side=4,seed=1\n");
+  EXPECT_TRUE(json_ok(a.read_line()));
+  a.send_raw("solve --solver dinic\n"); // pins the only worker in its delay
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  b.send_raw("session\n"); // queued behind the stalled solve
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  harness.reset(); // stop() + join run()
+  const double teardown_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+  util::FaultInjector::instance().disarm();
+  // Bounded by the solve's injected 1 s, nowhere near a hang.
+  EXPECT_LT(teardown_ms, 8000.0)
+      << "shutdown hung on queued-but-never-served work";
+}
+
+TEST(EventLoopTcp, BracketedIpv6ListenAddressIsAccepted) {
+  std::uint16_t port = 0;
+  int fd = -1;
+  try {
+    fd = util::listen_tcp("[::1]:0", 16, &port);
+  } catch (const std::runtime_error& e) {
+    // A host without IPv6 may legitimately fail at bind — but a resolve
+    // failure would mean the brackets leaked through to getaddrinfo.
+    EXPECT_EQ(std::string(e.what()).find("cannot resolve"), std::string::npos)
+        << e.what();
+    GTEST_SKIP() << e.what();
+  }
+  EXPECT_GE(fd, 0);
+  EXPECT_GT(port, 0);
+  ::close(fd);
+  // Brackets without a port are rejected up front.
+  EXPECT_THROW(util::listen_tcp("[::1]", 16, nullptr), std::runtime_error);
+}
 
 TEST(ServeFrontChaos, ShortWriteFaultTruncatesThroughTheBufferedTcpPath) {
   // serve.write:short through the buffered TCP write path: the client must
