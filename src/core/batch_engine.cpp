@@ -252,8 +252,9 @@ BatchReport BatchEngine::run_delta(const graph::FlowNetwork& base,
       d.apply(net);
       out = run_delta(net, d, prior, solver);
     } catch (const std::exception& e) {
-      // A bad edit (index / capacity) fails this step; the network keeps
-      // the edits applied before the offending one, like any edit stream.
+      // A bad edit (index / capacity) fails this step. apply() is
+      // all-or-nothing, so the network still holds the previous step's
+      // state exactly and the stream continues from it.
       out.ok = false;
       out.error = e.what();
       out.error_info = classify_error(e);

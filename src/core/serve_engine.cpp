@@ -97,6 +97,10 @@ void write_metrics_json(util::JsonWriter& j, const flow::SolveMetrics& m) {
   j.field("delta_solves", m.delta_solves);
   j.field("delta_fallbacks", m.delta_fallbacks);
   j.field("edges_touched", m.edges_touched);
+  j.field("injected_excess_arcs", m.injected_excess_arcs);
+  j.field("returned_excess_walks", m.returned_excess_walks);
+  j.field("phase2_fallbacks", m.phase2_fallbacks);
+  j.field("warm_escalations", m.warm_escalations);
   j.field("fallback_analog_digital", m.fallback_analog_digital);
   j.field("fallback_region_retries", m.fallback_region_retries);
   j.field("fallback_region_direct", m.fallback_region_direct);

@@ -55,16 +55,27 @@ struct CapacityDelta {
   /// Distinct edges touched (after last-edit-wins merging).
   int distinct_edges() const;
 
-  /// Applies the edits to `net` in order (each validated by
-  /// FlowNetwork::set_capacity) and records every edit's old_capacity.
-  /// Throws std::invalid_argument on a bad index or non-positive capacity;
-  /// edits before the offending one stay applied.
+  /// Applies the edits to `net` in order and records every edit's
+  /// old_capacity. All-or-nothing: every index and capacity is validated
+  /// up front (the same rules as FlowNetwork::set_capacity), so a bad
+  /// trailing edit throws std::invalid_argument with the network unchanged
+  /// and no old_capacity field overwritten.
   void apply(graph::FlowNetwork& net);
 
+  /// Per-edge composition of the ordered edit list: one edit per distinct
+  /// edge, carrying the FIRST recorded old_capacity and the LAST new
+  /// capacity (order of first appearance). This is the net effect of the
+  /// delta — when one delta edits an edge twice, the raw list's second
+  /// old_capacity records the intermediate value, which is telemetry, not
+  /// a change measure.
+  std::vector<CapacityEdit> composed() const;
+
   /// Largest |capacity - old_capacity| / max(old_capacity, 1) over the
-  /// edits — the analog trust-region measure. 0 for an empty delta;
-  /// +infinity when any edit lacks a recorded old_capacity (an unmeasured
-  /// delta never passes a trust test).
+  /// *composed* (first-old, last-new) edits — the analog trust-region
+  /// measure, so two edits that cancel out on one edge measure as no
+  /// change rather than as the larger intermediate swing. 0 for an empty
+  /// delta; +infinity when any composed edit lacks a recorded
+  /// old_capacity (an unmeasured delta never passes a trust test).
   double max_relative_change() const;
 };
 

@@ -38,6 +38,21 @@ struct SolveMetrics {
   long long delta_solves = 0;
   long long delta_fallbacks = 0;
   long long edges_touched = 0;
+  // Push-relabel restart telemetry (flow/push_relabel.cpp). A cold start
+  // floods every live source arc (one injected_excess_arcs tick per arc);
+  // a slack-bounded warm restart seeds its whole budget at the source —
+  // one tick per pass — so injected_excess_arcs is the direct measure of
+  // restart locality (near the step count on a warm stream, near the
+  // source degree times the step count on a cold one).
+  // returned_excess_walks counts phase-2 walks hauling unroutable excess
+  // home; phase2_fallbacks counts engagements of the slow legacy discharge
+  // fallback after a genuine (fresh-cursor) phase-2 dead end;
+  // warm_escalations counts warm restarts whose max-flow certificate
+  // failed, forcing a full flood continuation (correctness backstop).
+  long long injected_excess_arcs = 0;
+  long long returned_excess_walks = 0;
+  long long phase2_fallbacks = 0;
+  long long warm_escalations = 0;
   // Graceful-degradation ladder telemetry (DESIGN.md "Failure taxonomy and
   // the degradation ladder"): each counter records one fallback rung taken
   // on behalf of this solve, so every recovery is visible to clients
@@ -69,6 +84,10 @@ struct SolveMetrics {
     delta_solves += m.delta_solves;
     delta_fallbacks += m.delta_fallbacks;
     edges_touched += m.edges_touched;
+    injected_excess_arcs += m.injected_excess_arcs;
+    returned_excess_walks += m.returned_excess_walks;
+    phase2_fallbacks += m.phase2_fallbacks;
+    warm_escalations += m.warm_escalations;
     fallback_analog_digital += m.fallback_analog_digital;
     fallback_region_retries += m.fallback_region_retries;
     fallback_region_direct += m.fallback_region_direct;

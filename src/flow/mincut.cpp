@@ -12,24 +12,34 @@ MinCutResult min_cut_from_flow(const graph::FlowNetwork& net,
   MinCutResult cut;
   cut.side.assign(n, 0);
 
+  // Saturation tolerance, relative to the instance's capacity scale: at
+  // capacities >= 1e9 the rounding dust a solver leaves on a saturated
+  // arc exceeds any absolute threshold, and a BFS that crosses one such
+  // arc walks past the true cut (clamped below by the historical absolute
+  // value so small instances behave exactly as before).
+  constexpr double kEpsAbs = 1e-9;
+  double scale = 1.0;
+  for (int e = 0; e < net.num_edges(); ++e)
+    scale = std::max(scale, net.edge(e).capacity);
+  const double eps = kEpsAbs * scale;
+
   // BFS in the residual graph from the source.
   std::queue<int> q;
   q.push(net.source());
   cut.side[net.source()] = 1;
-  constexpr double kEps = 1e-9;
   while (!q.empty()) {
     const int v = q.front();
     q.pop();
     for (int e : net.out_edges(v)) {
       const auto& edge = net.edge(e);
-      if (!cut.side[edge.to] && edge.capacity - flow.edge_flow[e] > kEps) {
+      if (!cut.side[edge.to] && edge.capacity - flow.edge_flow[e] > eps) {
         cut.side[edge.to] = 1;
         q.push(edge.to);
       }
     }
     for (int e : net.in_edges(v)) {
       const auto& edge = net.edge(e);
-      if (!cut.side[edge.from] && flow.edge_flow[e] > kEps) {
+      if (!cut.side[edge.from] && flow.edge_flow[e] > eps) {
         cut.side[edge.from] = 1;
         q.push(edge.from);
       }

@@ -130,7 +130,18 @@ namespace {
 
 /// Imbalances below this are float dust, not repair work: digital priors
 /// carry integral flows, so genuine violations are >= 1 capacity unit.
+/// Relative to the instance's capacity scale — at capacities >= 1e9 the
+/// rounding dust of carried flows exceeds any absolute threshold, so the
+/// repair scales the epsilon by the largest residual capacity (clamped to
+/// at least the historical absolute value so small instances behave
+/// exactly as before).
 constexpr double kImbalanceEps = 1e-9;
+
+double capacity_scale(const Residual& r) {
+  double scale = 1.0;
+  for (const double c : r.cap) scale = std::max(scale, c);
+  return scale;
+}
 
 /// Shortest-path repair pusher over a carried residual. Both directions
 /// terminate by flow decomposition of the carried pseudo-flow: a surplus
@@ -138,9 +149,12 @@ constexpr double kImbalanceEps = 1e-9;
 /// extra outflow is reversible back from the sink.
 class ConservationRepair {
  public:
-  ConservationRepair(Residual& r, int s, int t)
-      : r_(r), s_(s), t_(t), im_(r.imbalances()), parent_arc_(r.n, -1),
-        seen_(r.n, 0) {}
+  ConservationRepair(Residual& r, int s, int t, ArcTouchLog* touched)
+      : r_(r), s_(s), t_(t), eps_(kImbalanceEps * capacity_scale(r)),
+        im_(r.imbalances()), parent_arc_(r.n, -1), seen_(r.n, 0),
+        touched_(touched) {
+    if (touched_) arc_logged_.assign(r.cap.size(), 0);
+  }
 
   /// All excesses drain before any deficit fills: once no excess nodes
   /// remain, decomposing the carried pseudo-flow shows every deficit node's
@@ -149,7 +163,7 @@ class ConservationRepair {
   bool run(long long& ops, const util::CancelToken& cancel) {
     for (int v = 0; v < r_.n; ++v) {
       if (v == s_ || v == t_) continue;
-      while (im_[v] > kImbalanceEps) {
+      while (im_[v] > eps_) {
         cancel.check();
         if (!drain_excess(v)) return false;
         ops++;
@@ -157,7 +171,7 @@ class ConservationRepair {
     }
     for (int v = 0; v < r_.n; ++v) {
       if (v == s_ || v == t_) continue;
-      while (im_[v] < -kImbalanceEps) {
+      while (im_[v] < -eps_) {
         cancel.check();
         if (!fill_deficit(v)) return false;
         ops++;
@@ -168,7 +182,22 @@ class ConservationRepair {
 
  private:
   bool is_deficit(int v) const {
-    return v != s_ && v != t_ && im_[v] < -kImbalanceEps;
+    return v != s_ && v != t_ && im_[v] < -eps_;
+  }
+
+  /// Moves `amount` across `arc`, logging both directions' pre-push
+  /// capacities on first touch when a touch log is attached.
+  void push_arc(int arc, double amount) {
+    if (touched_) {
+      for (const int a : {arc, r_.rev(arc)}) {
+        if (!arc_logged_[static_cast<size_t>(a)]) {
+          arc_logged_[static_cast<size_t>(a)] = 1;
+          touched_->emplace_back(a, r_.cap[static_cast<size_t>(a)]);
+        }
+      }
+    }
+    r_.cap[static_cast<size_t>(arc)] -= amount;
+    r_.cap[static_cast<size_t>(r_.rev(arc))] += amount;
   }
 
   /// BFS forward from `v` to the nearest of {s, t, any deficit vertex};
@@ -187,7 +216,7 @@ class ConservationRepair {
         // saturated for repair purposes: routing through one would cap the
         // push at float noise and stall the repair.
         const int u = r_.head[arc];
-        if (seen_[u] == stamp_ || r_.cap[arc] <= kImbalanceEps) continue;
+        if (seen_[u] == stamp_ || r_.cap[arc] <= eps_) continue;
         seen_[u] = stamp_;
         parent_arc_[u] = arc;
         if (u == s_ || u == t_ || is_deficit(u)) {
@@ -203,12 +232,10 @@ class ConservationRepair {
     if (is_deficit(target)) amount = std::min(amount, -im_[target]);
     for (int x = target; x != v; x = r_.head[r_.rev(parent_arc_[x])])
       amount = std::min(amount, r_.cap[parent_arc_[x]]);
-    if (amount <= kImbalanceEps) return false;
+    if (amount <= eps_) return false;
 
-    for (int x = target; x != v; x = r_.head[r_.rev(parent_arc_[x])]) {
-      r_.cap[parent_arc_[x]] -= amount;
-      r_.cap[r_.rev(parent_arc_[x])] += amount;
-    }
+    for (int x = target; x != v; x = r_.head[r_.rev(parent_arc_[x])])
+      push_arc(parent_arc_[x], amount);
     im_[v] -= amount;
     if (target != s_ && target != t_) im_[target] += amount;
     return true;
@@ -231,7 +258,7 @@ class ConservationRepair {
         // (u -> x), which must have residual capacity above the dust
         // threshold (see drain_excess).
         const int u = r_.head[arc];
-        if (seen_[u] == stamp_ || r_.cap[r_.rev(arc)] <= kImbalanceEps)
+        if (seen_[u] == stamp_ || r_.cap[r_.rev(arc)] <= eps_)
           continue;
         seen_[u] = stamp_;
         parent_arc_[u] = r_.rev(arc); // the u -> x residual arc
@@ -247,21 +274,22 @@ class ConservationRepair {
     double amount = -im_[v];
     for (int x = source_node; x != v; x = r_.head[parent_arc_[x]])
       amount = std::min(amount, r_.cap[parent_arc_[x]]);
-    if (amount <= kImbalanceEps) return false;
+    if (amount <= eps_) return false;
 
-    for (int x = source_node; x != v; x = r_.head[parent_arc_[x]]) {
-      r_.cap[parent_arc_[x]] -= amount;
-      r_.cap[r_.rev(parent_arc_[x])] += amount;
-    }
+    for (int x = source_node; x != v; x = r_.head[parent_arc_[x]])
+      push_arc(parent_arc_[x], amount);
     im_[v] += amount;
     return true;
   }
 
   Residual& r_;
   int s_, t_;
+  double eps_;
   std::vector<double> im_;
   std::vector<int> parent_arc_;
   std::vector<int> seen_; // visit stamps: seen_[u] == stamp_ means visited
+  ArcTouchLog* touched_;
+  std::vector<char> arc_logged_; // per-arc "already in the touch log" flag
   int stamp_ = 0;
 };
 
@@ -269,7 +297,13 @@ class ConservationRepair {
 
 bool repair_conservation(Residual& r, int s, int t, long long& ops,
                          const util::CancelToken& cancel) {
-  return ConservationRepair(r, s, t).run(ops, cancel);
+  return ConservationRepair(r, s, t, nullptr).run(ops, cancel);
+}
+
+bool repair_conservation(Residual& r, int s, int t, long long& ops,
+                         ArcTouchLog& touched,
+                         const util::CancelToken& cancel) {
+  return ConservationRepair(r, s, t, &touched).run(ops, cancel);
 }
 
 } // namespace aflow::flow::detail

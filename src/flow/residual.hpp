@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "flow/maxflow.hpp"
 #include "graph/csr.hpp"
 #include "graph/network.hpp"
 #include "util/cancel.hpp"
@@ -88,6 +89,19 @@ struct Residual {
 bool repair_conservation(Residual& r, int s, int t, long long& ops,
                          const util::CancelToken& cancel = {});
 
+/// Pre-repair residual capacities of the arcs a repair pass mutated: one
+/// (arc id, capacity before the first touch) entry per touched arc. The
+/// delta path uses this to bound a push-relabel warm restart by the slack
+/// the repair actually opened (see PushRelabelWarm below).
+using ArcTouchLog = std::vector<std::pair<int, double>>;
+
+/// As repair_conservation above, additionally recording every arc whose
+/// residual capacity the repair changed into `touched` (appended; each arc
+/// at most once, with its pre-repair capacity).
+bool repair_conservation(Residual& r, int s, int t, long long& ops,
+                         ArcTouchLog& touched,
+                         const util::CancelToken& cancel = {});
+
 /// Augments the (feasible-flow) residual `r` to a maximum flow with Dinic
 /// blocking flows; returns the flow value added and counts augmenting paths
 /// into `ops`. Cold solves pass a fresh Residual (zero flow); the delta path
@@ -95,12 +109,40 @@ bool repair_conservation(Residual& r, int s, int t, long long& ops,
 double dinic_augment(Residual& r, int s, int t, long long& ops,
                      const util::CancelToken& cancel = {});
 
+/// Warm-restart plan for push_relabel_augment: instead of saturating every
+/// live source-adjacent residual arc (the cold flood), seed
+/// `injection_budget` units of excess at the source itself, labelled at its
+/// true BFS height — equivalent to flooding one virtual super-source arc
+/// s' -> s of that capacity. The discharge then chooses which source arcs
+/// carry the new flow, so the total injection is O(budget), not O(total
+/// source slack). The budget is a bound on the value still augmentable
+/// after the edit (min of the newly-opened-slack sum and the raised-cut
+/// ceiling — see flow/delta.cpp), so the capped entry still admits a
+/// maximum flow; whatever it cannot route stays parked at s and is dropped
+/// as the virtual excess it always was. A pass that parks its source
+/// (h(s) >= n) is certified maximal by its own valid labeling; a
+/// budget-exhausted pass is checked with an exact residual-reachability
+/// BFS and escalates to the cold flood on failure
+/// (SolveMetrics::warm_escalations), so correctness never depends on the
+/// budget argument — only the restart cost does. DESIGN.md "Incremental
+/// re-solve: the delta path" carries the full soundness argument.
+struct PushRelabelWarm {
+  double injection_budget = 0.0;
+};
+
 /// Runs FIFO push-relabel (gap heuristic, initial global relabel) from the
 /// feasible flow currently held in `r`, leaving `r` a maximum flow; returns
 /// pushes + relabels. A feasible flow is a preflow with no excess, so the
 /// standard initialisation (saturate s-adjacent residual arcs, discharge)
-/// is valid from any carried flow, not just the zero flow.
+/// is valid from any carried flow, not just the zero flow. Cold solves pass
+/// no warm plan (full source flood); the delta path passes a PushRelabelWarm
+/// whose budget is seeded as excess at the source. When `metrics` is
+/// non-null the restart counters (injected_excess_arcs,
+/// returned_excess_walks, phase2_fallbacks, warm_escalations) are added to
+/// it.
 long long push_relabel_augment(Residual& r, int s, int t,
-                               const util::CancelToken& cancel = {});
+                               const util::CancelToken& cancel = {},
+                               SolveMetrics* metrics = nullptr,
+                               const PushRelabelWarm* warm = nullptr);
 
 } // namespace aflow::flow::detail

@@ -25,6 +25,35 @@ double cut_value_of_side(const graph::FlowNetwork& g,
 
 } // namespace
 
+TEST(MinCutFromFlow, ToleratesSolverDustAtLargeCapacityScale) {
+  // Capacities around 1e9 leave legitimate rounding dust on saturated arcs
+  // far above any absolute epsilon: with the historical absolute 1e-9
+  // saturation threshold, the residual BFS crossed the "saturated"
+  // bottleneck below, walked to the sink side, and returned an empty
+  // (zero-value) cut. The threshold is capacity-relative now, so dust-level
+  // residual slack does not open an arc.
+  graph::FlowNetwork g(4, 0, 3);
+  g.add_edge(0, 1, 3e9);
+  g.add_edge(1, 2, 1e9); // the unique min cut
+  g.add_edge(2, 3, 4e9);
+
+  flow::MaxFlowResult r = flow::push_relabel(g);
+  ASSERT_DOUBLE_EQ(r.flow_value, 1e9);
+  // Simulated solver dust on the saturated bottleneck: 4e-8 of residual
+  // slack, a 4e-17 relative error at this scale yet 40x the old absolute
+  // threshold.
+  r.edge_flow[1] -= 4e-8;
+
+  const auto cut = flow::min_cut_from_flow(g, r);
+  EXPECT_NEAR(cut.cut_value, 1e9, 1e-3);
+  ASSERT_EQ(cut.cut_edges.size(), 1u);
+  EXPECT_EQ(cut.cut_edges[0], 1);
+  EXPECT_TRUE(cut.side[0]);
+  EXPECT_TRUE(cut.side[1]);
+  EXPECT_FALSE(cut.side[2]);
+  EXPECT_FALSE(cut.side[3]);
+}
+
 TEST(MinCutDual, Fig5PartitionIsExact) {
   const auto g = graph::paper_example_fig5();
   const auto exact = flow::min_cut_from_flow(g, flow::push_relabel(g));
